@@ -1,0 +1,6 @@
+//! Ablation sweeps of C-FFS design choices (group size, read threshold,
+//! scheduler, cache size, access order).
+
+fn main() {
+    print!("{}", cffs_bench::experiments::ablation::run());
+}

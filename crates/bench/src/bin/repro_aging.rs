@@ -1,0 +1,13 @@
+//! E7: file-system aging ([Herrin93] program) — performance vs target
+//! utilization. Usage: repro_aging [--ops N]
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--ops"))
+        .unwrap_or(20_000);
+    print!("{}", cffs_bench::experiments::aging::run(ops));
+}

@@ -1,0 +1,48 @@
+//! Run every reproduction (E1–E10) and print the combined report — the
+//! source material for `EXPERIMENTS.md`.
+//!
+//! Usage: repro_all [--quick]
+//!
+//! `--quick` scales the workloads down (1/10 of the files, fewer aging
+//! ops) for a fast smoke run; the default matches the paper's sizes.
+
+use cffs_bench::experiments::*;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::appdev::DevTreeParams;
+use cffs_workloads::postmark::PostmarkParams;
+use cffs_workloads::smallfile::SmallFileParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sf = if quick {
+        SmallFileParams { nfiles: 1000, ndirs: 50, ..SmallFileParams::default() }
+    } else {
+        SmallFileParams::default()
+    };
+    let aging_ops = if quick { 5_000 } else { 20_000 };
+    let fig2_samples = if quick { 100 } else { 500 };
+
+    println!("C-FFS reproduction — full experiment suite");
+    println!("==========================================");
+    println!("\n==== E1: Table 1 — 1996 drive characteristics ====\n");
+    print!("{}", table1::run());
+    println!("\n==== E2: Figure 2 — access time vs request size ====\n");
+    print!("{}", fig2::run(fig2_samples));
+    println!("\n==== E3: Table 2 — testbed drive ====\n");
+    print!("{}", table2::run());
+    print!("{}", smallfile::run(MetadataMode::Synchronous, sf)); // E4
+    print!("{}", smallfile::run(MetadataMode::Delayed, sf)); // E5
+    print!("{}", filesize::run()); // E6
+    print!("{}", aging::run(aging_ops)); // E7
+    print!("{}", diskreqs::run(sf)); // E8
+    print!("{}", apps::run(MetadataMode::Synchronous, DevTreeParams::default())); // E9
+    print!("{}", apps::run(MetadataMode::Delayed, DevTreeParams::default())); // E9
+    print!("{}", dirsize::run()); // E10
+    print!("{}", ablation::run()); // E11 (extra)
+    let pm = if quick {
+        PostmarkParams { nfiles: 500, transactions: 1000, ..PostmarkParams::default() }
+    } else {
+        PostmarkParams::default()
+    };
+    print!("{}", postmark::run(MetadataMode::Synchronous, pm)); // E12 (extra)
+}

@@ -1,0 +1,25 @@
+//! E9: the software-development application suite (paper: "10-300%").
+//! Usage: repro_apps [--mode sync|softdep|both]
+
+use cffs_bench::experiments::apps;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::appdev::DevTreeParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "both".to_string());
+    let params = DevTreeParams::default();
+    match mode.as_str() {
+        "sync" => print!("{}", apps::run(MetadataMode::Synchronous, params)),
+        "softdep" => print!("{}", apps::run(MetadataMode::Delayed, params)),
+        _ => {
+            print!("{}", apps::run(MetadataMode::Synchronous, params));
+            print!("{}", apps::run(MetadataMode::Delayed, params));
+        }
+    }
+}

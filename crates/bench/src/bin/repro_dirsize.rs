@@ -1,0 +1,5 @@
+//! E10: directory growth vs static inode preallocation.
+
+fn main() {
+    print!("{}", cffs_bench::experiments::dirsize::run());
+}

@@ -1,0 +1,18 @@
+//! E8: disk-request accounting — the order-of-magnitude claim, the
+//! sync-write reduction, the delete improvement and the blocks-dirtied
+//! halving, all read out of the counters.
+//! Usage: repro_diskreqs [--files N]
+
+use cffs_workloads::smallfile::SmallFileParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nfiles = args
+        .iter()
+        .position(|a| a == "--files")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--files"))
+        .unwrap_or(10_000);
+    let params = SmallFileParams { nfiles, ..SmallFileParams::default() };
+    print!("{}", cffs_bench::experiments::diskreqs::run(params));
+}

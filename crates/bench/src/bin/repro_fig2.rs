@@ -1,0 +1,13 @@
+//! E2: Figure 2 — average access time vs request size for the Table 1
+//! drives. Usage: repro_fig2 [--samples N]
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--samples"))
+        .unwrap_or(500);
+    print!("{}", cffs_bench::experiments::fig2::run(samples));
+}

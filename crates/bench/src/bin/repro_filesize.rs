@@ -1,0 +1,5 @@
+//! E6: throughput vs file size — where the grouping advantage decays.
+
+fn main() {
+    print!("{}", cffs_bench::experiments::filesize::run());
+}

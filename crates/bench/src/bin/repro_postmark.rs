@@ -1,0 +1,29 @@
+//! E12 (extra): PostMark-style server workload on all five file systems.
+//! Usage: repro_postmark [--mode sync|softdep|both] [--transactions N]
+
+use cffs_bench::experiments::postmark;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::postmark::PostmarkParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let params = PostmarkParams {
+        transactions: get("--transactions", "10000").parse().expect("--transactions"),
+        ..PostmarkParams::default()
+    };
+    match get("--mode", "both").as_str() {
+        "sync" => print!("{}", postmark::run(MetadataMode::Synchronous, params)),
+        "softdep" => print!("{}", postmark::run(MetadataMode::Delayed, params)),
+        _ => {
+            print!("{}", postmark::run(MetadataMode::Synchronous, params));
+            print!("{}", postmark::run(MetadataMode::Delayed, params));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! E4/E5: the small-file micro-benchmark (paper Section 4.2).
+//!
+//! Usage:
+//!   repro_smallfile [--mode sync|softdep|both] [--files N] [--size BYTES]
+//!                   [--dirs N] [--order roundrobin|dirmajor]
+
+use cffs_bench::experiments::smallfile;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::smallfile::{Assignment, SmallFileParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let params = SmallFileParams {
+        nfiles: get("--files", "10000").parse().expect("--files"),
+        file_size: get("--size", "1024").parse().expect("--size"),
+        ndirs: get("--dirs", "100").parse().expect("--dirs"),
+        order: match get("--order", "roundrobin").as_str() {
+            "dirmajor" => Assignment::DirMajor,
+            _ => Assignment::RoundRobin,
+        },
+    };
+    match get("--mode", "both").as_str() {
+        "sync" => print!("{}", smallfile::run(MetadataMode::Synchronous, params)),
+        "softdep" => print!("{}", smallfile::run(MetadataMode::Delayed, params)),
+        _ => {
+            print!("{}", smallfile::run(MetadataMode::Synchronous, params));
+            print!("{}", smallfile::run(MetadataMode::Delayed, params));
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! E1: Table 1 — characteristics of three modern (1996) disk drives.
+
+fn main() {
+    print!("{}", cffs_bench::experiments::table1::run());
+}

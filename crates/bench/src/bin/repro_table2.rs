@@ -1,0 +1,5 @@
+//! E3: Table 2 — the testbed drive (Seagate ST31200).
+
+fn main() {
+    print!("{}", cffs_bench::experiments::table2::run());
+}

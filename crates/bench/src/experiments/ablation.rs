@@ -1,0 +1,130 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Each sweep holds the small-file workload fixed and varies exactly one
+//! knob on C-FFS (or its substrate):
+//!
+//! * **group size** — the paper fixes 64 KB (16 blocks); what do 4/8/16
+//!   block extents buy?
+//! * **group-read threshold** — fetch the whole group on a miss only when
+//!   it has at least N live members ("in most cases").
+//! * **driver scheduler** — the testbed used C-LOOK; FCFS and SSTF for
+//!   contrast.
+//! * **buffer-cache size** — the grouping win needs groups to *survive*
+//!   between the accesses they amortize.
+//! * **access order** — round-robin vs directory-major across the
+//!   benchmark's 100 directories (the locality-vs-adjacency knob).
+
+use crate::report::header;
+use cffs::build;
+use cffs::core::CffsConfig;
+use cffs_cache::CacheConfig;
+use cffs_disksim::driver::Scheduler;
+use cffs_disksim::models;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::smallfile::{self, Assignment, SmallFileParams};
+
+fn params(order: Assignment) -> SmallFileParams {
+    SmallFileParams { nfiles: 2000, file_size: 1024, ndirs: 100, order }
+}
+
+/// Read-phase files/s for a config.
+fn read_rate(cfg: CffsConfig, p: SmallFileParams) -> f64 {
+    let mut fs = build::on_disk(models::seagate_st31200(), cfg);
+    let rs = smallfile::run(&mut fs, p).expect("run");
+    rs.iter().find(|r| r.phase == "read").expect("read row").items_per_sec()
+}
+
+/// Create-phase files/s for a config (sync metadata).
+fn create_rate(cfg: CffsConfig, p: SmallFileParams) -> f64 {
+    let mut fs = build::on_disk(models::seagate_st31200(), cfg);
+    let rs = smallfile::run(&mut fs, p).expect("run");
+    rs.iter().find(|r| r.phase == "create").expect("create row").items_per_sec()
+}
+
+/// Render all sweeps.
+pub fn run() -> String {
+    let mut out = header("ablations (2000 x 1 KB files, 100 dirs)");
+
+    out.push_str("group size (delayed metadata; read phase, files/s):\n");
+    for blocks in [4u8, 8, 12, 16] {
+        let mut cfg = CffsConfig::cffs().with_mode(MetadataMode::Delayed);
+        cfg.group_blocks = blocks;
+        let r = read_rate(cfg, params(Assignment::RoundRobin));
+        out.push_str(&format!("  {:>3} blocks ({:>3} KB)  {r:>8.0}\n", blocks, blocks as u32 * 4));
+    }
+
+    out.push_str("\ngroup-read threshold (min live members; read files/s):\n");
+    for min in [1u32, 2, 4, 8] {
+        let mut cfg = CffsConfig::cffs().with_mode(MetadataMode::Delayed);
+        cfg.group_read_min = min;
+        let r = read_rate(cfg, params(Assignment::RoundRobin));
+        out.push_str(&format!("  >= {min:>2} live          {r:>8.0}\n"));
+    }
+
+    out.push_str("\ndriver scheduler (sync metadata; create files/s):\n");
+    for sched in [Scheduler::Fcfs, Scheduler::CLook, Scheduler::Sstf] {
+        let mut cfg = CffsConfig::cffs();
+        cfg.scheduler = sched;
+        let r = create_rate(cfg, params(Assignment::RoundRobin));
+        out.push_str(&format!("  {sched:<8?}          {r:>8.0}\n"));
+    }
+
+    out.push_str("\nbuffer-cache size (delayed metadata; read files/s):\n");
+    for mb in [2usize, 4, 8, 16, 32] {
+        let mut cfg = CffsConfig::cffs().with_mode(MetadataMode::Delayed);
+        cfg.cache = CacheConfig { nbufs: mb * 256, ..CacheConfig::default() };
+        let r = read_rate(cfg, params(Assignment::RoundRobin));
+        out.push_str(&format!("  {mb:>3} MB             {r:>8.0}\n"));
+    }
+
+    out.push_str("\naccess order (delayed metadata; read files/s, C-FFS vs conventional):\n");
+    for (name, order) in [("round-robin", Assignment::RoundRobin), ("dir-major", Assignment::DirMajor)] {
+        let c = read_rate(CffsConfig::cffs().with_mode(MetadataMode::Delayed), params(order));
+        let v = read_rate(
+            CffsConfig::conventional().with_mode(MetadataMode::Delayed),
+            params(order),
+        );
+        out.push_str(&format!(
+            "  {name:<12} cffs {c:>7.0}  conventional {v:>7.0}  ({:.2}x)\n",
+            c / v
+        ));
+    }
+    out.push_str("\nprefetching extension (8 MB sequential read in 8 KB calls; the paper's\nimplementation had none):\n");
+    for pf in [0u32, 8, 32] {
+        let mut cfg = CffsConfig::cffs().with_mode(MetadataMode::Delayed);
+        cfg.prefetch_blocks = pf;
+        let mut fs = build::on_disk(models::seagate_st31200(), cfg);
+        use cffs_fslib::FileSystem;
+        let f = fs.create(fs.root(), "big").expect("create");
+        fs.write(f, 0, &vec![5u8; 8 << 20]).expect("write");
+        fs.drop_caches().expect("drop");
+        fs.reset_io_stats();
+        let t0 = fs.now();
+        let mut buf = vec![0u8; 8192];
+        let mut off = 0u64;
+        while fs.read(f, off, &mut buf).expect("read") > 0 {
+            off += 8192;
+        }
+        let secs = (fs.now() - t0).as_secs_f64();
+        out.push_str(&format!(
+            "  {:>3} blocks ahead   {:>6.2} MB/s  ({} disk reads)\n",
+            pf,
+            8.0 / secs,
+            fs.io_stats().disk.reads
+        ));
+    }
+
+    out.push_str(
+        "\nReadings: bigger extents amortize positioning further (diminishing past\n\
+         ~32 KB at this file size); an aggressive read threshold costs little on a\n\
+         fresh disk but protects aged ones; C-LOOK vs FCFS matters most for the\n\
+         sync-write storms; the grouping advantage needs the cache to hold the\n\
+         round-robin working set (~6.4 MB here) and collapses below it; and with\n\
+         dir-major access even the conventional layout is disk-sequential, which\n\
+         is exactly the paper's point about locality vs adjacency. FS-level\n\
+         prefetch peaks at a moderate depth: small windows let the drive's own\n\
+         on-board read-ahead run ahead of the host between requests, while very\n\
+         deep windows serialize everything into long media transfers.\n",
+    );
+    out
+}

@@ -1,0 +1,86 @@
+//! E7 — file-system aging (Section 4.3).
+//!
+//! "To get a handle on the impact of file system fragmentation on the
+//! performance of C-FFS, we use an aging program similar to that described
+//! in [Herrin93]." The disk is churned with creates and deletes biased
+//! toward a target utilization, then the small-file benchmark's create and
+//! read phases run on the aged image. Sweeping the target utilization
+//! shows how free-space fragmentation erodes (but does not eliminate) the
+//! grouping advantage: carving contiguous 16-block extents gets harder,
+//! groups fill with holes, and whole-group reads shrink.
+
+use crate::report::header;
+use cffs::build;
+use cffs_core::CffsConfig;
+use cffs_disksim::models;
+use cffs_fslib::{FileSystem, MetadataMode};
+use cffs_workloads::aging::{age, AgingParams};
+use cffs_workloads::sizes::Empirical1993;
+use cffs_workloads::smallfile::{self, Assignment, SmallFileParams};
+
+/// Utilization targets swept.
+pub const UTILIZATIONS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 0.85];
+
+/// One aged measurement: create+read throughput (files/s) after aging to
+/// `util` on the 64 MB test disk.
+pub fn point(cfg: CffsConfig, util: f64, ops: usize) -> (f64, f64, f64) {
+    let mut fs = build::on_disk(models::tiny_test_disk(), cfg);
+    let outcome = age(
+        &mut fs,
+        AgingParams { utilization: util, ops, ndirs: 20, seed: 1997 },
+        &Empirical1993,
+    )
+    .expect("aging run");
+    fs.drop_caches().expect("cache drop");
+    // Now the measured workload: fresh dirs, small files, on the aged
+    // disk. The file count is fixed *per row* (same for both file
+    // systems), scaled down only at the highest utilization where the
+    // 64 MB disk cannot hold 500 extra files plus grouping slack.
+    let params = SmallFileParams {
+        nfiles: if util > 0.75 { 250 } else { 500 },
+        file_size: 1024,
+        ndirs: 20,
+        order: Assignment::RoundRobin,
+    };
+    let rs = smallfile::run(&mut fs, params).expect("aged benchmark");
+    let create = rs.iter().find(|r| r.phase == "create").expect("create row");
+    let read = rs.iter().find(|r| r.phase == "read").expect("read row");
+    (create.items_per_sec(), read.items_per_sec(), outcome.final_utilization)
+}
+
+/// Render the sweep.
+pub fn run(ops: usize) -> String {
+    let mut out = header(&format!(
+        "aging ([Herrin93] program, {ops} ops, 64 MB disk): small-file rates on the aged image"
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>14} {:>12} {:>14} {:>12}\n",
+        "target util", "actual", "conv create/s", "conv read/s", "cffs create/s", "cffs read/s"
+    ));
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    for util in UTILIZATIONS {
+        let (conv_c, conv_r, _) = point(
+            CffsConfig::conventional().with_mode(MetadataMode::Delayed),
+            util,
+            ops,
+        );
+        let (cffs_c, cffs_r, actual) =
+            point(CffsConfig::cffs().with_mode(MetadataMode::Delayed), util, ops);
+        out.push_str(&format!(
+            "{:<12} {:>9.0}% {:>14.0} {:>12.0} {:>14.0} {:>12.0}\n",
+            format!("{:.0}%", util * 100.0),
+            actual * 100.0,
+            conv_c,
+            conv_r,
+            cffs_c,
+            cffs_r,
+        ));
+    }
+    out.push_str(
+        "\nThe grouping read advantage persists on an aged disk but narrows with\n\
+         utilization: contiguous 16-block extents become scarce, so more files\n\
+         fall back to ungrouped allocation.\n",
+    );
+    out
+}

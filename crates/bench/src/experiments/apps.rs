@@ -1,0 +1,46 @@
+//! E9 — the software-development application suite.
+//!
+//! "Preliminary experience with software-development applications shows
+//! performance improvements ranging from 10-300 percent." The suite
+//! (untar / copy / compile / search / clean) runs on all five file
+//! systems; the report prints per-phase elapsed times and the C-FFS
+//! improvement over the conventional baseline in the paper's percentage
+//! form.
+
+use crate::report::{header, phase_table, speedup};
+use cffs::build;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::appdev::{self, DevTreeParams};
+use cffs_workloads::PhaseResult;
+
+/// Run the suite on all five file systems.
+pub fn run_all(mode: MetadataMode, params: DevTreeParams) -> Vec<PhaseResult> {
+    let mut all = Vec::new();
+    for mut fs in build::all_five(mode) {
+        all.extend(appdev::run(fs.as_mut(), params).expect("suite run"));
+    }
+    all
+}
+
+/// Render the report.
+pub fn run(mode: MetadataMode, params: DevTreeParams) -> String {
+    let rows = run_all(mode, params);
+    let mut out = header(&format!(
+        "software-development suite ({} dirs x {} files + {} headers, metadata={:?})",
+        params.dirs, params.files_per_dir, params.headers, mode
+    ));
+    out.push_str(&phase_table(&rows));
+    out.push_str("\nC-FFS improvement over conventional (paper: 10-300%):\n");
+    for phase in ["untar", "copy", "compile", "search", "clean"] {
+        let base = rows
+            .iter()
+            .find(|r| r.fs == "conventional" && r.phase == phase)
+            .expect("baseline row");
+        let new = rows.iter().find(|r| r.fs == "C-FFS" && r.phase == phase).expect("cffs row");
+        out.push_str(&format!(
+            "  {phase:<10} +{:.0}%\n",
+            (speedup(base, new) - 1.0) * 100.0
+        ));
+    }
+    out
+}

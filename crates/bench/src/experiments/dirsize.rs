@@ -1,0 +1,80 @@
+//! E10 — directory growth versus static inode preallocation.
+//!
+//! The cost side of embedded inodes: "a potential down-side of embedded
+//! inodes is that the directory size can increase substantially" (entries
+//! grow from ~16 bytes to ~144 bytes for short names). The benefit side,
+//! via [Forin94]: eliminating the statically (over-)allocated inode tables
+//! returns their disk space to data. This experiment measures both on real
+//! images.
+
+use crate::report::header;
+use cffs::build;
+use cffs_core::CffsConfig;
+use cffs_disksim::models;
+use cffs_ffs::{mkfs as ffs_mkfs, FfsOptions, MkfsParams};
+use cffs_disksim::Disk;
+use cffs_fslib::{FileSystem, BLOCK_SIZE};
+
+/// Directory populations measured.
+pub const POPULATIONS: [usize; 4] = [10, 100, 1000, 10_000];
+
+/// Bytes of directory data per entry at population `n`.
+fn dir_bytes_per_entry(cfg: CffsConfig, n: usize) -> f64 {
+    let mut fs = build::on_disk(models::seagate_st31200(), cfg);
+    let root = fs.root();
+    let dir = fs.mkdir(root, "d").expect("mkdir");
+    for i in 0..n {
+        fs.create(dir, &format!("file{i:05}")).expect("create");
+    }
+    let size = fs.getattr(dir).expect("getattr").size;
+    size as f64 / n as f64
+}
+
+/// Render the report.
+pub fn run() -> String {
+    let mut out = header("directory size and inode-capacity trade (E10)");
+    out.push_str(&format!(
+        "{:<12} {:>22} {:>22}\n",
+        "entries", "embedded (B/entry)", "external (B/entry)"
+    ));
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    for n in POPULATIONS {
+        let emb = dir_bytes_per_entry(CffsConfig::cffs(), n);
+        let ext = dir_bytes_per_entry(CffsConfig::conventional(), n);
+        out.push_str(&format!("{n:<12} {emb:>22.1} {ext:>22.1}\n"));
+    }
+
+    // Capacity: static FFS inode tables vs the dynamic external file.
+    let ffs = ffs_mkfs::mkfs(
+        Disk::new(models::seagate_st31200()),
+        MkfsParams::default(),
+        FfsOptions::default(),
+    )
+    .expect("mkfs");
+    let sb = ffs.superblock().clone();
+    let itable_blocks = sb.itable_blocks as u64 * sb.cg_count as u64;
+    let mut cffs = build::on_disk(models::seagate_st31200(), CffsConfig::cffs());
+    let st = cffs.statfs().expect("statfs");
+    out.push_str(&format!(
+        "\nstatic preallocation [Forin94]:\n\
+         - FFS reserves {} blocks ({:.1} MB, {:.2}% of the disk) for inode tables\n\
+           whether or not the inodes are ever used, capping files at {}.\n\
+         - C-FFS reserves none: inodes live in directories (or the external\n\
+           inode file, currently {} block(s)); the file count is bounded only\n\
+           by space ({} of {} blocks free after mkfs).\n",
+        itable_blocks,
+        itable_blocks as f64 * BLOCK_SIZE as f64 / 1e6,
+        itable_blocks as f64 * 100.0 / sb.total_blocks as f64,
+        sb.total_inodes(),
+        cffs.superblock().exfile.blocks,
+        st.free_blocks,
+        st.total_blocks,
+    ));
+    out.push_str(
+        "\nThe ~9x directory growth is the price of removing a physical level of\n\
+         indirection; the paper's position is that directories remain small\n\
+         relative to data, while every (cold) open saves a disk access.\n",
+    );
+    out
+}

@@ -1,0 +1,29 @@
+//! One module per reproduced table/figure. Each exposes a `run` function
+//! returning the formatted report, so the `repro_*` binaries and
+//! `repro_all` share one implementation.
+//!
+//! | module | experiment | paper artifact |
+//! |---|---|---|
+//! | [`table1`] | E1 | Table 1: 1996 drive characteristics |
+//! | [`fig2`] | E2 | Figure 2: access time vs request size |
+//! | [`table2`] | E3 | Table 2: testbed drive (Seagate ST31200) |
+//! | [`smallfile`] | E4/E5 | small-file benchmark, sync + soft updates |
+//! | [`filesize`] | E6 | throughput vs file size |
+//! | [`aging`] | E7 | performance after aging vs utilization |
+//! | [`diskreqs`] | E8 | disk-request and sync-write accounting |
+//! | [`apps`] | E9 | software-development application suite |
+//! | [`dirsize`] | E10 | directory growth and inode-capacity trade |
+//! | [`ablation`] | E11 (extra) | design-choice sweeps: group size, read threshold, scheduler, cache size, access order, prefetch |
+//! | [`postmark`] | E12 (extra) | PostMark-style server workload |
+
+pub mod ablation;
+pub mod aging;
+pub mod apps;
+pub mod dirsize;
+pub mod diskreqs;
+pub mod fig2;
+pub mod filesize;
+pub mod postmark;
+pub mod smallfile;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,48 @@
+//! E4/E5 — the small-file micro-benchmark (paper Section 4.2).
+//!
+//! Four phases (create/read/overwrite/delete) over 10 000 × 1 KB files in
+//! 100 directories, accessed round-robin, on five file systems: classic
+//! FFS, and C-FFS with {neither, embedding, grouping, both}. E4 runs with
+//! the conventional synchronous metadata ordering; E5 delays all metadata
+//! writes — the paper's soft-updates emulation ("[Ganger94] shows that
+//! this will accurately predict the performance impact of soft updates").
+
+use crate::report::{header, phase_table, speedup};
+use cffs::build;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::smallfile::{self, SmallFileParams};
+use cffs_workloads::PhaseResult;
+
+/// Run the benchmark on all five file systems.
+pub fn run_all(mode: MetadataMode, params: SmallFileParams) -> Vec<PhaseResult> {
+    let mut all = Vec::new();
+    for mut fs in build::all_five(mode) {
+        all.extend(smallfile::run(fs.as_mut(), params).expect("benchmark run"));
+    }
+    all
+}
+
+/// Render the report for one metadata mode.
+pub fn run(mode: MetadataMode, params: SmallFileParams) -> String {
+    let all = run_all(mode, params);
+    let mut out = header(&format!(
+        "small-file benchmark: {} x {} B in {} dirs, metadata={:?}",
+        params.nfiles, params.file_size, params.ndirs, mode
+    ));
+    out.push_str(&phase_table(&all));
+    out.push_str("\nspeedup of C-FFS over conventional (same code base, techniques off):\n");
+    for phase in ["create", "read", "overwrite", "delete"] {
+        let base = all
+            .iter()
+            .find(|r| r.fs == "conventional" && r.phase == phase)
+            .expect("baseline row");
+        let new = all.iter().find(|r| r.fs == "C-FFS" && r.phase == phase).expect("cffs row");
+        out.push_str(&format!(
+            "  {phase:<10} {:>5.2}x   (disk requests: {} -> {})\n",
+            speedup(base, new),
+            base.disk_requests(),
+            new.disk_requests()
+        ));
+    }
+    out
+}

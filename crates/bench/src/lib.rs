@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! # cffs-bench
+//!
+//! The reproduction harness. Each module under [`experiments`] regenerates
+//! one table or figure from the paper (see `DESIGN.md` §3 for the
+//! experiment index); the `repro_*` binaries are thin wrappers, and
+//! `repro_all` runs the whole suite. Criterion micro-benches live under
+//! `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{phase_table, speedup};

@@ -1,0 +1,69 @@
+//! Report formatting shared by all reproduction binaries.
+
+use cffs_workloads::PhaseResult;
+
+/// Format a phase-result table: one row per (fs, phase), with simulated
+/// time, rate, and physical disk requests.
+pub fn phase_table(rows: &[PhaseResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>12} {:>12} {:>10} {:>12}\n",
+        "file system", "phase", "elapsed", "files/s", "MB/s", "disk reqs"
+    ));
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>12} {:>12.1} {:>10.2} {:>12}\n",
+            r.fs,
+            r.phase,
+            format!("{}", r.elapsed),
+            r.items_per_sec(),
+            r.mb_per_sec(),
+            r.disk_requests(),
+        ));
+    }
+    out
+}
+
+/// Speedup of `new` over `base` by elapsed time, as a factor.
+pub fn speedup(base: &PhaseResult, new: &PhaseResult) -> f64 {
+    base.elapsed.as_secs_f64() / new.elapsed.as_secs_f64()
+}
+
+/// A section header line.
+pub fn header(title: &str) -> String {
+    format!("\n==== {title} ====\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cffs_disksim::SimDuration;
+    use cffs_fslib::IoStats;
+
+    fn row(fs: &str, phase: &str, secs: f64) -> PhaseResult {
+        PhaseResult {
+            fs: fs.into(),
+            phase: phase.into(),
+            elapsed: SimDuration::from_secs_f64(secs),
+            items: 100,
+            bytes: 102_400,
+            io: IoStats::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_times() {
+        let base = row("conventional", "read", 10.0);
+        let new = row("C-FFS", "read", 2.0);
+        assert!((speedup(&base, &new) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let t = phase_table(&[row("a", "create", 1.0), row("b", "create", 2.0)]);
+        assert!(t.contains("file system"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Smoke tests: every reproduction runs end to end at reduced scale and
+//! its report contains the structural markers the full run relies on.
+//! This keeps `repro_all` from rotting between full benchmark runs.
+
+use cffs_bench::experiments::*;
+use cffs_fslib::MetadataMode;
+use cffs_workloads::appdev::DevTreeParams;
+use cffs_workloads::smallfile::SmallFileParams;
+
+fn small() -> SmallFileParams {
+    SmallFileParams { nfiles: 120, ndirs: 8, ..SmallFileParams::default() }
+}
+
+#[test]
+fn e1_table1() {
+    let out = table1::run();
+    for needle in ["HP C3653", "Quantum Atlas II", "8.7 ms", "Average seek"] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+}
+
+#[test]
+fn e2_fig2() {
+    let out = fig2::run(40);
+    assert!(out.contains("64 KB"));
+    assert!(out.contains("adjacency converts positioning time"));
+}
+
+#[test]
+fn e3_table2() {
+    let out = table2::run();
+    assert!(out.contains("Seagate ST31200N"));
+    assert!(out.contains("C-LOOK"));
+}
+
+#[test]
+fn e4_e5_smallfile_both_modes() {
+    for mode in [MetadataMode::Synchronous, MetadataMode::Delayed] {
+        let out = smallfile::run(mode, small());
+        for fsname in ["FFS", "conventional", "embedded inodes", "explicit grouping", "C-FFS"] {
+            assert!(out.contains(fsname), "{mode:?}: missing {fsname}");
+        }
+        assert!(out.contains("speedup of C-FFS over conventional"));
+    }
+}
+
+#[test]
+fn e4_rows_cover_all_phases() {
+    let rows = smallfile::run_all(MetadataMode::Delayed, small());
+    assert_eq!(rows.len(), 5 * 4, "5 file systems x 4 phases");
+    for r in &rows {
+        assert!(r.elapsed.as_nanos() > 0, "{}/{} took zero time", r.fs, r.phase);
+        assert!(r.items > 0);
+    }
+}
+
+#[test]
+fn e6_filesize_point() {
+    let (create, read) = filesize::point(cffs_core::CffsConfig::cffs(), 4096);
+    assert!(create > 0.0 && read > 0.0);
+}
+
+#[test]
+fn e7_aging_point() {
+    let (c, r, util) = aging::point(cffs_core::CffsConfig::cffs(), 0.3, 1500);
+    assert!(c > 0.0 && r > 0.0);
+    assert!((0.05..0.9).contains(&util), "utilization {util}");
+}
+
+#[test]
+fn e8_diskreqs() {
+    let out = diskreqs::run(small());
+    assert!(out.contains("claims vs counters"));
+    assert!(out.contains("sync writes per create"));
+}
+
+#[test]
+fn e9_apps() {
+    let out = apps::run(MetadataMode::Synchronous, DevTreeParams::small());
+    for phase in ["untar", "copy", "compile", "search", "clean"] {
+        assert!(out.contains(phase), "missing {phase}");
+    }
+    assert!(out.contains("10-300%"));
+}
+
+#[test]
+fn e10_dirsize() {
+    let out = dirsize::run();
+    assert!(out.contains("static preallocation"));
+    assert!(out.contains("entries"));
+}
+
+#[test]
+fn e12_postmark() {
+    let out = postmark::run(
+        MetadataMode::Delayed,
+        cffs_workloads::postmark::PostmarkParams::small(),
+    );
+    for needle in ["pm-create", "pm-transactions", "pm-delete", "C-FFS speedup"] {
+        assert!(out.contains(needle), "missing {needle:?}");
+    }
+}

@@ -1,0 +1,829 @@
+//! The buffer cache implementation. See the crate docs for the design.
+
+use cffs_disksim::driver::{Driver, IoReq};
+use cffs_fslib::vfs::CacheStats;
+use cffs_fslib::{FsResult, Ino, BLOCK_SIZE, SECTORS_PER_BLOCK};
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+
+/// Buffer-cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Capacity in 4 KB buffers. The paper's testbed was a 16 MB machine;
+    /// the default mirrors that scale so the 10 000-file benchmark does not
+    /// fit in memory (as it did not on the testbed).
+    pub nbufs: usize,
+    /// When an eviction would write back a dirty victim and at least this
+    /// fraction (in percent) of resident buffers is dirty, the cache
+    /// instead flushes *all* dirty buffers as one sorted, coalesced batch —
+    /// the moral equivalent of the BSD update daemon plus write
+    /// clustering. Set to 100 to disable (strict one-victim write-back).
+    pub flush_watermark_pct: u8,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 16 MB of cache: the file-cache slice of the paper's testbed
+        // machine. Small enough that the 40 MB small-file benchmark does
+        // not fit (as it did not on the testbed), large enough that a
+        // round-robin sweep over 100 directories' group extents survives.
+        CacheConfig { nbufs: 4096, flush_watermark_pct: 25 }
+    }
+}
+
+#[derive(Debug)]
+struct Buf {
+    blkno: u64,
+    logical: Option<(Ino, u64)>,
+    data: Vec<u8>,
+    dirty: bool,
+    /// Metadata block (affects accounting only; policy is caller-driven).
+    meta: bool,
+    stamp: u64,
+}
+
+/// The dual-indexed buffer cache.
+#[derive(Debug)]
+pub struct BufferCache {
+    config: CacheConfig,
+    bufs: Vec<Option<Buf>>,
+    free_slots: Vec<usize>,
+    phys: HashMap<u64, usize>,
+    logical: HashMap<(Ino, u64), usize>,
+    /// Lazy min-heap of (stamp, slot) for LRU eviction.
+    lru: BinaryHeap<Reverse<(u64, usize)>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl BufferCache {
+    /// Create an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.nbufs >= 8, "cache must hold at least 8 buffers");
+        BufferCache {
+            config,
+            bufs: Vec::new(),
+            free_slots: Vec::new(),
+            phys: HashMap::new(),
+            logical: HashMap::new(),
+            lru: BinaryHeap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of resident buffers.
+    pub fn resident(&self) -> usize {
+        self.phys.len()
+    }
+
+    /// Number of dirty buffers.
+    pub fn dirty_count(&self) -> usize {
+        self.bufs.iter().flatten().filter(|b| b.dirty).count()
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.tick += 1;
+        if let Some(b) = &mut self.bufs[slot] {
+            b.stamp = self.tick;
+            self.lru.push(Reverse((self.tick, slot)));
+        }
+    }
+
+    /// Find the buffer slot for a physical block, if resident.
+    fn slot_of(&self, blkno: u64) -> Option<usize> {
+        self.phys.get(&blkno).copied()
+    }
+
+    /// Allocate a slot, evicting the LRU buffer if the cache is full.
+    fn alloc_slot(&mut self, driver: &mut Driver) -> usize {
+        if let Some(s) = self.free_slots.pop() {
+            return s;
+        }
+        if self.bufs.len() < self.config.nbufs {
+            self.bufs.push(None);
+            return self.bufs.len() - 1;
+        }
+        // Update-daemon behaviour: under dirty pressure, flush everything
+        // as one sorted, coalesced batch instead of dribbling single-block
+        // write-backs out of the eviction path.
+        let pct = self.config.flush_watermark_pct as usize;
+        if pct < 100 && self.dirty_count() * 100 >= self.config.nbufs * pct {
+            self.sync(driver).expect("cache flush cannot fail");
+        }
+        // Evict the true LRU (clean or dirty; dirty gets written back).
+        loop {
+            let Reverse((stamp, slot)) = self.lru.pop().expect("cache full but LRU empty");
+            let Some(b) = &self.bufs[slot] else { continue };
+            if b.stamp != stamp {
+                continue; // stale heap entry
+            }
+            let b = self.bufs[slot].take().expect("checked above");
+            self.phys.remove(&b.blkno);
+            if let Some(id) = b.logical {
+                self.logical.remove(&id);
+            }
+            if b.dirty {
+                driver.write(b.blkno * SECTORS_PER_BLOCK, &b.data);
+                self.stats.writebacks += 1;
+            }
+            self.stats.evictions += 1;
+            return slot;
+        }
+    }
+
+    fn install(&mut self, slot: usize, buf: Buf) {
+        let blkno = buf.blkno;
+        let logical = buf.logical;
+        self.bufs[slot] = Some(buf);
+        self.phys.insert(blkno, slot);
+        if let Some(id) = logical {
+            self.logical.insert(id, slot);
+        }
+        self.touch(slot);
+    }
+
+    /// Is the block resident (for tests and group-read planning)?
+    pub fn contains(&self, blkno: u64) -> bool {
+        self.phys.contains_key(&blkno)
+    }
+
+    /// Look a block up by logical identity without touching the disk.
+    /// Returns the physical block number on a hit — the caller skips the
+    /// bmap translation entirely, which is the point of the second index.
+    pub fn lookup_logical(&mut self, ino: Ino, lbn: u64) -> Option<u64> {
+        self.stats.lookups += 1;
+        if let Some(&slot) = self.logical.get(&(ino, lbn)) {
+            self.stats.logical_hits += 1;
+            self.touch(slot);
+            self.bufs[slot].as_ref().map(|b| b.blkno)
+        } else {
+            None
+        }
+    }
+
+    /// Read a block through the cache, returning a borrow of its contents.
+    pub fn read_block(&mut self, driver: &mut Driver, blkno: u64) -> FsResult<&[u8]> {
+        let slot = self.get_slot(driver, blkno, true)?;
+        Ok(&self.bufs[slot].as_ref().expect("resident").data)
+    }
+
+    /// Read a block and bind it to a logical identity in one step (the
+    /// common file-read path: bmap said `(ino, lbn)` lives at `blkno`).
+    pub fn read_block_bound(
+        &mut self,
+        driver: &mut Driver,
+        blkno: u64,
+        ino: Ino,
+        lbn: u64,
+    ) -> FsResult<&[u8]> {
+        let slot = self.get_slot(driver, blkno, true)?;
+        self.bind_slot(slot, ino, lbn);
+        Ok(&self.bufs[slot].as_ref().expect("resident").data)
+    }
+
+    /// Mutate a block in place. `read_first` controls whether a cache miss
+    /// fetches the old contents (true for partial updates, false when the
+    /// caller will overwrite the whole block). The buffer is left dirty;
+    /// durability is the caller's policy decision.
+    pub fn modify_block<R>(
+        &mut self,
+        driver: &mut Driver,
+        blkno: u64,
+        meta: bool,
+        read_first: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FsResult<R> {
+        let slot = self.get_slot(driver, blkno, read_first)?;
+        let b = self.bufs[slot].as_mut().expect("resident");
+        b.dirty = true;
+        b.meta = meta;
+        Ok(f(&mut b.data))
+    }
+
+    /// Mutate a block and bind its logical identity (file-write path).
+    pub fn modify_block_bound<R>(
+        &mut self,
+        driver: &mut Driver,
+        blkno: u64,
+        ino: Ino,
+        lbn: u64,
+        read_first: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> FsResult<R> {
+        let slot = self.get_slot(driver, blkno, read_first)?;
+        self.bind_slot(slot, ino, lbn);
+        let b = self.bufs[slot].as_mut().expect("resident");
+        b.dirty = true;
+        Ok(f(&mut b.data))
+    }
+
+    /// If `blkno` is dirty, write it to disk *now* and mark it clean. This
+    /// is the synchronous-metadata primitive: the conventional create path
+    /// calls it on the inode block before the directory block, and so on.
+    pub fn flush_block_sync(&mut self, driver: &mut Driver, blkno: u64) -> FsResult<()> {
+        if let Some(slot) = self.slot_of(blkno) {
+            let b = self.bufs[slot].as_mut().expect("resident");
+            if b.dirty {
+                driver.write(blkno * SECTORS_PER_BLOCK, &b.data);
+                b.dirty = false;
+                self.stats.sync_writes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write only the 512-byte sector of `blkno` containing `offset`,
+    /// synchronously. This is the embedded-inode atomicity primitive: a
+    /// name and its inode live in the same sector, so one sector write
+    /// updates both atomically (the disk guarantees sector atomicity).
+    ///
+    /// The rest of the block stays dirty if it was dirty before.
+    pub fn flush_sector_sync(
+        &mut self,
+        driver: &mut Driver,
+        blkno: u64,
+        offset: usize,
+    ) -> FsResult<()> {
+        let sector_in_block = offset / cffs_disksim::SECTOR_SIZE;
+        if let Some(slot) = self.slot_of(blkno) {
+            let b = self.bufs[slot].as_ref().expect("resident");
+            let lo = sector_in_block * cffs_disksim::SECTOR_SIZE;
+            let hi = lo + cffs_disksim::SECTOR_SIZE;
+            let sector = b.data[lo..hi].to_vec();
+            driver.write(blkno * SECTORS_PER_BLOCK + sector_in_block as u64, &sector);
+            self.stats.sync_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Bind (or rebind) the logical identity of a resident block. Counts a
+    /// back-bind when the buffer arrived identity-less from a group read.
+    pub fn bind_logical(&mut self, blkno: u64, ino: Ino, lbn: u64) {
+        if let Some(slot) = self.slot_of(blkno) {
+            self.bind_slot(slot, ino, lbn);
+        }
+    }
+
+    fn bind_slot(&mut self, slot: usize, ino: Ino, lbn: u64) {
+        let b = self.bufs[slot].as_mut().expect("resident");
+        match b.logical {
+            Some(id) if id == (ino, lbn) => {}
+            old => {
+                if old.is_none() {
+                    self.stats.backbinds += 1;
+                }
+                if let Some(oldid) = old {
+                    self.logical.remove(&oldid);
+                }
+                b.logical = Some((ino, lbn));
+                self.logical.insert((ino, lbn), slot);
+            }
+        }
+    }
+
+    /// Drop every logical identity bound to `ino` (the inode number was
+    /// retired — C-FFS renumbers embedded inodes on rename and
+    /// externalization). Physical buffers stay resident; only the logical
+    /// index entries go, so a future holder of the same number can never
+    /// hit another file's stale bindings.
+    pub fn purge_ino(&mut self, ino: Ino) {
+        let keys: Vec<(Ino, u64)> =
+            self.logical.keys().filter(|(i, _)| *i == ino).copied().collect();
+        for k in keys {
+            if let Some(slot) = self.logical.remove(&k) {
+                if let Some(b) = self.bufs[slot].as_mut() {
+                    b.logical = None;
+                }
+            }
+        }
+    }
+
+    /// Drop the logical identity for `(ino, lbn)` (file truncate/delete).
+    pub fn unbind_logical(&mut self, ino: Ino, lbn: u64) {
+        if let Some(slot) = self.logical.remove(&(ino, lbn)) {
+            if let Some(b) = self.bufs[slot].as_mut() {
+                b.logical = None;
+            }
+        }
+    }
+
+    /// Forget a block entirely (its disk space was freed). Dirty contents
+    /// are discarded — writing a freed block back would be a bug.
+    pub fn invalidate_block(&mut self, blkno: u64) {
+        if let Some(slot) = self.phys.remove(&blkno) {
+            if let Some(b) = self.bufs[slot].take() {
+                if let Some(id) = b.logical {
+                    self.logical.remove(&id);
+                }
+            }
+            self.free_slots.push(slot);
+        }
+    }
+
+    /// Fetch a set of contiguous block runs as *one* batch of scatter/gather
+    /// reads — the explicit-grouping read path. Runs must be disjoint.
+    /// Blocks already resident are skipped (never clobber a dirty buffer).
+    /// Newly inserted blocks carry no logical identity; files claim them
+    /// later via back-binding.
+    pub fn read_group(
+        &mut self,
+        driver: &mut Driver,
+        runs: &[(u64, usize)],
+    ) -> FsResult<()> {
+        let mut reqs: Vec<IoReq> = Vec::new();
+        for &(start, n) in runs {
+            // Split each run at resident blocks.
+            let mut run_start: Option<u64> = None;
+            for blk in start..start + n as u64 {
+                if self.contains(blk) {
+                    if let Some(s) = run_start.take() {
+                        reqs.push(IoReq::read(s * SECTORS_PER_BLOCK, (blk - s) as usize * BLOCK_SIZE));
+                    }
+                } else if run_start.is_none() {
+                    run_start = Some(blk);
+                }
+            }
+            if let Some(s) = run_start {
+                let end = start + n as u64;
+                reqs.push(IoReq::read(s * SECTORS_PER_BLOCK, (end - s) as usize * BLOCK_SIZE));
+            }
+        }
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let done = driver.submit_batch(reqs);
+        self.stats.group_reads += 1;
+        // Install every fetched block, identity-less. Block numbers come
+        // from the requests themselves — the scheduler may have serviced
+        // them in any order.
+        for req in done {
+            let base = req.lba / SECTORS_PER_BLOCK;
+            let nblocks = req.data.len() / BLOCK_SIZE;
+            for i in 0..nblocks {
+                let blk = base + i as u64;
+                let slot = self.alloc_slot(driver);
+                self.install(
+                    slot,
+                    Buf {
+                        blkno: blk,
+                        logical: None,
+                        data: req.data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE].to_vec(),
+                        dirty: false,
+                        meta: false,
+                        stamp: 0,
+                    },
+                );
+                self.stats.group_read_blocks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write back every dirty buffer as one scheduled, coalesced batch.
+    /// Physically adjacent dirty blocks — grouped small files — merge into
+    /// single scatter/gather writes here.
+    pub fn sync(&mut self, driver: &mut Driver) -> FsResult<()> {
+        let mut dirty: Vec<(u64, Vec<u8>)> = Vec::new();
+        for b in self.bufs.iter_mut().flatten() {
+            if b.dirty {
+                dirty.push((b.blkno, b.data.clone()));
+                b.dirty = false;
+            }
+        }
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        dirty.sort_by_key(|(blk, _)| *blk);
+        self.stats.writebacks += dirty.len() as u64;
+        let reqs = dirty
+            .into_iter()
+            .map(|(blk, data)| IoReq::write(blk * SECTORS_PER_BLOCK, data))
+            .collect();
+        driver.submit_batch(reqs);
+        Ok(())
+    }
+
+    /// Sync, then drop *all* buffers: the cold-cache boundary between
+    /// benchmark phases (the moral equivalent of unmount + mount).
+    pub fn drop_all(&mut self, driver: &mut Driver) -> FsResult<()> {
+        self.sync(driver)?;
+        self.bufs.clear();
+        self.free_slots.clear();
+        self.phys.clear();
+        self.logical.clear();
+        self.lru.clear();
+        Ok(())
+    }
+
+    /// Discard every buffer *without* writing dirty data — simulates a
+    /// crash. The disk image is left exactly as the write history produced
+    /// it; fsck gets to pick up the pieces.
+    pub fn crash(&mut self) {
+        self.bufs.clear();
+        self.free_slots.clear();
+        self.phys.clear();
+        self.logical.clear();
+        self.lru.clear();
+    }
+
+    /// Core miss/hit path: return the slot for `blkno`, reading from disk
+    /// on a miss when `read` is set (otherwise installing a zero buffer).
+    fn get_slot(&mut self, driver: &mut Driver, blkno: u64, read: bool) -> FsResult<usize> {
+        self.stats.lookups += 1;
+        if let Some(slot) = self.slot_of(blkno) {
+            self.stats.phys_hits += 1;
+            self.touch(slot);
+            return Ok(slot);
+        }
+        let mut data = vec![0u8; BLOCK_SIZE];
+        if read {
+            driver.read(blkno * SECTORS_PER_BLOCK, &mut data);
+        }
+        let slot = self.alloc_slot(driver);
+        self.install(
+            slot,
+            Buf { blkno, logical: None, data, dirty: false, meta: false, stamp: 0 },
+        );
+        Ok(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cffs_disksim::{models, Disk, DriverConfig};
+
+    fn driver() -> Driver {
+        Driver::new(Disk::new(models::seagate_st31200()), DriverConfig::default())
+    }
+
+    fn small_cache() -> BufferCache {
+        BufferCache::new(CacheConfig { nbufs: 8, flush_watermark_pct: 100 })
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        drv.disk_mut().raw_write(100 * SECTORS_PER_BLOCK, &[7u8; BLOCK_SIZE]);
+        let d = c.read_block(&mut drv, 100).unwrap();
+        assert!(d.iter().all(|&b| b == 7));
+        let before = drv.disk_stats().reads;
+        let _ = c.read_block(&mut drv, 100).unwrap();
+        assert_eq!(drv.disk_stats().reads, before, "second read must not hit the disk");
+        assert_eq!(c.stats().phys_hits, 1);
+    }
+
+    #[test]
+    fn modify_without_read_first_skips_disk() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        c.modify_block(&mut drv, 50, false, false, |d| d.fill(9)).unwrap();
+        assert_eq!(drv.disk_stats().reads, 0);
+        assert_eq!(c.dirty_count(), 1);
+        c.sync(&mut drv).unwrap();
+        assert_eq!(c.dirty_count(), 0);
+        let mut back = vec![0u8; BLOCK_SIZE];
+        drv.disk_mut().raw_read(50 * SECTORS_PER_BLOCK, &mut back);
+        assert!(back.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn sync_coalesces_adjacent_dirty_blocks() {
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        // A 16-block "group" of dirty buffers plus a loner far away.
+        for blk in 1000..1016 {
+            c.modify_block(&mut drv, blk, false, false, |d| d.fill(1)).unwrap();
+        }
+        c.modify_block(&mut drv, 50_000, false, false, |d| d.fill(2)).unwrap();
+        c.sync(&mut drv).unwrap();
+        assert_eq!(drv.stats().physical_requests, 2, "16 adjacent + 1 = 2 phys writes");
+        assert_eq!(drv.stats().coalesced, 15);
+    }
+
+    #[test]
+    fn flush_block_sync_writes_once() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        c.modify_block(&mut drv, 10, true, false, |d| d.fill(3)).unwrap();
+        c.flush_block_sync(&mut drv, 10).unwrap();
+        assert_eq!(c.stats().sync_writes, 1);
+        assert_eq!(drv.disk_stats().writes, 1);
+        // Clean now: second flush is a no-op.
+        c.flush_block_sync(&mut drv, 10).unwrap();
+        assert_eq!(drv.disk_stats().writes, 1);
+        c.sync(&mut drv).unwrap();
+        assert_eq!(drv.disk_stats().writes, 1, "already clean");
+    }
+
+    #[test]
+    fn flush_sector_sync_writes_single_sector() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        c.modify_block(&mut drv, 20, true, false, |d| d.fill(0xAB)).unwrap();
+        c.flush_sector_sync(&mut drv, 20, 1024).unwrap();
+        assert_eq!(drv.disk_stats().sectors_written, 1);
+        let mut sec = vec![0u8; 512];
+        drv.disk_mut().raw_read(20 * SECTORS_PER_BLOCK + 2, &mut sec);
+        assert!(sec.iter().all(|&b| b == 0xAB));
+        // Neighboring sector not written.
+        drv.disk_mut().raw_read(20 * SECTORS_PER_BLOCK, &mut sec);
+        assert!(sec.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn lru_eviction_writes_dirty_victim() {
+        let mut drv = driver();
+        let mut c = small_cache(); // 8 buffers
+        c.modify_block(&mut drv, 0, false, false, |d| d.fill(0xEE)).unwrap();
+        for blk in 1..9 {
+            let _ = c.read_block(&mut drv, blk).unwrap();
+        }
+        // Block 0 (LRU, dirty) must have been evicted and written back.
+        assert!(!c.contains(0));
+        let mut back = vec![0u8; BLOCK_SIZE];
+        drv.disk_mut().raw_read(0, &mut back);
+        assert!(back.iter().all(|&b| b == 0xEE));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn group_read_is_one_physical_request() {
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        for blk in 200..216u64 {
+            drv.disk_mut().raw_write(blk * SECTORS_PER_BLOCK, &vec![blk as u8; BLOCK_SIZE]);
+        }
+        c.read_group(&mut drv, &[(200, 16)]).unwrap();
+        assert_eq!(drv.disk_stats().reads, 1);
+        assert_eq!(c.stats().group_reads, 1);
+        assert_eq!(c.stats().group_read_blocks, 16);
+        // All 16 now hit without further I/O.
+        for blk in 200..216 {
+            let d = c.read_block(&mut drv, blk).unwrap();
+            assert_eq!(d[0], blk as u8);
+        }
+        assert_eq!(drv.disk_stats().reads, 1);
+    }
+
+    #[test]
+    fn group_read_skips_resident_dirty_blocks() {
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.modify_block(&mut drv, 205, false, false, |d| d.fill(0x77)).unwrap();
+        c.read_group(&mut drv, &[(200, 16)]).unwrap();
+        // The dirty buffer must survive untouched.
+        let d = c.read_block(&mut drv, 205).unwrap();
+        assert!(d.iter().all(|&b| b == 0x77));
+        // Two physical reads: [200..205) and [206..216).
+        assert_eq!(drv.disk_stats().reads, 2);
+    }
+
+    #[test]
+    fn backbinding_after_group_read() {
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.read_group(&mut drv, &[(300, 4)]).unwrap();
+        assert_eq!(c.stats().backbinds, 0);
+        // File 42 claims block 301 as its lbn 0.
+        let _ = c.read_block_bound(&mut drv, 301, 42, 0).unwrap();
+        assert_eq!(c.stats().backbinds, 1);
+        assert_eq!(c.lookup_logical(42, 0), Some(301));
+        // Rebinding the same identity is not another back-bind.
+        let _ = c.read_block_bound(&mut drv, 301, 42, 0).unwrap();
+        assert_eq!(c.stats().backbinds, 1);
+    }
+
+    #[test]
+    fn logical_lookup_miss_and_unbind() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        assert_eq!(c.lookup_logical(1, 0), None);
+        let _ = c.read_block_bound(&mut drv, 77, 1, 0).unwrap();
+        assert_eq!(c.lookup_logical(1, 0), Some(77));
+        c.unbind_logical(1, 0);
+        assert_eq!(c.lookup_logical(1, 0), None);
+        // Physical identity still resident.
+        assert!(c.contains(77));
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_data() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        c.modify_block(&mut drv, 33, false, false, |d| d.fill(5)).unwrap();
+        c.invalidate_block(33);
+        c.sync(&mut drv).unwrap();
+        assert_eq!(drv.disk_stats().writes, 0, "freed block must not be written");
+    }
+
+    #[test]
+    fn crash_loses_unsynced_writes() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        c.modify_block(&mut drv, 11, false, false, |d| d.fill(1)).unwrap();
+        c.flush_block_sync(&mut drv, 11).unwrap();
+        c.modify_block(&mut drv, 12, false, false, |d| d.fill(2)).unwrap();
+        c.crash();
+        let mut b = vec![0u8; BLOCK_SIZE];
+        drv.disk_mut().raw_read(11 * SECTORS_PER_BLOCK, &mut b);
+        assert!(b.iter().all(|&x| x == 1), "synced write survives the crash");
+        drv.disk_mut().raw_read(12 * SECTORS_PER_BLOCK, &mut b);
+        assert!(b.iter().all(|&x| x == 0), "delayed write is lost");
+    }
+
+    #[test]
+    fn drop_all_flushes_then_empties() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        c.modify_block(&mut drv, 9, false, false, |d| d.fill(4)).unwrap();
+        c.drop_all(&mut drv).unwrap();
+        assert_eq!(c.resident(), 0);
+        let mut b = vec![0u8; BLOCK_SIZE];
+        drv.disk_mut().raw_read(9 * SECTORS_PER_BLOCK, &mut b);
+        assert!(b.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn rebind_moves_identity() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        let _ = c.read_block_bound(&mut drv, 60, 5, 0).unwrap();
+        // The file's block moved (e.g. degrouping relocated it) — same
+        // identity now maps to block 61.
+        let _ = c.read_block_bound(&mut drv, 61, 5, 0).unwrap();
+        assert_eq!(c.lookup_logical(5, 0), Some(61));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cffs_disksim::{models, Disk, DriverConfig};
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum CacheOp {
+        Read(u64),
+        Write(u64, u8),
+        WriteBound(u64, u64, u64, u8), // blk, ino, lbn, byte
+        FlushSync(u64),
+        Sync,
+        DropAll,
+        Invalidate(u64),
+        GroupRead(u64, u8),
+        PurgeIno(u64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = CacheOp> {
+        prop_oneof![
+            4 => (0u64..64).prop_map(CacheOp::Read),
+            4 => (0u64..64, any::<u8>()).prop_map(|(b, v)| CacheOp::Write(b, v)),
+            3 => (0u64..64, 0u64..6, 0u64..8, any::<u8>())
+                .prop_map(|(b, i, l, v)| CacheOp::WriteBound(b, i, l, v)),
+            2 => (0u64..64).prop_map(CacheOp::FlushSync),
+            1 => Just(CacheOp::Sync),
+            1 => Just(CacheOp::DropAll),
+            1 => (0u64..64).prop_map(CacheOp::Invalidate),
+            2 => (0u64..48, 1u8..16).prop_map(|(b, n)| CacheOp::GroupRead(b, n)),
+            1 => (0u64..6).prop_map(CacheOp::PurgeIno),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// The cache is a transparent layer: block contents always match a
+        /// simple model regardless of evictions, group reads, syncs and
+        /// invalidations. (An invalidated dirty block loses its data by
+        /// contract, so the model drops those writes too.)
+        #[test]
+        fn cache_is_transparent(ops in prop::collection::vec(arb_op(), 1..120)) {
+            let mut drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
+            let mut cache = BufferCache::new(CacheConfig { nbufs: 16, flush_watermark_pct: 50 });
+            // model: block -> expected fill byte (0 = never written).
+            let mut model: HashMap<u64, u8> = HashMap::new();
+            // writes not yet durable (to emulate Invalidate discarding them)
+            let mut dirty: HashMap<u64, u8> = HashMap::new();
+            let mut durable: HashMap<u64, u8> = HashMap::new();
+            for op in ops {
+                match op {
+                    CacheOp::Read(b) => {
+                        let data = cache.read_block(&mut drv, b).unwrap();
+                        let want = *model.get(&b).unwrap_or(&0);
+                        prop_assert!(
+                            data.iter().all(|&x| x == want),
+                            "block {} read {} want {}", b, data[0], want
+                        );
+                    }
+                    CacheOp::Write(b, v) => {
+                        cache.modify_block(&mut drv, b, false, false, |d| d.fill(v)).unwrap();
+                        model.insert(b, v);
+                        dirty.insert(b, v);
+                    }
+                    CacheOp::WriteBound(b, ino, lbn, v) => {
+                        cache
+                            .modify_block_bound(&mut drv, b, ino, lbn, false, |d| d.fill(v))
+                            .unwrap();
+                        model.insert(b, v);
+                        dirty.insert(b, v);
+                    }
+                    CacheOp::FlushSync(b) => {
+                        cache.flush_block_sync(&mut drv, b).unwrap();
+                        if let Some(v) = dirty.remove(&b) {
+                            durable.insert(b, v);
+                        }
+                    }
+                    CacheOp::Sync => {
+                        cache.sync(&mut drv).unwrap();
+                        durable.extend(dirty.drain());
+                    }
+                    CacheOp::DropAll => {
+                        cache.drop_all(&mut drv).unwrap();
+                        durable.extend(dirty.drain());
+                    }
+                    CacheOp::Invalidate(b) => {
+                        cache.invalidate_block(b);
+                        // Contract: dirty contents are discarded; the block
+                        // reverts to its last durable contents.
+                        dirty.remove(&b);
+                        match durable.get(&b) {
+                            Some(&v) => { model.insert(b, v); }
+                            None => { model.remove(&b); }
+                        }
+                    }
+                    CacheOp::GroupRead(start, n) => {
+                        cache.read_group(&mut drv, &[(start, n as usize)]).unwrap();
+                    }
+                    CacheOp::PurgeIno(ino) => cache.purge_ino(ino),
+                }
+                // NOTE: eviction may write dirty blocks back at any time,
+                // which only *adds* durability; the model above tracks the
+                // weakest guarantee, so reads are still exact.
+                for (&b, &v) in dirty.iter() {
+                    if !cache.contains(b) {
+                        // Evicted dirty block became durable.
+                        durable.insert(b, v);
+                    }
+                }
+                dirty.retain(|&b, _| cache.contains(b));
+            }
+            // Final check: everything the model believes in reads back.
+            for (&b, &v) in &model {
+                let data = cache.read_block(&mut drv, b).unwrap();
+                prop_assert!(data.iter().all(|&x| x == v), "final block {}", b);
+            }
+        }
+
+        /// The logical index never lies: a hit always names a resident
+        /// buffer whose physical number round-trips.
+        #[test]
+        fn dual_index_consistent(ops in prop::collection::vec(arb_op(), 1..100)) {
+            let mut drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
+            let mut cache = BufferCache::new(CacheConfig { nbufs: 12, flush_watermark_pct: 100 });
+            let mut bound: HashMap<(u64, u64), u64> = HashMap::new();
+            for op in ops {
+                match op {
+                    CacheOp::WriteBound(b, ino, lbn, v) => {
+                        cache
+                            .modify_block_bound(&mut drv, b, ino, lbn, false, |d| d.fill(v))
+                            .unwrap();
+                        bound.insert((ino, lbn), b);
+                    }
+                    CacheOp::Read(b) => {
+                        let _ = cache.read_block(&mut drv, b).unwrap();
+                    }
+                    CacheOp::Invalidate(b) => {
+                        cache.invalidate_block(b);
+                        bound.retain(|_, &mut blk| blk != b);
+                    }
+                    CacheOp::PurgeIno(ino) => {
+                        cache.purge_ino(ino);
+                        bound.retain(|&(i, _), _| i != ino);
+                    }
+                    _ => {}
+                }
+                for (&(ino, lbn), &blk) in &bound {
+                    if let Some(hit) = cache.lookup_logical(ino, lbn) {
+                        prop_assert_eq!(hit, blk, "logical index stale for ({}, {})", ino, lbn);
+                        prop_assert!(cache.contains(blk));
+                    }
+                }
+            }
+        }
+    }
+}

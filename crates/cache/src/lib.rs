@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # cffs-cache
+//!
+//! The file cache, modeled on the one the paper describes in Section 3:
+//!
+//! > "our file cache is indexed by both disk address, like the original
+//! > UNIX buffer cache, and higher-level identities, like the SunOS
+//! > integrated caching and virtual memory system. C-FFS uses physical
+//! > identities to insert newly-read blocks of a group into the cache
+//! > without back-translating to discover their file/offset identities."
+//!
+//! Concretely:
+//!
+//! * Every buffer is indexed by **physical block number**.
+//! * A buffer may additionally carry a **logical identity** `(inode,
+//!   logical block number)`. Group reads insert member blocks with *no*
+//!   logical identity; when a file later maps one of its blocks to that
+//!   physical address and finds the buffer, the identity is bound lazily —
+//!   the paper's "back-binding". The [`vfs::CacheStats::backbinds`] counter
+//!   records how often this happens.
+//! * Write-back policy is split by the caller: data writes are **delayed**
+//!   (flushed by [`BufferCache::sync`], which sorts, coalesces physically
+//!   adjacent buffers into scatter/gather writes, and issues one batch —
+//!   this is where grouped files get written "as a unit"); metadata writes
+//!   are either **synchronous** ([`BufferCache::flush_block_sync`], used by
+//!   the conventional ordering discipline) or delayed (the soft-updates
+//!   emulation).
+//!
+//! Replacement is LRU over clean and dirty buffers alike; evicting a dirty
+//! buffer writes it back first, exactly like a classic `getblk`/`bwrite`
+//! buffer cache.
+
+mod bufcache;
+
+pub use bufcache::{BufferCache, CacheConfig};

@@ -1,0 +1,141 @@
+//! C-FFS construction.
+//!
+//! Formats a disk with: superblock (block 1), per-cylinder-group headers
+//! (bitmap + empty group descriptor table), a one-block external inode file
+//! whose slot 0 is the root directory. Unlike FFS's `newfs`, there are no
+//! inode tables to preallocate — the space is data from day one, the
+//! paper's capacity argument [Forin94].
+
+use crate::fs::{Cffs, CffsConfig};
+use crate::layout::{CgHeader, Superblock, FIRST_CG_BLOCK, SB_BLOCK};
+use cffs_disksim::Disk;
+use cffs_fslib::inode::Inode;
+use cffs_fslib::{FileKind, FsError, FsResult, BLOCK_SIZE, SECTORS_PER_BLOCK};
+
+/// Geometry parameters for a new C-FFS.
+#[derive(Debug, Clone, Copy)]
+pub struct MkfsParams {
+    /// Blocks per cylinder group (header + data).
+    pub cg_size: u32,
+}
+
+impl Default for MkfsParams {
+    /// 8 MB cylinder groups, matching the FFS baseline's geometry.
+    fn default() -> Self {
+        MkfsParams { cg_size: 2048 }
+    }
+}
+
+impl MkfsParams {
+    /// Small geometry for unit tests.
+    pub fn tiny() -> Self {
+        MkfsParams { cg_size: 512 }
+    }
+}
+
+/// Format `disk` and mount the result.
+pub fn mkfs(mut disk: Disk, params: MkfsParams, cfg: CffsConfig) -> FsResult<Cffs> {
+    if params.cg_size < 32 {
+        return Err(FsError::InvalidArg);
+    }
+    let total_blocks = disk.capacity_sectors() / SECTORS_PER_BLOCK;
+    if total_blocks < FIRST_CG_BLOCK + params.cg_size as u64 {
+        return Err(FsError::InvalidArg);
+    }
+    let cg_count = ((total_blocks - FIRST_CG_BLOCK) / params.cg_size as u64) as u32;
+
+    // The external inode file starts with one block: the first data block
+    // of cylinder group 0.
+    let mut exfile = Inode::new(FileKind::File);
+    let sb_tmp = Superblock {
+        total_blocks,
+        cg_count,
+        cg_size: params.cg_size,
+        exfile: exfile.clone(),
+        exfile_slots: 0,
+        clean: true,
+    };
+    let exblock = sb_tmp.cg_data_start(0);
+    exfile.direct[0] = exblock as u32;
+    exfile.size = BLOCK_SIZE as u64;
+    exfile.blocks = 1;
+    let sb = Superblock {
+        exfile,
+        exfile_slots: crate::exfile::SLOTS_PER_BLOCK,
+        ..sb_tmp
+    };
+
+    let mut img = vec![0u8; BLOCK_SIZE];
+    sb.write_to(&mut img);
+    disk.raw_write(SB_BLOCK * SECTORS_PER_BLOCK, &img);
+
+    for cg in 0..cg_count {
+        let mut hdr = CgHeader::new(cg, sb.data_per_cg(), sb.max_groups_per_cg());
+        if cg == 0 {
+            hdr.block_bitmap.set(0); // the external inode file's block
+        }
+        hdr.write_to(&mut img);
+        disk.raw_write(sb.cg_header_block(cg) * SECTORS_PER_BLOCK, &img);
+    }
+
+    // Root directory: external slot 0, empty.
+    let mut root = Inode::new(FileKind::Dir);
+    root.nlink = 2;
+    img.fill(0);
+    root.write_to(&mut img, 0);
+    disk.raw_write(exblock * SECTORS_PER_BLOCK, &img);
+
+    Cffs::mount(disk, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::INO_ROOT;
+    use cffs_disksim::models;
+    use cffs_fslib::FileSystem;
+
+    #[test]
+    fn mkfs_and_mount_all_variants() {
+        for cfg in [
+            CffsConfig::cffs(),
+            CffsConfig::conventional(),
+            CffsConfig::embedded_only(),
+            CffsConfig::grouping_only(),
+        ] {
+            let disk = Disk::new(models::tiny_test_disk());
+            let label = cfg.label.clone();
+            let mut fs = mkfs(disk, MkfsParams::tiny(), cfg).unwrap();
+            assert_eq!(fs.root(), INO_ROOT, "{label}");
+            assert!(fs.readdir(fs.root()).unwrap().is_empty(), "{label}");
+            let st = fs.statfs().unwrap();
+            assert!(st.free_blocks > 1000, "{label}");
+            assert_eq!(st.total_inodes, u64::MAX, "dynamic inodes ({label})");
+        }
+    }
+
+    #[test]
+    fn root_attr_is_directory() {
+        let disk = Disk::new(models::tiny_test_disk());
+        let mut fs = mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).unwrap();
+        let attr = fs.getattr(fs.root()).unwrap();
+        assert_eq!(attr.kind, cffs_fslib::FileKind::Dir);
+        assert_eq!(attr.nlink, 2);
+    }
+
+    #[test]
+    fn remount_preserves_superblock() {
+        let disk = Disk::new(models::tiny_test_disk());
+        let fs = mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).unwrap();
+        let sb1 = fs.superblock().clone();
+        let disk = fs.unmount().unwrap();
+        let fs2 = Cffs::mount(disk, CffsConfig::cffs()).unwrap();
+        assert_eq!(*fs2.superblock(), sb1);
+    }
+
+    #[test]
+    fn tiny_cg_rejected() {
+        let disk = Disk::new(models::tiny_test_disk());
+        assert!(mkfs(disk, MkfsParams { cg_size: 8 }, CffsConfig::cffs()).is_err());
+    }
+}

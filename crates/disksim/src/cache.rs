@@ -1,0 +1,218 @@
+//! On-board segmented read cache with read-ahead.
+//!
+//! 1996-era drives carried 128–512 KB of buffer, split into a few segments,
+//! each holding one contiguous run of recently read (plus prefetched)
+//! sectors. The paper's testbed drive "prefetches sequential disk data into
+//! its on-board cache"; this is what lets a second request for the next
+//! sectors on the track complete at bus speed instead of paying another
+//! rotation.
+//!
+//! Model: after a media read of sectors `[s, s+n)`, the servicing segment is
+//! extended by up to `read_ahead` further sectors (capped at the segment
+//! size), representing the drive continuing to read the track while idle.
+//! This is the standard optimistic simplification — it assumes the idle gap
+//! before the next request is long enough for the prefetch to finish, which
+//! is true for the file-system workloads simulated here (each request is
+//! followed by host-side work).
+//!
+//! Writes invalidate any cached overlap and are not cached (write caching
+//! was shipped disabled for integrity, and the paper's file systems rely on
+//! writes being durable when acknowledged).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the on-board cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnboardCacheConfig {
+    /// Number of cache segments.
+    pub segments: usize,
+    /// Capacity of each segment, in sectors.
+    pub segment_sectors: u64,
+    /// Maximum read-ahead after each media read, in sectors.
+    pub read_ahead: u64,
+}
+
+impl OnboardCacheConfig {
+    /// A disabled cache (every read goes to the media).
+    pub fn disabled() -> Self {
+        OnboardCacheConfig { segments: 0, segment_sectors: 0, read_ahead: 0 }
+    }
+}
+
+/// One cached run of sectors `[start, start + len)`.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: u64,
+    len: u64,
+    /// LRU stamp; larger is more recent.
+    stamp: u64,
+}
+
+/// The on-board cache itself. Tracks only *which* sectors are cached; data
+/// always comes from the sector store (the cache affects timing, not
+/// contents).
+#[derive(Debug)]
+pub struct OnboardCache {
+    config: OnboardCacheConfig,
+    segments: Vec<Segment>,
+    tick: u64,
+}
+
+impl OnboardCache {
+    /// Create a cache with the given configuration.
+    pub fn new(config: OnboardCacheConfig) -> Self {
+        OnboardCache { config, segments: Vec::new(), tick: 0 }
+    }
+
+    /// Is the whole range `[lba, lba + n)` present in one segment?
+    pub fn hit(&mut self, lba: u64, n: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        for seg in &mut self.segments {
+            if lba >= seg.start && lba + n <= seg.start + seg.len {
+                seg.stamp = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Record that the media just read `[lba, lba + n)`; install it (plus
+    /// read-ahead) in a segment.
+    pub fn fill(&mut self, lba: u64, n: u64, disk_end: u64) {
+        if self.config.segments == 0 || self.config.segment_sectors == 0 {
+            return;
+        }
+        self.tick += 1;
+        let ahead = self.config.read_ahead.min(disk_end.saturating_sub(lba + n));
+        let mut len = n + ahead;
+        let mut start = lba;
+        if len > self.config.segment_sectors {
+            // Keep the tail: the most recently read data plus read-ahead.
+            start = lba + len - self.config.segment_sectors;
+            len = self.config.segment_sectors;
+        }
+        let seg = Segment { start, len, stamp: self.tick };
+        // Extend an existing segment if this continues it.
+        for s in &mut self.segments {
+            if start <= s.start + s.len && start + len >= s.start {
+                let new_start = s.start.min(start);
+                let new_end = (s.start + s.len).max(start + len);
+                s.start = new_end.saturating_sub((new_end - new_start).min(self.config.segment_sectors));
+                s.len = new_end - s.start;
+                s.stamp = self.tick;
+                return;
+            }
+        }
+        if self.segments.len() < self.config.segments {
+            self.segments.push(seg);
+        } else if let Some(victim) = self.segments.iter_mut().min_by_key(|s| s.stamp) {
+            *victim = seg;
+        }
+    }
+
+    /// Invalidate any cached overlap with `[lba, lba + n)` (called on write).
+    pub fn invalidate(&mut self, lba: u64, n: u64) {
+        self.segments.retain_mut(|s| {
+            let overlap = lba < s.start + s.len && lba + n > s.start;
+            if !overlap {
+                return true;
+            }
+            // Trim rather than drop when the write clips an edge.
+            if lba <= s.start && lba + n >= s.start + s.len {
+                false
+            } else if lba <= s.start {
+                let cut = lba + n - s.start;
+                s.start += cut;
+                s.len -= cut;
+                s.len > 0
+            } else {
+                s.len = lba - s.start;
+                s.len > 0
+            }
+        });
+    }
+
+    /// Drop all cached contents.
+    pub fn flush(&mut self) {
+        self.segments.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> OnboardCache {
+        OnboardCache::new(OnboardCacheConfig { segments: 2, segment_sectors: 64, read_ahead: 16 })
+    }
+
+    #[test]
+    fn cold_cache_misses() {
+        let mut c = cache();
+        assert!(!c.hit(100, 8));
+    }
+
+    #[test]
+    fn fill_then_hit_with_read_ahead() {
+        let mut c = cache();
+        c.fill(100, 8, 1_000_000);
+        assert!(c.hit(100, 8));
+        // Read-ahead covers the next 16 sectors.
+        assert!(c.hit(108, 16));
+        assert!(!c.hit(108, 17));
+    }
+
+    #[test]
+    fn read_ahead_clamped_at_disk_end() {
+        let mut c = cache();
+        c.fill(90, 8, 100);
+        assert!(c.hit(96, 2));
+        assert!(!c.hit(98, 4));
+    }
+
+    #[test]
+    fn write_invalidates_overlap() {
+        let mut c = cache();
+        c.fill(100, 32, 1_000_000);
+        c.invalidate(110, 4);
+        assert!(!c.hit(100, 32));
+        // The untouched prefix survives as a trimmed segment.
+        assert!(c.hit(100, 10));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = cache();
+        c.fill(0, 8, 1_000_000);
+        c.fill(1000, 8, 1_000_000);
+        assert!(c.hit(1000, 8)); // touch
+        c.fill(2000, 8, 1_000_000); // evicts the 0-run (LRU)
+        assert!(!c.hit(0, 8));
+        assert!(c.hit(1000, 8));
+        assert!(c.hit(2000, 8));
+    }
+
+    #[test]
+    fn oversized_fill_keeps_tail() {
+        let mut c = cache();
+        c.fill(0, 100, 1_000_000); // 100 + 16 ahead > 64 capacity
+        assert!(!c.hit(0, 1));
+        assert!(c.hit(100, 8)); // tail including read-ahead retained
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = OnboardCache::new(OnboardCacheConfig::disabled());
+        c.fill(0, 8, 1_000_000);
+        assert!(!c.hit(0, 1));
+    }
+
+    #[test]
+    fn sequential_fills_merge() {
+        let mut c = cache();
+        c.fill(0, 8, 1_000_000);
+        c.fill(24, 8, 1_000_000); // contiguous with 16-sector read-ahead
+        assert!(c.hit(0, 40));
+    }
+}

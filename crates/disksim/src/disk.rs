@@ -1,0 +1,642 @@
+//! The disk service engine: combines geometry, seek curve, rotation, the
+//! on-board cache and the sector store into a single device that services
+//! one request at a time and keeps a consistent mechanical state.
+
+use crate::cache::{OnboardCache, OnboardCacheConfig};
+use crate::geometry::Geometry;
+use crate::seek::SeekCurve;
+use crate::stats::DiskStats;
+use crate::store::SectorStore;
+use crate::time::{SimDuration, SimTime};
+use crate::SECTOR_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a drive: everything needed to predict service times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Marketing name, e.g. `"Seagate ST31200N"`.
+    pub name: String,
+    /// Platter geometry.
+    pub geometry: Geometry,
+    /// Seek-time curve.
+    pub seek: SeekCurve,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Head-switch (track-to-track, same cylinder) time.
+    pub head_switch: SimDuration,
+    /// Additional settle time charged on writes (vendors quote write seeks
+    /// slightly above read seeks; Table 1's parenthesized figures).
+    pub write_settle: SimDuration,
+    /// Fixed per-request controller/command overhead.
+    pub controller_overhead: SimDuration,
+    /// Bus bandwidth in MB/s (used for on-board cache hits).
+    pub bus_mb_per_s: f64,
+    /// On-board cache configuration.
+    pub cache: OnboardCacheConfig,
+}
+
+impl DiskModel {
+    /// Duration of one platter revolution.
+    pub fn revolution(&self) -> SimDuration {
+        SimDuration::from_nanos(60_000_000_000 / self.rpm as u64)
+    }
+
+    /// Media transfer rate at the given cylinder, in MB/s.
+    pub fn media_rate_at(&self, cyl: u32) -> f64 {
+        let spt = self.geometry.sectors_per_track_at(cyl) as f64;
+        let bytes_per_rev = spt * SECTOR_SIZE as f64;
+        bytes_per_rev / self.revolution().as_secs_f64() / 1e6
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.geometry.total_sectors() * SECTOR_SIZE as u64
+    }
+}
+
+/// One serviced request, for access-pattern analysis (recording is off by
+/// default; see [`Disk::set_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When service began.
+    pub start: SimTime,
+    /// Starting sector.
+    pub lba: u64,
+    /// Sectors transferred.
+    pub sectors: u64,
+    /// Write (vs read).
+    pub write: bool,
+    /// Cylinders the arm moved to reach the request (0 on cache hits).
+    pub seek_cylinders: u32,
+    /// Total service time.
+    pub service: SimDuration,
+    /// Serviced from the on-board cache.
+    pub cache_hit: bool,
+}
+
+/// A simulated drive: model + mechanical state + contents + statistics.
+#[derive(Debug)]
+pub struct Disk {
+    model: DiskModel,
+    cache: OnboardCache,
+    store: SectorStore,
+    stats: DiskStats,
+    /// Cylinder the arm currently sits over.
+    arm_cylinder: u32,
+    /// Completion time of the last request (the drive is busy until then).
+    last_completion: SimTime,
+    /// The most recent mechanical write: `(lba, contents overwritten)` —
+    /// kept so a crash can be simulated *mid-write* (see
+    /// [`Disk::clone_image_torn`]).
+    last_write_undo: Option<(u64, Vec<u8>)>,
+    /// Request trace, populated only while enabled.
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl Disk {
+    /// Create a new, zero-filled drive.
+    pub fn new(model: DiskModel) -> Self {
+        let cache = OnboardCache::new(model.cache);
+        Disk {
+            model,
+            cache,
+            store: SectorStore::new(),
+            stats: DiskStats::default(),
+            arm_cylinder: 0,
+            last_completion: SimTime::ZERO,
+            last_write_undo: None,
+            trace: None,
+        }
+    }
+
+    /// The drive's static model.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Total addressable sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.model.geometry.total_sectors()
+    }
+
+    /// Cumulative service statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Reset statistics (mechanical state and contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+
+    /// Enable or disable per-request trace recording (disabled by default;
+    /// enabling clears any previous trace).
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on.then(Vec::new);
+    }
+
+    /// The recorded trace (empty when recording is off).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Cylinder the arm currently rests over (for scheduler decisions).
+    pub fn arm_cylinder(&self) -> u32 {
+        self.arm_cylinder
+    }
+
+    /// Drop the on-board cache contents (e.g. simulating a power cycle).
+    pub fn flush_onboard_cache(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Clone the *contents* of this drive onto a fresh drive of the same
+    /// model (mechanical state, statistics and on-board cache reset). This
+    /// is the crash-simulation primitive: the clone is "the disk as a
+    /// power-cycle would find it".
+    pub fn clone_image(&self) -> Disk {
+        let mut d = Disk::new(self.model.clone());
+        d.store = self.store.clone();
+        d
+    }
+
+    /// Save the disk image (contents + model) to a file, so file systems
+    /// persist across runs and tools like `cffs-inspect` can examine them.
+    ///
+    /// # Errors
+    /// I/O errors from the underlying file.
+    pub fn save_image(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let model = serde_json::to_vec(&self.model)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        use std::io::Write as _;
+        f.write_all(&(model.len() as u64).to_le_bytes())?;
+        f.write_all(&model)?;
+        self.store.save_to(&mut f)
+    }
+
+    /// Load a disk image saved by [`Disk::save_image`].
+    ///
+    /// # Errors
+    /// I/O errors, or `InvalidData` for a malformed file.
+    pub fn load_image(path: &std::path::Path) -> std::io::Result<Disk> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        use std::io::Read as _;
+        let mut n8 = [0u8; 8];
+        f.read_exact(&mut n8)?;
+        let mut model_bytes = vec![0u8; u64::from_le_bytes(n8) as usize];
+        f.read_exact(&mut model_bytes)?;
+        let model: DiskModel = serde_json::from_slice(&model_bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let store = SectorStore::load_from(&mut f)?;
+        let mut d = Disk::new(model);
+        d.store = store;
+        Ok(d)
+    }
+
+    /// Like [`Disk::clone_image`], but the crash happens *during* the most
+    /// recent write: only its first `keep_sectors` sectors reached the
+    /// platter; the rest still hold their prior contents. Sectors
+    /// themselves are never torn — the per-sector atomicity that real
+    /// drives guarantee and that embedded inodes rely on ("by keeping the
+    /// two items in the same sector, we can guarantee that they will be
+    /// consistent with respect to each other").
+    ///
+    /// Returns `None` if no write has happened yet.
+    pub fn clone_image_torn(&self, keep_sectors: usize) -> Option<Disk> {
+        let (lba, ref old) = *self.last_write_undo.as_ref()?;
+        let mut d = self.clone_image();
+        let total = old.len() / SECTOR_SIZE;
+        if keep_sectors < total {
+            let skip = keep_sectors * SECTOR_SIZE;
+            d.store.write(lba + keep_sectors as u64, &old[skip..]);
+        }
+        Some(d)
+    }
+
+    /// Direct, *timing-free* access to sector contents. Used by mkfs-style
+    /// tools, crash-image capture and fsck tests, where charging mechanical
+    /// time would pollute measurements.
+    pub fn raw_read(&self, lba: u64, buf: &mut [u8]) {
+        self.store.read(lba, buf);
+    }
+
+    /// Direct, timing-free write. See [`Disk::raw_read`].
+    pub fn raw_write(&mut self, lba: u64, buf: &[u8]) {
+        self.cache.invalidate(lba, (buf.len() / SECTOR_SIZE) as u64);
+        self.store.write(lba, buf);
+    }
+
+    /// Read `buf.len()` bytes at sector `lba`, starting no earlier than
+    /// `now`. Returns the completion time.
+    ///
+    /// # Panics
+    /// Panics if the range is unaligned or beyond the end of the disk.
+    pub fn read(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
+        let n = self.check_range(lba, buf.len());
+        let done = self.service(now, lba, n, false);
+        self.store.read(lba, buf);
+        self.stats.reads += 1;
+        self.stats.sectors_read += n;
+        done
+    }
+
+    /// Write `buf.len()` bytes at sector `lba`, starting no earlier than
+    /// `now`. Returns the completion time.
+    ///
+    /// # Panics
+    /// Panics if the range is unaligned or beyond the end of the disk.
+    pub fn write(&mut self, now: SimTime, lba: u64, buf: &[u8]) -> SimTime {
+        let n = self.check_range(lba, buf.len());
+        let done = self.service(now, lba, n, true);
+        self.cache.invalidate(lba, n);
+        // Remember what this write destroys, for mid-write crash injection.
+        let mut old = vec![0u8; buf.len()];
+        self.store.read(lba, &mut old);
+        self.last_write_undo = Some((lba, old));
+        self.store.write(lba, buf);
+        self.stats.writes += 1;
+        self.stats.sectors_written += n;
+        done
+    }
+
+    fn check_range(&self, lba: u64, len: usize) -> u64 {
+        assert!(len > 0 && len.is_multiple_of(SECTOR_SIZE), "unaligned transfer of {len} bytes");
+        let n = (len / SECTOR_SIZE) as u64;
+        assert!(
+            lba + n <= self.capacity_sectors(),
+            "transfer [{lba}, {}) beyond end of disk ({} sectors)",
+            lba + n,
+            self.capacity_sectors()
+        );
+        n
+    }
+
+    /// Compute the service time for a request and advance mechanical state.
+    fn service(&mut self, now: SimTime, lba: u64, nsect: u64, is_write: bool) -> SimTime {
+        // The drive can't start before the previous request finished.
+        let start = now.max(self.last_completion);
+        let mut t = start + self.model.controller_overhead;
+        self.stats.overhead_ns += self.model.controller_overhead.as_nanos();
+
+        if !is_write && self.cache.hit(lba, nsect) {
+            // Cache hit: bus transfer only.
+            let bytes = nsect * SECTOR_SIZE as u64;
+            let xfer = SimDuration::from_secs_f64(bytes as f64 / (self.model.bus_mb_per_s * 1e6));
+            t += xfer;
+            self.stats.transfer_ns += xfer.as_nanos();
+            self.stats.cache_hits += 1;
+            self.stats.busy_ns += (t - start).as_nanos();
+            self.last_completion = t;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEntry {
+                    start,
+                    lba,
+                    sectors: nsect,
+                    write: is_write,
+                    seek_cylinders: 0,
+                    service: t - start,
+                    cache_hit: true,
+                });
+            }
+            return t;
+        }
+
+        let rev = self.model.revolution();
+        let pos = self.model.geometry.lba_to_chs(lba);
+
+        // Seek.
+        let dist = pos.cylinder.abs_diff(self.arm_cylinder);
+        let mut seek = self.model.seek.seek_time(dist);
+        if is_write && dist > 0 {
+            seek += self.model.write_settle;
+        }
+        t += seek;
+        self.stats.seek_ns += seek.as_nanos();
+
+        // Rotational latency: wait for the target sector to come around.
+        let angle_now = Self::angle_at(t, rev);
+        let target = self.model.geometry.sector_angle(pos);
+        let mut wait = target - angle_now;
+        if wait < 0.0 {
+            wait += 1.0;
+        }
+        let rot = SimDuration::from_secs_f64(wait * rev.as_secs_f64());
+        t += rot;
+        self.stats.rotation_ns += rot.as_nanos();
+
+        // Media transfer: walk the run track by track, paying switch costs
+        // (hidden by skew when the skew is large enough).
+        let mut remaining = nsect;
+        let mut cur = pos;
+        let mut xfer = SimDuration::ZERO;
+        while remaining > 0 {
+            let on_track = (cur.sectors_per_track - cur.sector) as u64;
+            let take = on_track.min(remaining);
+            let frac = take as f64 / cur.sectors_per_track as f64;
+            xfer += SimDuration::from_secs_f64(frac * rev.as_secs_f64());
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+            // Advance to the start of the next track.
+            let (next_cyl, next_head, crossing_cyl) = if cur.head + 1 < self.model.geometry.heads {
+                (cur.cylinder, cur.head + 1, false)
+            } else {
+                (cur.cylinder + 1, 0, true)
+            };
+            let spt_next = self.model.geometry.sectors_per_track_at(next_cyl);
+            let skew_sectors = if crossing_cyl {
+                self.model.geometry.track_skew + self.model.geometry.cylinder_skew
+            } else {
+                self.model.geometry.track_skew
+            } as f64;
+            let skew_time = SimDuration::from_secs_f64(skew_sectors / spt_next as f64 * rev.as_secs_f64());
+            let switch = if crossing_cyl {
+                self.model.seek.seek_time(1).max(self.model.head_switch)
+            } else {
+                self.model.head_switch
+            };
+            // If the skew hides the switch we pay only the skew's rotation;
+            // otherwise the switch overruns and we lose a full revolution
+            // minus the slack — model the common case as max(switch, skew).
+            xfer += switch.max(skew_time);
+            cur = crate::geometry::ChsPos {
+                cylinder: next_cyl,
+                head: next_head,
+                sector: 0,
+                sectors_per_track: spt_next,
+            };
+        }
+        t += xfer;
+        self.stats.transfer_ns += xfer.as_nanos();
+
+        // Arm ends up where the transfer ended.
+        self.arm_cylinder = cur.cylinder;
+        if !is_write {
+            self.cache.fill(lba, nsect, self.capacity_sectors());
+        }
+        self.stats.busy_ns += (t - start).as_nanos();
+        self.last_completion = t;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                start,
+                lba,
+                sectors: nsect,
+                write: is_write,
+                seek_cylinders: dist,
+                service: t - start,
+                cache_hit: false,
+            });
+        }
+        t
+    }
+
+    /// Platter angle (fraction of a revolution) at absolute time `t`.
+    fn angle_at(t: SimTime, rev: SimDuration) -> f64 {
+        let r = rev.as_nanos();
+        (t.as_nanos() % r) as f64 / r as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    fn disk() -> Disk {
+        Disk::new(models::seagate_st31200())
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = disk();
+        let data: Vec<u8> = (0..8192).map(|i| (i % 253) as u8).collect();
+        let t1 = d.write(SimTime::ZERO, 100, &data);
+        let mut back = vec![0u8; 8192];
+        let t2 = d.read(t1, 100, &mut back);
+        assert_eq!(back, data);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn service_times_are_positive_and_ordered() {
+        let mut d = disk();
+        let buf = vec![0u8; 4096];
+        let t1 = d.write(SimTime::ZERO, 0, &buf);
+        assert!(t1 > SimTime::ZERO);
+        // Submitting "in the past" still queues behind the previous request.
+        let t2 = d.write(SimTime::ZERO, 10_000, &buf);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn onboard_cache_makes_rereads_fast() {
+        let mut d = disk();
+        let mut buf = vec![0u8; 4096];
+        let t0 = SimTime::ZERO;
+        let t1 = d.read(t0, 5000, &mut buf);
+        let cold = t1 - t0;
+        let t2 = d.read(t1, 5000, &mut buf);
+        let warm = t2 - t1;
+        assert!(
+            warm.as_nanos() * 3 < cold.as_nanos(),
+            "cache hit ({warm}) should be far cheaper than cold read ({cold})"
+        );
+        assert_eq!(d.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn sequential_read_ahead_hits() {
+        let mut d = disk();
+        let mut buf = vec![0u8; 4096];
+        let t1 = d.read(SimTime::ZERO, 5000, &mut buf);
+        // The next blocks were prefetched.
+        d.read(t1, 5008, &mut buf);
+        assert_eq!(d.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn big_transfer_beats_many_small_ones() {
+        // The heart of the paper: one 64 KB request is far cheaper than
+        // sixteen scattered 4 KB requests.
+        let mut big = disk();
+        let buf64 = vec![0u8; 65536];
+        let t_big = big.write(SimTime::ZERO, 10_000, &buf64) - SimTime::ZERO;
+
+        let mut small = disk();
+        let buf4 = vec![0u8; 4096];
+        let mut t = SimTime::ZERO;
+        for i in 0..16 {
+            // Scatter across the disk, as separately allocated files would be.
+            t = small.write(t, 10_000 + i * 40_000, &buf4);
+        }
+        let t_small = t - SimTime::ZERO;
+        assert!(
+            t_small.as_nanos() > 5 * t_big.as_nanos(),
+            "scattered: {t_small}, grouped: {t_big}"
+        );
+    }
+
+    #[test]
+    fn write_then_read_invalidates_onboard_cache() {
+        let mut d = disk();
+        let mut buf = vec![0u8; 4096];
+        let t1 = d.read(SimTime::ZERO, 5000, &mut buf);
+        let t2 = d.write(t1, 5000, &buf);
+        let t3 = d.read(t2, 5000, &mut buf);
+        assert_eq!(d.stats().cache_hits, 0);
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn raw_access_charges_no_time() {
+        let mut d = disk();
+        d.raw_write(42, &[7u8; 512]);
+        let mut b = [0u8; 512];
+        d.raw_read(42, &mut b);
+        assert_eq!(b[0], 7);
+        assert_eq!(d.stats().total_requests(), 0);
+        assert_eq!(d.stats().busy_ns, 0);
+    }
+
+    #[test]
+    fn stats_time_buckets_sum_to_busy() {
+        let mut d = disk();
+        let buf = vec![0u8; 4096];
+        let mut t = SimTime::ZERO;
+        for i in 0..20 {
+            t = d.write(t, i * 12_345 % 1_000_000, &buf);
+        }
+        let s = d.stats();
+        assert_eq!(s.busy_ns, s.seek_ns + s.rotation_ns + s.transfer_ns + s.overhead_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond end of disk")]
+    fn out_of_range_rejected() {
+        let mut d = disk();
+        let cap = d.capacity_sectors();
+        d.write(SimTime::ZERO, cap, &[0u8; 512]);
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_only() {
+        let mut d = disk();
+        d.write(SimTime::ZERO, 100, &vec![1u8; 4 * 512]);
+        let t = d.last_completion;
+        d.write(t, 100, &vec![2u8; 4 * 512]);
+        let torn = d.clone_image_torn(2).expect("a write happened");
+        let mut buf = vec![0u8; 512];
+        torn.raw_read(100, &mut buf);
+        assert!(buf.iter().all(|&b| b == 2), "sector 0 of the new write landed");
+        torn.raw_read(101, &mut buf);
+        assert!(buf.iter().all(|&b| b == 2), "sector 1 landed");
+        torn.raw_read(102, &mut buf);
+        assert!(buf.iter().all(|&b| b == 1), "sector 2 still holds old data");
+        torn.raw_read(103, &mut buf);
+        assert!(buf.iter().all(|&b| b == 1), "sector 3 still holds old data");
+        // The original drive is untouched.
+        let mut live = vec![0u8; 512];
+        d.raw_read(103, &mut live);
+        assert!(live.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn torn_clone_none_before_any_write() {
+        let d = disk();
+        assert!(d.clone_image_torn(0).is_none());
+    }
+
+    #[test]
+    fn capacity_matches_model() {
+        let d = disk();
+        let gb = d.model().capacity_bytes() as f64 / 1e9;
+        assert!((0.9..1.3).contains(&gb), "ST31200 should be about 1 GB, got {gb:.2} GB");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::models;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Completion times are strictly increasing and every time bucket
+        /// sums to busy time, for arbitrary request sequences.
+        #[test]
+        fn service_times_consistent(
+            ops in prop::collection::vec((any::<u64>(), 1u64..32, any::<bool>()), 1..60)
+        ) {
+            let mut d = Disk::new(models::tiny_test_disk());
+            let cap = d.capacity_sectors();
+            let mut t = SimTime::ZERO;
+            for (pos, nsect, write) in ops {
+                let lba = pos % (cap - nsect);
+                let mut buf = vec![0u8; (nsect as usize) * SECTOR_SIZE];
+                let done = if write {
+                    d.write(t, lba, &buf)
+                } else {
+                    d.read(t, lba, &mut buf)
+                };
+                prop_assert!(done > t, "time must advance");
+                t = done;
+            }
+            let s = d.stats();
+            prop_assert_eq!(
+                s.busy_ns,
+                s.seek_ns + s.rotation_ns + s.transfer_ns + s.overhead_ns
+            );
+        }
+
+        /// What is written is what is read back, at any alignment pattern.
+        #[test]
+        fn contents_round_trip(
+            writes in prop::collection::vec((0u64..10_000, 1u64..16, any::<u8>()), 1..40)
+        ) {
+            let mut d = Disk::new(models::tiny_test_disk());
+            let mut t = SimTime::ZERO;
+            let mut model: std::collections::HashMap<u64, u8> = Default::default();
+            for &(lba, nsect, byte) in &writes {
+                t = d.write(t, lba, &vec![byte; (nsect as usize) * SECTOR_SIZE]);
+                for s in lba..lba + nsect {
+                    model.insert(s, byte);
+                }
+            }
+            for (&sector, &byte) in &model {
+                let mut buf = vec![0u8; SECTOR_SIZE];
+                t = d.read(t, sector, &mut buf);
+                prop_assert!(buf.iter().all(|&b| b == byte), "sector {} corrupted", sector);
+            }
+        }
+
+        /// Torn crashes never tear inside a sector and never touch sectors
+        /// outside the final write.
+        #[test]
+        fn torn_crash_sector_atomicity(
+            keep in 0usize..20,
+            nsect in 1u64..16,
+        ) {
+            let mut d = Disk::new(models::tiny_test_disk());
+            let len = (nsect as usize) * SECTOR_SIZE;
+            let t = d.write(SimTime::ZERO, 100, &vec![0xAA; len]);
+            d.write(t, 100, &vec![0xBB; len]);
+            let torn = d.clone_image_torn(keep).expect("write happened");
+            for s in 0..nsect {
+                let mut buf = vec![0u8; SECTOR_SIZE];
+                torn.raw_read(100 + s, &mut buf);
+                let first = buf[0];
+                prop_assert!(first == 0xAA || first == 0xBB);
+                prop_assert!(buf.iter().all(|&b| b == first), "sector torn internally");
+                let expect = if (s as usize) < keep { 0xBB } else { 0xAA };
+                prop_assert_eq!(first, expect, "wrong prefix at sector {}", s);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The seek-time model.
+//!
+//! Drive vendors publish three numbers: single-cylinder, average, and
+//! full-stroke seek time. Following Ruemmler & Wilkes ("An introduction to
+//! disk drive modeling") and the scheduling literature the paper cites
+//! ([Worthington94], [Worthington95]), we fit a two-piece curve through
+//! those points:
+//!
+//! * short seeks (`d <= pivot`): `a + b * sqrt(d)` — dominated by the
+//!   acceleration phase of the arm;
+//! * long seeks (`d > pivot`): `c + e * d` — dominated by the coast phase.
+//!
+//! The pivot is placed at one third of the cylinder count, the distance at
+//! which the *average* seek occurs for uniformly random request pairs. The
+//! paper leans on a property this curve reproduces: "seeking a single
+//! cylinder generally costs a full millisecond, and this cost rises quickly
+//! for slightly longer seek distances" [Worthington95] — which is why mere
+//! *locality* (same cylinder group) buys much less than *adjacency*.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Piecewise seek-time curve fitted to vendor-published seek figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeekCurve {
+    /// Total cylinders on the drive the curve was fitted for.
+    pub cylinders: u32,
+    /// Pivot distance separating the sqrt and linear regions.
+    pivot: u32,
+    /// Short-region constant (ms).
+    a: f64,
+    /// Short-region sqrt coefficient (ms / sqrt(cyl)).
+    b: f64,
+    /// Long-region constant (ms).
+    c: f64,
+    /// Long-region slope (ms / cyl).
+    e: f64,
+}
+
+impl SeekCurve {
+    /// Fit a curve through the three published points.
+    ///
+    /// * `single_ms` — time to seek one cylinder,
+    /// * `avg_ms` — the vendor "average seek", interpreted as the seek time
+    ///   at distance `cylinders / 3`,
+    /// * `full_ms` — full-stroke seek (distance `cylinders - 1`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < single_ms <= avg_ms <= full_ms` and the drive has
+    /// at least 16 cylinders — a degenerate fit would produce nonsense
+    /// timings silently.
+    pub fn fit(cylinders: u32, single_ms: f64, avg_ms: f64, full_ms: f64) -> Self {
+        assert!(cylinders >= 16, "too few cylinders ({cylinders}) for a seek fit");
+        assert!(
+            single_ms > 0.0 && single_ms <= avg_ms && avg_ms <= full_ms,
+            "seek points must satisfy 0 < single <= avg <= full \
+             (got {single_ms}, {avg_ms}, {full_ms})"
+        );
+        let pivot = (cylinders / 3).max(2);
+        // Short region through (1, single) and (pivot, avg).
+        let sp = (pivot as f64).sqrt();
+        let b = (avg_ms - single_ms) / (sp - 1.0);
+        let a = single_ms - b;
+        // Long region through (pivot, avg) and (cylinders-1, full).
+        let d_full = (cylinders - 1) as f64;
+        let e = (full_ms - avg_ms) / (d_full - pivot as f64);
+        let c = avg_ms - e * pivot as f64;
+        SeekCurve { cylinders, pivot, a, b, c, e }
+    }
+
+    /// Seek time for a move of `distance` cylinders. Zero distance is free
+    /// (track switches are charged separately as head-switch time).
+    pub fn seek_time(&self, distance: u32) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let d = distance.min(self.cylinders - 1) as f64;
+        let ms = if distance <= self.pivot {
+            self.a + self.b * d.sqrt()
+        } else {
+            self.c + self.e * d
+        };
+        SimDuration::from_millis_f64(ms.max(0.0))
+    }
+
+    /// The published average-seek point the curve was fitted through.
+    pub fn average(&self) -> SimDuration {
+        self.seek_time(self.pivot)
+    }
+
+    /// The published full-stroke point.
+    pub fn full_stroke(&self) -> SimDuration {
+        self.seek_time(self.cylinders - 1)
+    }
+
+    /// The published single-cylinder point.
+    pub fn single(&self) -> SimDuration {
+        self.seek_time(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> SeekCurve {
+        // Roughly the paper's Table 1 Seagate column: 0.6 / 8.0 / 19.0 ms.
+        SeekCurve::fit(4000, 0.6, 8.0, 19.0)
+    }
+
+    #[test]
+    fn fit_recovers_published_points() {
+        let c = curve();
+        assert!((c.single().as_millis_f64() - 0.6).abs() < 1e-6);
+        assert!((c.average().as_millis_f64() - 8.0).abs() < 1e-6);
+        assert!((c.full_stroke().as_millis_f64() - 19.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(curve().seek_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let c = curve();
+        let mut prev = SimDuration::ZERO;
+        for d in 1..4000 {
+            let t = c.seek_time(d);
+            assert!(t >= prev, "seek time decreased at distance {d}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn short_seeks_cost_disproportionately() {
+        // The paper's point: a 1-cylinder seek is within an order of
+        // magnitude of the average seek, so locality alone can't win big.
+        let c = curve();
+        let one = c.seek_time(1).as_millis_f64();
+        let avg = c.average().as_millis_f64();
+        assert!(avg / one < 20.0, "single-cylinder seek unrealistically cheap");
+    }
+
+    #[test]
+    fn distance_clamped_to_full_stroke() {
+        let c = curve();
+        assert_eq!(c.seek_time(100_000), c.seek_time(3999));
+    }
+
+    #[test]
+    #[should_panic(expected = "seek points")]
+    fn bad_points_rejected() {
+        SeekCurve::fit(4000, 9.0, 8.0, 19.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few cylinders")]
+    fn tiny_disks_rejected() {
+        SeekCurve::fit(4, 0.5, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-drive service statistics.
+//!
+//! The paper's headline mechanism claim is about *counts*: C-FFS reduces the
+//! number of disk requests by an order of magnitude. These counters are what
+//! the E8 reproduction (`repro_diskreqs`) reads out, and the time breakdown
+//! (seek / rotation / transfer) backs the Figure 2 analysis.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters for one simulated drive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Media (or cache-hit) read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// Sectors read.
+    pub sectors_read: u64,
+    /// Sectors written.
+    pub sectors_written: u64,
+    /// Reads satisfied entirely from the on-board cache.
+    pub cache_hits: u64,
+    /// Total time spent seeking (ns).
+    pub seek_ns: u64,
+    /// Total rotational latency (ns).
+    pub rotation_ns: u64,
+    /// Total media/bus transfer time (ns).
+    pub transfer_ns: u64,
+    /// Total fixed per-request controller overhead (ns).
+    pub overhead_ns: u64,
+    /// Total busy time (ns) — the sum of the four buckets above.
+    pub busy_ns: u64,
+}
+
+impl DiskStats {
+    /// Total requests (reads + writes).
+    pub fn total_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        (self.sectors_read + self.sectors_written) * crate::SECTOR_SIZE as u64
+    }
+
+    /// Mean service time per request, if any requests were serviced.
+    pub fn mean_service_time(&self) -> Option<SimDuration> {
+        self.busy_ns.checked_div(self.total_requests()).map(SimDuration)
+    }
+
+    /// Counters accumulated since `baseline` (for phase-scoped measurement).
+    pub fn delta_since(&self, baseline: &DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads - baseline.reads,
+            writes: self.writes - baseline.writes,
+            sectors_read: self.sectors_read - baseline.sectors_read,
+            sectors_written: self.sectors_written - baseline.sectors_written,
+            cache_hits: self.cache_hits - baseline.cache_hits,
+            seek_ns: self.seek_ns - baseline.seek_ns,
+            rotation_ns: self.rotation_ns - baseline.rotation_ns,
+            transfer_ns: self.transfer_ns - baseline.transfer_ns,
+            overhead_ns: self.overhead_ns - baseline.overhead_ns,
+            busy_ns: self.busy_ns - baseline.busy_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_service_time_empty() {
+        assert_eq!(DiskStats::default().mean_service_time(), None);
+    }
+
+    #[test]
+    fn delta() {
+        let a = DiskStats { reads: 10, seek_ns: 100, busy_ns: 100, ..Default::default() };
+        let b = DiskStats { reads: 25, seek_ns: 300, busy_ns: 350, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.seek_ns, 200);
+        assert_eq!(d.mean_service_time(), Some(SimDuration(250 / 15)));
+    }
+
+    #[test]
+    fn totals() {
+        let s = DiskStats {
+            reads: 2,
+            writes: 3,
+            sectors_read: 8,
+            sectors_written: 16,
+            ..Default::default()
+        };
+        assert_eq!(s.total_requests(), 5);
+        assert_eq!(s.total_bytes(), 24 * 512);
+    }
+}

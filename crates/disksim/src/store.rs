@@ -1,0 +1,193 @@
+//! Sparse in-memory sector store.
+//!
+//! Disk images are gigabyte-scale but mostly empty during experiments, so
+//! contents are stored in 4 KB chunks allocated on first touch. Unwritten
+//! sectors read back as zeroes, like a freshly formatted drive.
+
+use crate::SECTOR_SIZE;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// Size of one allocation chunk, in bytes.
+const CHUNK_SIZE: usize = 4096;
+/// Sectors per allocation chunk.
+const SECTORS_PER_CHUNK: u64 = (CHUNK_SIZE / SECTOR_SIZE) as u64;
+
+/// Sparse byte store addressed by sector number.
+#[derive(Debug, Default, Clone)]
+pub struct SectorStore {
+    chunks: HashMap<u64, Box<[u8; CHUNK_SIZE]>>,
+}
+
+impl SectorStore {
+    /// Create an empty (all-zero) store.
+    pub fn new() -> Self {
+        SectorStore { chunks: HashMap::new() }
+    }
+
+    /// Number of chunks currently materialized (for tests and memory stats).
+    pub fn materialized_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Read `buf.len()` bytes starting at sector `lba`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of the sector size.
+    pub fn read(&self, lba: u64, buf: &mut [u8]) {
+        assert_eq!(buf.len() % SECTOR_SIZE, 0, "unaligned read of {} bytes", buf.len());
+        let mut off = 0usize;
+        let mut sector = lba;
+        while off < buf.len() {
+            let chunk_idx = sector / SECTORS_PER_CHUNK;
+            let in_chunk = (sector % SECTORS_PER_CHUNK) as usize * SECTOR_SIZE;
+            let n = (CHUNK_SIZE - in_chunk).min(buf.len() - off);
+            match self.chunks.get(&chunk_idx) {
+                Some(c) => buf[off..off + n].copy_from_slice(&c[in_chunk..in_chunk + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+            sector += (n / SECTOR_SIZE) as u64;
+        }
+    }
+
+    /// Serialize the sparse image: a magic header, the chunk count, then
+    /// `(chunk index, 4096 bytes)` records in ascending order.
+    pub fn save_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(b"CFFSIMG1")?;
+        let mut indices: Vec<u64> = self.chunks.keys().copied().collect();
+        indices.sort_unstable();
+        w.write_all(&(indices.len() as u64).to_le_bytes())?;
+        for i in indices {
+            w.write_all(&i.to_le_bytes())?;
+            w.write_all(&self.chunks[&i][..])?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize an image produced by [`SectorStore::save_to`].
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on a bad magic or truncated record.
+    pub fn load_from(r: &mut impl Read) -> io::Result<SectorStore> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"CFFSIMG1" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad image magic"));
+        }
+        let mut n8 = [0u8; 8];
+        r.read_exact(&mut n8)?;
+        let n = u64::from_le_bytes(n8);
+        let mut chunks = HashMap::with_capacity(n as usize);
+        for _ in 0..n {
+            r.read_exact(&mut n8)?;
+            let idx = u64::from_le_bytes(n8);
+            let mut chunk = Box::new([0u8; CHUNK_SIZE]);
+            r.read_exact(&mut chunk[..])?;
+            chunks.insert(idx, chunk);
+        }
+        Ok(SectorStore { chunks })
+    }
+
+    /// Write `buf.len()` bytes starting at sector `lba`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of the sector size.
+    pub fn write(&mut self, lba: u64, buf: &[u8]) {
+        assert_eq!(buf.len() % SECTOR_SIZE, 0, "unaligned write of {} bytes", buf.len());
+        let mut off = 0usize;
+        let mut sector = lba;
+        while off < buf.len() {
+            let chunk_idx = sector / SECTORS_PER_CHUNK;
+            let in_chunk = (sector % SECTORS_PER_CHUNK) as usize * SECTOR_SIZE;
+            let n = (CHUNK_SIZE - in_chunk).min(buf.len() - off);
+            let chunk = self
+                .chunks
+                .entry(chunk_idx)
+                .or_insert_with(|| Box::new([0u8; CHUNK_SIZE]));
+            chunk[in_chunk..in_chunk + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+            sector += (n / SECTOR_SIZE) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let s = SectorStore::new();
+        let mut buf = vec![0xFFu8; 1024];
+        s.read(123, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = SectorStore::new();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        s.write(7, &data);
+        let mut back = vec![0u8; 4096];
+        s.read(7, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn cross_chunk_write() {
+        let mut s = SectorStore::new();
+        // Sector 7 spans chunks 0 (sector 7) and 1 (sectors 8..).
+        let data = vec![0xAAu8; 3 * SECTOR_SIZE];
+        s.write(7, &data);
+        let mut one = vec![0u8; SECTOR_SIZE];
+        s.read(8, &mut one);
+        assert!(one.iter().all(|&b| b == 0xAA));
+        s.read(6, &mut one);
+        assert!(one.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sparse_allocation() {
+        let mut s = SectorStore::new();
+        s.write(0, &[1u8; SECTOR_SIZE]);
+        s.write(1_000_000, &[2u8; SECTOR_SIZE]);
+        assert_eq!(s.materialized_chunks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_rejected() {
+        let mut s = SectorStore::new();
+        s.write(0, &[0u8; 100]);
+    }
+
+    #[test]
+    fn image_save_load_round_trip() {
+        let mut s = SectorStore::new();
+        s.write(0, &[1u8; SECTOR_SIZE]);
+        s.write(9999, &[2u8; 3 * SECTOR_SIZE]);
+        let mut bytes = Vec::new();
+        s.save_to(&mut bytes).unwrap();
+        let s2 = SectorStore::load_from(&mut bytes.as_slice()).unwrap();
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        s2.read(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 1));
+        s2.read(10_001, &mut buf);
+        assert!(buf.iter().all(|&b| b == 2));
+        s2.read(500, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0), "sparse holes stay zero");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(SectorStore::load_from(&mut &b"NOTMAGIC00"[..]).is_err());
+        // Truncated record.
+        let mut s = SectorStore::new();
+        s.write(0, &[7u8; SECTOR_SIZE]);
+        let mut bytes = Vec::new();
+        s.save_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 10);
+        assert!(SectorStore::load_from(&mut bytes.as_slice()).is_err());
+    }
+}

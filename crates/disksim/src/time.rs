@@ -1,0 +1,205 @@
+//! Simulated time.
+//!
+//! The whole reproduction runs against a single logical clock measured in
+//! nanoseconds. Using a newtype (rather than `std::time::Duration`) keeps
+//! arithmetic explicit and makes it impossible to confuse simulated time
+//! with wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the simulation epoch.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`. Saturates at zero rather than panicking
+    /// so that out-of-order bookkeeping can't crash a benchmark run.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from (possibly fractional) milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "invalid duration: {ms} ms");
+        SimDuration((ms * 1e6).round() as u64)
+    }
+
+    /// Construct from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs} s");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This duration in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating sum of two durations.
+    #[inline]
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        let t2 = t + SimDuration::from_micros(500);
+        assert_eq!((t2 - t).as_nanos(), 500_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(100);
+        let b = SimTime(200);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration(100));
+    }
+
+    #[test]
+    fn millis_f64_round_trip() {
+        let d = SimDuration::from_millis_f64(8.7);
+        assert!((d.as_millis_f64() - 8.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(1_500)), "1.5us");
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs_f64(1.25)), "1.250s");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_millis_panics() {
+        let _ = SimDuration::from_millis_f64(-1.0);
+    }
+}

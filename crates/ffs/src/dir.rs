@@ -1,0 +1,395 @@
+//! Classic FFS directory blocks.
+//!
+//! A directory's data blocks hold variable-length entries:
+//!
+//! ```text
+//! +--------+--------+---------+------+----------------+
+//! | ino u32| reclen | namelen | kind | name (pad to 4)|
+//! +--------+--------+---------+------+----------------+
+//! ```
+//!
+//! Entries never cross a 512-byte *chunk* boundary (`DIRBLKSIZ` in BSD):
+//! each chunk is an independent record heap fully covered by `reclen`
+//! chains, so a single sector write always leaves a chunk self-consistent.
+//! `ino == 0` marks reclaimable space. `.` and `..` are kept implicit, as
+//! in the rest of the simulation.
+
+use cffs_fslib::codec::{get_u16, get_u32, put_u16, put_u32};
+use cffs_fslib::{FileKind, FsError, FsResult, BLOCK_SIZE};
+
+/// The chunk size within which an entry must fit (sector size).
+pub const DIRBLKSIZ: usize = 512;
+
+/// Fixed part of an entry before the name.
+pub const ENTRY_HEADER: usize = 8;
+
+const KIND_FILE: u8 = 1;
+const KIND_DIR: u8 = 2;
+
+/// Space an entry for `namelen` bytes of name requires.
+pub fn entry_len(namelen: usize) -> usize {
+    ENTRY_HEADER + namelen.div_ceil(4) * 4
+}
+
+fn kind_to_byte(kind: FileKind) -> u8 {
+    match kind {
+        FileKind::File => KIND_FILE,
+        FileKind::Dir => KIND_DIR,
+    }
+}
+
+fn byte_to_kind(b: u8) -> FsResult<FileKind> {
+    match b {
+        KIND_FILE => Ok(FileKind::File),
+        KIND_DIR => Ok(FileKind::Dir),
+        _ => Err(FsError::Corrupt(format!("bad dirent kind {b}"))),
+    }
+}
+
+/// A decoded directory entry plus its location in the block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEntry {
+    /// Byte offset of the entry within the block.
+    pub offset: usize,
+    /// Referenced inode number (local 32-bit on-disk form).
+    pub ino: u32,
+    /// Entry kind.
+    pub kind: FileKind,
+    /// The name.
+    pub name: String,
+}
+
+/// Initialize an empty directory block: one free entry per chunk.
+pub fn init_block(buf: &mut [u8]) {
+    buf[..BLOCK_SIZE].fill(0);
+    for chunk in 0..BLOCK_SIZE / DIRBLKSIZ {
+        put_u16(buf, chunk * DIRBLKSIZ + 4, DIRBLKSIZ as u16);
+    }
+}
+
+/// Walk every entry (used and free) in a block, calling
+/// `f(offset, ino, kind_byte, namelen, reclen)`. Returns an error if the
+/// reclen chains are malformed.
+fn walk(buf: &[u8], mut f: impl FnMut(usize, u32, u8, usize, usize) -> bool) -> FsResult<()> {
+    for chunk in 0..BLOCK_SIZE / DIRBLKSIZ {
+        let base = chunk * DIRBLKSIZ;
+        let mut off = base;
+        while off < base + DIRBLKSIZ {
+            let reclen = get_u16(buf, off + 4) as usize;
+            if reclen < ENTRY_HEADER || off + reclen > base + DIRBLKSIZ || !reclen.is_multiple_of(4) {
+                return Err(FsError::Corrupt(format!("bad reclen {reclen} at offset {off}")));
+            }
+            let ino = get_u32(buf, off);
+            let namelen = buf[off + 6] as usize;
+            if ino != 0 && entry_len(namelen) > reclen {
+                return Err(FsError::Corrupt(format!("name overflows entry at offset {off}")));
+            }
+            if !f(off, ino, buf[off + 7], namelen, reclen) {
+                return Ok(());
+            }
+            off += reclen;
+        }
+    }
+    Ok(())
+}
+
+/// List the used entries in a block.
+pub fn list(buf: &[u8]) -> FsResult<Vec<RawEntry>> {
+    let mut out = Vec::new();
+    let mut bad: Option<FsError> = None;
+    walk(buf, |off, ino, kindb, namelen, _| {
+        if ino != 0 {
+            match (
+                byte_to_kind(kindb),
+                std::str::from_utf8(&buf[off + ENTRY_HEADER..off + ENTRY_HEADER + namelen]),
+            ) {
+                (Ok(kind), Ok(name)) => {
+                    out.push(RawEntry { offset: off, ino, kind, name: to_owned_name(name) })
+                }
+                _ => {
+                    bad = Some(FsError::Corrupt(format!("undecodable entry at offset {off}")));
+                    return false;
+                }
+            }
+        }
+        true
+    })?;
+    match bad {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+fn to_owned_name(s: &str) -> String {
+    s.to_string()
+}
+
+/// Find a used entry by name.
+pub fn find(buf: &[u8], name: &str) -> FsResult<Option<RawEntry>> {
+    let mut found = None;
+    walk(buf, |off, ino, kindb, namelen, _| {
+        if ino != 0
+            && namelen == name.len()
+            && &buf[off + ENTRY_HEADER..off + ENTRY_HEADER + namelen] == name.as_bytes()
+        {
+            if let Ok(kind) = byte_to_kind(kindb) {
+                found = Some(RawEntry { offset: off, ino, kind, name: name.to_string() });
+            }
+            return false;
+        }
+        true
+    })?;
+    Ok(found)
+}
+
+/// Would an entry for `name` fit somewhere in this block? (A dry run of
+/// [`insert`]'s slot search, so callers can avoid dirtying a full block.)
+pub fn has_space(buf: &[u8], name: &str) -> FsResult<bool> {
+    let need = entry_len(name.len());
+    let mut found = false;
+    walk(buf, |_, e_ino, _, namelen, reclen| {
+        let used = if e_ino == 0 { 0 } else { entry_len(namelen) };
+        if reclen - used >= need {
+            found = true;
+            return false;
+        }
+        true
+    })?;
+    Ok(found)
+}
+
+/// Insert an entry. Returns the byte offset on success, or `None` if no
+/// chunk has room (the caller grows the directory by a block).
+pub fn insert(buf: &mut [u8], name: &str, ino: u32, kind: FileKind) -> FsResult<Option<usize>> {
+    debug_assert!(ino != 0, "inode 0 is the free marker");
+    let need = entry_len(name.len());
+    // Pass 1: find a slot (free entry or slack behind a used one).
+    let mut slot: Option<(usize, u32, usize, usize)> = None; // (off, ino, used_len, reclen)
+    walk(buf, |off, e_ino, _, namelen, reclen| {
+        let used = if e_ino == 0 { 0 } else { entry_len(namelen) };
+        if reclen - used >= need {
+            slot = Some((off, e_ino, used, reclen));
+            return false;
+        }
+        true
+    })?;
+    let Some((off, e_ino, used, reclen)) = slot else {
+        return Ok(None);
+    };
+    let new_off = if e_ino == 0 {
+        // Claim the free entry in place, keeping its full reclen.
+        off
+    } else {
+        // Split the slack off the used entry.
+        put_u16(buf, off + 4, used as u16);
+        off + used
+    };
+    let new_reclen = if e_ino == 0 { reclen } else { reclen - used };
+    put_u32(buf, new_off, ino);
+    put_u16(buf, new_off + 4, new_reclen as u16);
+    buf[new_off + 6] = name.len() as u8;
+    buf[new_off + 7] = kind_to_byte(kind);
+    buf[new_off + ENTRY_HEADER..new_off + ENTRY_HEADER + name.len()]
+        .copy_from_slice(name.as_bytes());
+    Ok(Some(new_off))
+}
+
+/// Remove the entry named `name`. Returns its inode number, or `None` if
+/// not present in this block.
+pub fn remove(buf: &mut [u8], name: &str) -> FsResult<Option<u32>> {
+    // Locate the entry and its predecessor within the same chunk.
+    let mut target: Option<(usize, Option<usize>, u32, usize)> = None; // (off, prev_off, ino, reclen)
+    let mut prev_in_chunk: Option<usize> = None;
+    walk(buf, |off, e_ino, _, namelen, reclen| {
+        if off % DIRBLKSIZ == 0 {
+            prev_in_chunk = None;
+        }
+        if e_ino != 0
+            && namelen == name.len()
+            && &buf[off + ENTRY_HEADER..off + ENTRY_HEADER + namelen] == name.as_bytes()
+        {
+            target = Some((off, prev_in_chunk, e_ino, reclen));
+            return false;
+        }
+        prev_in_chunk = Some(off);
+        true
+    })?;
+    let Some((off, prev, ino, reclen)) = target else {
+        return Ok(None);
+    };
+    match prev {
+        Some(p) => {
+            // Merge into the predecessor's reclen.
+            let p_reclen = get_u16(buf, p + 4) as usize;
+            put_u16(buf, p + 4, (p_reclen + reclen) as u16);
+        }
+        None => {
+            // First entry of the chunk: mark free, keep reclen.
+            put_u32(buf, off, 0);
+        }
+    }
+    Ok(Some(ino))
+}
+
+/// True if the block holds no used entries.
+pub fn is_empty(buf: &[u8]) -> FsResult<bool> {
+    let mut any = false;
+    walk(buf, |_, ino, _, _, _| {
+        if ino != 0 {
+            any = true;
+            return false;
+        }
+        true
+    })?;
+    Ok(!any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn block() -> Vec<u8> {
+        let mut b = vec![0u8; BLOCK_SIZE];
+        init_block(&mut b);
+        b
+    }
+
+    #[test]
+    fn fresh_block_is_empty() {
+        let b = block();
+        assert!(is_empty(&b).unwrap());
+        assert!(list(&b).unwrap().is_empty());
+        assert_eq!(find(&b, "nope").unwrap(), None);
+    }
+
+    #[test]
+    fn insert_find_remove() {
+        let mut b = block();
+        insert(&mut b, "hello.c", 42, FileKind::File).unwrap().unwrap();
+        let e = find(&b, "hello.c").unwrap().unwrap();
+        assert_eq!((e.ino, e.kind), (42, FileKind::File));
+        assert_eq!(remove(&mut b, "hello.c").unwrap(), Some(42));
+        assert_eq!(find(&b, "hello.c").unwrap(), None);
+        assert!(is_empty(&b).unwrap());
+    }
+
+    #[test]
+    fn many_entries_per_chunk() {
+        let mut b = block();
+        let mut names = Vec::new();
+        let mut n = 0u32;
+        loop {
+            let name = format!("file{n:04}");
+            match insert(&mut b, &name, n + 1, FileKind::File).unwrap() {
+                Some(_) => names.push(name),
+                None => break,
+            }
+            n += 1;
+        }
+        // 16-byte entries, 512-byte chunks, 8 chunks: 256 entries.
+        assert_eq!(names.len(), 256);
+        let listed = list(&b).unwrap();
+        assert_eq!(listed.len(), 256);
+        for name in &names {
+            assert!(find(&b, name).unwrap().is_some(), "{name} lost");
+        }
+    }
+
+    #[test]
+    fn remove_merges_space_for_reuse() {
+        let mut b = block();
+        for i in 0..20u32 {
+            insert(&mut b, &format!("f{i:02}"), i + 1, FileKind::File).unwrap().unwrap();
+        }
+        for i in 0..20u32 {
+            remove(&mut b, &format!("f{i:02}")).unwrap().unwrap();
+        }
+        assert!(is_empty(&b).unwrap());
+        // A long name needs merged space.
+        let long = "a".repeat(200);
+        assert!(insert(&mut b, &long, 7, FileKind::File).unwrap().is_some());
+        assert_eq!(find(&b, &long).unwrap().unwrap().ino, 7);
+    }
+
+    #[test]
+    fn entries_never_cross_chunk_boundaries() {
+        let mut b = block();
+        let mut offs = Vec::new();
+        for i in 0..60u32 {
+            let name = format!("some-longer-name-{i:03}");
+            if let Some(off) = insert(&mut b, &name, i + 1, FileKind::File).unwrap() {
+                offs.push((off, entry_len(name.len())));
+            }
+        }
+        for (off, len) in offs {
+            assert_eq!(off / DIRBLKSIZ, (off + len - 1) / DIRBLKSIZ, "entry crosses chunk");
+        }
+    }
+
+    #[test]
+    fn full_block_rejects_insert() {
+        let mut b = block();
+        let mut n = 0u32;
+        while insert(&mut b, &format!("file{n:04}"), n + 1, FileKind::File).unwrap().is_some() {
+            n += 1;
+        }
+        assert!(insert(&mut b, "onemore", 9999, FileKind::File).unwrap().is_none());
+        // But removing one lets a similarly sized name in.
+        remove(&mut b, "file0100").unwrap().unwrap();
+        assert!(insert(&mut b, "newfile1", 9999, FileKind::File).unwrap().is_some());
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        let mut b = block();
+        insert(&mut b, "d", 5, FileKind::Dir).unwrap().unwrap();
+        insert(&mut b, "f", 6, FileKind::File).unwrap().unwrap();
+        assert_eq!(find(&b, "d").unwrap().unwrap().kind, FileKind::Dir);
+        assert_eq!(find(&b, "f").unwrap().unwrap().kind, FileKind::File);
+    }
+
+    #[test]
+    fn corrupt_reclen_detected() {
+        let mut b = block();
+        insert(&mut b, "x", 1, FileKind::File).unwrap().unwrap();
+        put_u16(&mut b, 4, 3); // bogus reclen
+        assert!(matches!(list(&b), Err(FsError::Corrupt(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn random_ops_match_btreemap(
+            ops in proptest::collection::vec(
+                (0u8..3, 0usize..40, 1u32..10_000), 0..200)
+        ) {
+            use std::collections::BTreeMap;
+            let mut b = block();
+            let mut model: BTreeMap<String, u32> = BTreeMap::new();
+            for (op, name_i, ino) in ops {
+                let name = format!("name-{name_i}");
+                match op {
+                    0 => {
+                        if !model.contains_key(&name)
+                            && insert(&mut b, &name, ino, FileKind::File).unwrap().is_some() {
+                                model.insert(name, ino);
+                            }
+                    }
+                    1 => {
+                        let got = remove(&mut b, &name).unwrap();
+                        prop_assert_eq!(got, model.remove(&name));
+                    }
+                    _ => {
+                        let got = find(&b, &name).unwrap().map(|e| e.ino);
+                        prop_assert_eq!(got, model.get(&name).copied());
+                    }
+                }
+            }
+            let mut listed: Vec<(String, u32)> =
+                list(&b).unwrap().into_iter().map(|e| (e.name, e.ino)).collect();
+            listed.sort();
+            let expect: Vec<(String, u32)> = model.into_iter().collect();
+            prop_assert_eq!(listed, expect);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! On-disk layout of the classic FFS.
+//!
+//! ```text
+//! block 0            boot block (unused)
+//! block 1            superblock
+//! block 2 ...        cylinder group 0
+//!   +0               CG header: counters + block bitmap + inode bitmap
+//!   +1 .. +itable    static inode table (32 inodes / block)
+//!   +itable+1 ...    data blocks
+//! ...                cylinder group 1, 2, ...
+//! ```
+//!
+//! Inode numbers are global: `ino = cg * inodes_per_cg + index`. Inode 0 is
+//! reserved as "nil", inode 1 as the traditional bad-block inode, inode 2
+//! is the root directory — the 4.4BSD convention.
+
+use cffs_fslib::codec::{get_u32, get_u64, put_u32, put_u64};
+use cffs_fslib::inode::INODE_SIZE;
+use cffs_fslib::{Bitmap, FsError, FsResult, BLOCK_SIZE};
+
+/// Superblock magic ("FFSr" little-endian).
+pub const SB_MAGIC: u32 = 0x7246_4653;
+/// CG header magic.
+pub const CG_MAGIC: u32 = 0x6743_4653;
+
+/// Block number of the superblock.
+pub const SB_BLOCK: u64 = 1;
+/// First block of cylinder group 0.
+pub const FIRST_CG_BLOCK: u64 = 2;
+
+/// Reserved inode numbers.
+pub const INO_NIL: u64 = 0;
+/// Traditional bad-block inode.
+pub const INO_BAD: u64 = 1;
+/// The root directory.
+pub const INO_ROOT: u64 = 2;
+
+/// Inode images per inode-table block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+
+/// The mounted superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Total file-system blocks (including boot + superblock).
+    pub total_blocks: u64,
+    /// Number of cylinder groups.
+    pub cg_count: u32,
+    /// Blocks per cylinder group (header + inode table + data).
+    pub cg_size: u32,
+    /// Inode slots per cylinder group.
+    pub inodes_per_cg: u32,
+    /// Inode-table blocks per cylinder group.
+    pub itable_blocks: u32,
+    /// Clean-unmount flag.
+    pub clean: bool,
+}
+
+impl Superblock {
+    /// Data blocks per cylinder group (excluding header + inode table).
+    pub fn data_per_cg(&self) -> u32 {
+        self.cg_size - 1 - self.itable_blocks
+    }
+
+    /// First block of cylinder group `cg`.
+    pub fn cg_start(&self, cg: u32) -> u64 {
+        FIRST_CG_BLOCK + cg as u64 * self.cg_size as u64
+    }
+
+    /// Block number of cylinder group `cg`'s header.
+    pub fn cg_header_block(&self, cg: u32) -> u64 {
+        self.cg_start(cg)
+    }
+
+    /// Block holding the inode image for `ino`, plus the byte offset of the
+    /// image within that block.
+    pub fn inode_location(&self, ino: u64) -> FsResult<(u64, usize)> {
+        let cg = (ino / self.inodes_per_cg as u64) as u32;
+        if cg >= self.cg_count {
+            return Err(FsError::StaleHandle);
+        }
+        let idx = (ino % self.inodes_per_cg as u64) as usize;
+        let blk = self.cg_start(cg) + 1 + (idx / INODES_PER_BLOCK) as u64;
+        Ok((blk, (idx % INODES_PER_BLOCK) * INODE_SIZE))
+    }
+
+    /// First data block of cylinder group `cg`.
+    pub fn cg_data_start(&self, cg: u32) -> u64 {
+        self.cg_start(cg) + 1 + self.itable_blocks as u64
+    }
+
+    /// Which cylinder group a block belongs to, if any.
+    pub fn block_cg(&self, blk: u64) -> Option<u32> {
+        if blk < FIRST_CG_BLOCK {
+            return None;
+        }
+        let cg = ((blk - FIRST_CG_BLOCK) / self.cg_size as u64) as u32;
+        (cg < self.cg_count).then_some(cg)
+    }
+
+    /// Total inode slots on the file system.
+    pub fn total_inodes(&self) -> u64 {
+        self.cg_count as u64 * self.inodes_per_cg as u64
+    }
+
+    /// Serialize to a superblock image.
+    pub fn write_to(&self, buf: &mut [u8]) {
+        buf[..BLOCK_SIZE].fill(0);
+        put_u32(buf, 0, SB_MAGIC);
+        put_u64(buf, 4, self.total_blocks);
+        put_u32(buf, 12, self.cg_count);
+        put_u32(buf, 16, self.cg_size);
+        put_u32(buf, 20, self.inodes_per_cg);
+        put_u32(buf, 24, self.itable_blocks);
+        put_u32(buf, 28, if self.clean { 1 } else { 0 });
+        put_u32(buf, 32, BLOCK_SIZE as u32);
+    }
+
+    /// Deserialize, validating the magic and geometry.
+    pub fn read_from(buf: &[u8]) -> FsResult<Self> {
+        if get_u32(buf, 0) != SB_MAGIC {
+            return Err(FsError::Corrupt("bad superblock magic".into()));
+        }
+        if get_u32(buf, 32) != BLOCK_SIZE as u32 {
+            return Err(FsError::Corrupt("unsupported block size".into()));
+        }
+        let sb = Superblock {
+            total_blocks: get_u64(buf, 4),
+            cg_count: get_u32(buf, 12),
+            cg_size: get_u32(buf, 16),
+            inodes_per_cg: get_u32(buf, 20),
+            itable_blocks: get_u32(buf, 24),
+            clean: get_u32(buf, 28) != 0,
+        };
+        if sb.cg_count == 0 || sb.cg_size <= 1 + sb.itable_blocks {
+            return Err(FsError::Corrupt("degenerate cylinder-group geometry".into()));
+        }
+        if sb.inodes_per_cg as usize > sb.itable_blocks as usize * INODES_PER_BLOCK {
+            return Err(FsError::Corrupt("inode table too small for inode count".into()));
+        }
+        Ok(sb)
+    }
+}
+
+/// In-memory form of a cylinder-group header block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgHeader {
+    /// Group index (for validation).
+    pub cg: u32,
+    /// Data-block allocation bitmap (bit i = data block i of this group).
+    pub block_bitmap: Bitmap,
+    /// Inode allocation bitmap.
+    pub inode_bitmap: Bitmap,
+    /// Directories allocated in this group (allocation policy input).
+    pub ndirs: u32,
+}
+
+/// Byte offsets inside a CG header block.
+const CG_OFF_MAGIC: usize = 0;
+const CG_OFF_INDEX: usize = 4;
+const CG_OFF_NDIRS: usize = 8;
+const CG_OFF_NDATA: usize = 12;
+const CG_OFF_NINODES: usize = 16;
+/// Block bitmap starts here; inode bitmap follows it.
+const CG_OFF_BITMAPS: usize = 64;
+
+impl CgHeader {
+    /// A fresh header with everything free.
+    pub fn new(cg: u32, data_blocks: u32, inodes: u32) -> Self {
+        CgHeader {
+            cg,
+            block_bitmap: Bitmap::new(data_blocks as usize),
+            inode_bitmap: Bitmap::new(inodes as usize),
+            ndirs: 0,
+        }
+    }
+
+    /// Serialize into a header block.
+    ///
+    /// # Panics
+    /// Panics if the bitmaps don't fit the block — geometry is validated at
+    /// mkfs time, so this is a programming error.
+    pub fn write_to(&self, buf: &mut [u8]) {
+        buf[..BLOCK_SIZE].fill(0);
+        put_u32(buf, CG_OFF_MAGIC, CG_MAGIC);
+        put_u32(buf, CG_OFF_INDEX, self.cg);
+        put_u32(buf, CG_OFF_NDIRS, self.ndirs);
+        put_u32(buf, CG_OFF_NDATA, self.block_bitmap.len() as u32);
+        put_u32(buf, CG_OFF_NINODES, self.inode_bitmap.len() as u32);
+        let bb_bytes = self.block_bitmap.len().div_ceil(8);
+        let ib_bytes = self.inode_bitmap.len().div_ceil(8);
+        assert!(
+            CG_OFF_BITMAPS + bb_bytes + ib_bytes <= BLOCK_SIZE,
+            "cylinder group bitmaps do not fit the header block"
+        );
+        self.block_bitmap.write_bytes(&mut buf[CG_OFF_BITMAPS..]);
+        self.inode_bitmap.write_bytes(&mut buf[CG_OFF_BITMAPS + bb_bytes..]);
+    }
+
+    /// Deserialize and validate.
+    pub fn read_from(buf: &[u8], expect_cg: u32) -> FsResult<Self> {
+        if get_u32(buf, CG_OFF_MAGIC) != CG_MAGIC {
+            return Err(FsError::Corrupt(format!("bad CG magic in group {expect_cg}")));
+        }
+        let cg = get_u32(buf, CG_OFF_INDEX);
+        if cg != expect_cg {
+            return Err(FsError::Corrupt(format!("CG index {cg} where {expect_cg} expected")));
+        }
+        let ndata = get_u32(buf, CG_OFF_NDATA) as usize;
+        let ninodes = get_u32(buf, CG_OFF_NINODES) as usize;
+        let bb_bytes = ndata.div_ceil(8);
+        if CG_OFF_BITMAPS + bb_bytes + ninodes.div_ceil(8) > BLOCK_SIZE {
+            return Err(FsError::Corrupt(format!("CG {cg} bitmaps overflow header")));
+        }
+        Ok(CgHeader {
+            cg,
+            block_bitmap: Bitmap::from_bytes(&buf[CG_OFF_BITMAPS..], ndata),
+            inode_bitmap: Bitmap::from_bytes(&buf[CG_OFF_BITMAPS + bb_bytes..], ninodes),
+            ndirs: get_u32(buf, CG_OFF_NDIRS),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb() -> Superblock {
+        Superblock {
+            total_blocks: 2 + 4 * 512,
+            cg_count: 4,
+            cg_size: 512,
+            inodes_per_cg: 256,
+            itable_blocks: 8,
+            clean: true,
+        }
+    }
+
+    #[test]
+    fn superblock_round_trip() {
+        let s = sb();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        s.write_to(&mut buf);
+        assert_eq!(Superblock::read_from(&buf).unwrap(), s);
+    }
+
+    #[test]
+    fn superblock_rejects_garbage() {
+        let buf = vec![0u8; BLOCK_SIZE];
+        assert!(matches!(Superblock::read_from(&buf), Err(FsError::Corrupt(_))));
+    }
+
+    #[test]
+    fn inode_location_layout() {
+        let s = sb();
+        // Root: cg 0, index 2 → first itable block, offset 2*128.
+        assert_eq!(s.inode_location(INO_ROOT).unwrap(), (FIRST_CG_BLOCK + 1, 256));
+        // First inode of cg 1.
+        let (blk, off) = s.inode_location(256).unwrap();
+        assert_eq!(blk, s.cg_start(1) + 1);
+        assert_eq!(off, 0);
+        // Inode 32 lands in the second table block.
+        let (blk, off) = s.inode_location(32).unwrap();
+        assert_eq!(blk, FIRST_CG_BLOCK + 2);
+        assert_eq!(off, 0);
+        // Out of range.
+        assert!(s.inode_location(4 * 256).is_err());
+    }
+
+    #[test]
+    fn block_cg_mapping() {
+        let s = sb();
+        assert_eq!(s.block_cg(0), None);
+        assert_eq!(s.block_cg(1), None);
+        assert_eq!(s.block_cg(2), Some(0));
+        assert_eq!(s.block_cg(2 + 511), Some(0));
+        assert_eq!(s.block_cg(2 + 512), Some(1));
+        assert_eq!(s.block_cg(2 + 4 * 512), None);
+    }
+
+    #[test]
+    fn data_start_past_itable() {
+        let s = sb();
+        assert_eq!(s.cg_data_start(0), 2 + 1 + 8);
+        assert_eq!(s.data_per_cg(), 512 - 9);
+    }
+
+    #[test]
+    fn cg_header_round_trip() {
+        let mut h = CgHeader::new(3, 503, 256);
+        h.block_bitmap.set(0);
+        h.block_bitmap.set(502);
+        h.inode_bitmap.set(17);
+        h.ndirs = 5;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        h.write_to(&mut buf);
+        assert_eq!(CgHeader::read_from(&buf, 3).unwrap(), h);
+    }
+
+    #[test]
+    fn cg_header_index_mismatch_detected() {
+        let h = CgHeader::new(3, 100, 64);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        h.write_to(&mut buf);
+        assert!(CgHeader::read_from(&buf, 4).is_err());
+    }
+
+    #[test]
+    fn big_cg_bitmaps_fit() {
+        // The production geometry: 2048-block groups, 1024 inodes.
+        let h = CgHeader::new(0, 2048, 1024);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        h.write_to(&mut buf); // must not panic
+        let back = CgHeader::read_from(&buf, 0).unwrap();
+        assert_eq!(back.block_bitmap.len(), 2048);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # cffs-ffs — the classic Fast File System baseline
+//!
+//! A from-scratch implementation of a 4.4BSD-style Fast File System
+//! [McKusick84], the "conventional file system" the paper measures C-FFS
+//! against. Faithful in the ways that matter for the comparison:
+//!
+//! * **Cylinder groups**: the disk is divided into fixed-size groups, each
+//!   with its own header (bitmaps) and a **static inode table**. Inodes are
+//!   physically separate from directories — every `open` that misses the
+//!   cache pays one disk read for the directory block *and another* for the
+//!   inode block, the indirection C-FFS's embedded inodes remove.
+//! * **FFS allocation policy**: new directories go to a different cylinder
+//!   group (spreading), file inodes go to their directory's group, data
+//!   blocks go near their inode with a next-block hint. Related objects end
+//!   up in the same *region* — locality, not adjacency, which is precisely
+//!   the limitation Section 2 of the paper quantifies.
+//! * **Synchronous metadata ordering** [Ganger94]: file creation writes the
+//!   initialized inode before the directory entry; deletion writes the
+//!   cleared directory entry before freeing the inode. The
+//!   [`cffs_fslib::MetadataMode::Delayed`] option turns both into delayed
+//!   writes (the paper's soft-updates emulation).
+//! * 4 KB blocks, no fragments — matching the paper's implementations.
+//!
+//! Everything goes through [`cffs_cache::BufferCache`] and the simulated
+//! disk, so benchmark time, request counts and seek/rotation/transfer
+//! breakdowns are directly comparable with C-FFS.
+
+pub mod alloc;
+pub mod dir;
+pub mod fs;
+pub mod fsck;
+pub mod layout;
+pub mod mkfs;
+
+pub use fs::{Ffs, FfsOptions};
+pub use fsck::{fsck, FsckReport};
+pub use mkfs::MkfsParams;

@@ -1,0 +1,271 @@
+//! Allocation bitmaps with contiguous-run search.
+//!
+//! Both file systems keep one block bitmap per cylinder group. C-FFS
+//! additionally needs to carve 16-block *group* extents, so the bitmap
+//! supports finding and claiming contiguous free runs.
+//!
+//! The bitmap serializes to/from raw bytes so it can live inside a cylinder
+//! group's header block.
+
+/// A fixed-size allocation bitmap. Bit set = allocated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u8>,
+    len: usize,
+    used: usize,
+}
+
+impl Bitmap {
+    /// Create an all-free bitmap tracking `len` items.
+    pub fn new(len: usize) -> Self {
+        Bitmap { bits: vec![0u8; len.div_ceil(8)], len, used: 0 }
+    }
+
+    /// Deserialize from on-disk bytes.
+    ///
+    /// # Panics
+    /// Panics if `raw` is too short for `len` bits.
+    pub fn from_bytes(raw: &[u8], len: usize) -> Self {
+        let nbytes = len.div_ceil(8);
+        assert!(raw.len() >= nbytes, "bitmap bytes too short: {} < {nbytes}", raw.len());
+        let bits = raw[..nbytes].to_vec();
+        let mut bm = Bitmap { bits, len, used: 0 };
+        bm.used = (0..len).filter(|&i| bm.get(i)).count();
+        bm
+    }
+
+    /// Serialize into `out` (must be at least `len.div_ceil(8)` bytes).
+    ///
+    /// # Panics
+    /// Panics if `out` is too short.
+    pub fn write_bytes(&self, out: &mut [u8]) {
+        out[..self.bits.len()].copy_from_slice(&self.bits);
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allocated items.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Number of free items.
+    pub fn free(&self) -> usize {
+        self.len - self.used
+    }
+
+    /// Is item `i` allocated?
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Allocate item `i`. Returns `false` if it was already allocated.
+    pub fn set(&mut self, i: usize) -> bool {
+        if self.get(i) {
+            return false;
+        }
+        self.bits[i / 8] |= 1 << (i % 8);
+        self.used += 1;
+        true
+    }
+
+    /// Free item `i`. Returns `false` if it was already free.
+    pub fn clear(&mut self, i: usize) -> bool {
+        if !self.get(i) {
+            return false;
+        }
+        self.bits[i / 8] &= !(1 << (i % 8));
+        self.used -= 1;
+        true
+    }
+
+    /// Find the first free item at or after `hint`, wrapping around.
+    pub fn find_free(&self, hint: usize) -> Option<usize> {
+        if self.used == self.len {
+            return None;
+        }
+        let start = if self.len == 0 { 0 } else { hint % self.len };
+        (start..self.len)
+            .chain(0..start)
+            .find(|&i| !self.get(i))
+    }
+
+    /// Find `run` contiguous free items starting at or after `hint`
+    /// (wrapping the *starting position*, not the run itself).
+    pub fn find_free_run(&self, hint: usize, run: usize) -> Option<usize> {
+        if run == 0 || run > self.len {
+            return None;
+        }
+        let start = if self.len == 0 { 0 } else { hint % self.len };
+        let candidates = (start..=self.len.saturating_sub(run)).chain(0..start.min(self.len.saturating_sub(run) + 1));
+        'outer: for s in candidates {
+            for i in s..s + run {
+                if self.get(i) {
+                    continue 'outer;
+                }
+            }
+            return Some(s);
+        }
+        None
+    }
+
+    /// Allocate an entire run found by [`Bitmap::find_free_run`].
+    ///
+    /// # Panics
+    /// Panics if any item in the run was already allocated — callers must
+    /// only pass runs they just found free.
+    pub fn set_run(&mut self, start: usize, run: usize) {
+        for i in start..start + run {
+            assert!(self.set(i), "set_run over allocated item {i}");
+        }
+    }
+
+    /// Free an entire run.
+    ///
+    /// # Panics
+    /// Panics if any item in the run was already free.
+    pub fn clear_run(&mut self, start: usize, run: usize) {
+        for i in start..start + run {
+            assert!(self.clear(i), "clear_run over free item {i}");
+        }
+    }
+
+    /// Iterate over allocated item indices.
+    pub fn iter_used(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_set_clear() {
+        let mut b = Bitmap::new(100);
+        assert_eq!(b.free(), 100);
+        assert!(b.set(5));
+        assert!(!b.set(5));
+        assert!(b.get(5));
+        assert_eq!(b.used(), 1);
+        assert!(b.clear(5));
+        assert!(!b.clear(5));
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn find_free_respects_hint_and_wraps() {
+        let mut b = Bitmap::new(10);
+        for i in 3..10 {
+            b.set(i);
+        }
+        assert_eq!(b.find_free(5), Some(0)); // wraps past the allocated tail
+        assert_eq!(b.find_free(1), Some(1));
+        for i in 0..3 {
+            b.set(i);
+        }
+        assert_eq!(b.find_free(0), None);
+    }
+
+    #[test]
+    fn find_free_run_basic() {
+        let mut b = Bitmap::new(64);
+        b.set(10);
+        // 0..10 is only 10 items, so a 16-run must start past the hole.
+        assert_eq!(b.find_free_run(0, 16), Some(11));
+        assert_eq!(b.find_free_run(0, 10), Some(0));
+    }
+
+    #[test]
+    fn find_free_run_wraps_start() {
+        let mut b = Bitmap::new(32);
+        for i in 20..32 {
+            b.set(i);
+        }
+        // Hint beyond the only free region still finds it.
+        assert_eq!(b.find_free_run(25, 8), Some(0));
+        assert_eq!(b.find_free_run(25, 21), None);
+    }
+
+    #[test]
+    fn run_alloc_free_cycle() {
+        let mut b = Bitmap::new(64);
+        let s = b.find_free_run(0, 16).unwrap();
+        b.set_run(s, 16);
+        assert_eq!(b.used(), 16);
+        assert_eq!(b.find_free_run(0, 64), None);
+        assert_eq!(b.find_free_run(0, 48), Some(16));
+        b.clear_run(s, 16);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut b = Bitmap::new(77);
+        for i in [0, 3, 76, 40] {
+            b.set(i);
+        }
+        let mut raw = vec![0u8; 10];
+        b.write_bytes(&mut raw);
+        let b2 = Bitmap::from_bytes(&raw, 77);
+        assert_eq!(b, b2);
+        assert_eq!(b2.used(), 4);
+    }
+
+    #[test]
+    fn oversized_run_is_none() {
+        let b = Bitmap::new(8);
+        assert_eq!(b.find_free_run(0, 9), None);
+        assert_eq!(b.find_free_run(0, 0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn used_count_matches_bits(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..400)) {
+            let mut b = Bitmap::new(200);
+            for (i, set) in ops {
+                if set { b.set(i); } else { b.clear(i); }
+            }
+            let counted = (0..200).filter(|&i| b.get(i)).count();
+            prop_assert_eq!(b.used(), counted);
+            prop_assert_eq!(b.free(), 200 - counted);
+        }
+
+        #[test]
+        fn found_runs_are_actually_free(
+            allocs in proptest::collection::vec(0usize..128, 0..64),
+            hint in 0usize..128,
+            run in 1usize..20,
+        ) {
+            let mut b = Bitmap::new(128);
+            for i in allocs { b.set(i); }
+            if let Some(s) = b.find_free_run(hint, run) {
+                for i in s..s + run {
+                    prop_assert!(!b.get(i), "run at {s} contains allocated item {i}");
+                }
+            }
+        }
+
+        #[test]
+        fn serialization_preserves_state(allocs in proptest::collection::vec(0usize..100, 0..100)) {
+            let mut b = Bitmap::new(100);
+            for i in allocs { b.set(i); }
+            let mut raw = vec![0u8; 13];
+            b.write_bytes(&mut raw);
+            prop_assert_eq!(Bitmap::from_bytes(&raw, 100), b);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Little-endian integer codecs for on-disk structures.
+//!
+//! Every on-disk structure in this workspace is serialized by hand with
+//! these helpers rather than by casting structs — the layouts stay explicit,
+//! endian-stable, and free of padding surprises.
+
+/// Read a `u16` at `off`.
+///
+/// # Panics
+/// Panics if the range is out of bounds (on-disk offsets are statically
+/// known; an out-of-range read is a programming error, not bad data).
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(buf[off..off + 2].try_into().expect("u16 range"))
+}
+
+/// Write a `u16` at `off`.
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("u32 range"))
+}
+
+/// Write a `u32` at `off`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u64` at `off`.
+#[inline]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("u64 range"))
+}
+
+/// Write a `u64` at `off`.
+#[inline]
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = [0u8; 32];
+        put_u16(&mut b, 1, 0xBEEF);
+        put_u32(&mut b, 4, 0xDEADBEEF);
+        put_u64(&mut b, 8, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u16(&b, 1), 0xBEEF);
+        assert_eq!(get_u32(&b, 4), 0xDEADBEEF);
+        assert_eq!(get_u64(&b, 8), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut b = [0u8; 4];
+        put_u32(&mut b, 0, 0x0102_0304);
+        assert_eq!(b, [4, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let b = [0u8; 4];
+        let _ = get_u32(&b, 2);
+    }
+}

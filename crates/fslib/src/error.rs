@@ -1,0 +1,99 @@
+//! The common file-system error type.
+
+use std::fmt;
+
+/// Result alias used throughout the file-system crates.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors a file-system operation can return. Modeled on the errno values
+/// a 4.4BSD FFS would produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file or directory (`ENOENT`).
+    NotFound,
+    /// Name already exists (`EEXIST`).
+    Exists,
+    /// Operation requires a directory but the target is not one (`ENOTDIR`).
+    NotDir,
+    /// Operation requires a file but the target is a directory (`EISDIR`).
+    IsDir,
+    /// Directory not empty (`ENOTEMPTY`).
+    DirNotEmpty,
+    /// No free data blocks (`ENOSPC`).
+    NoSpace,
+    /// No free inodes (`ENOSPC` on the inode side).
+    NoInodes,
+    /// File name longer than [`crate::MAX_NAME_LEN`] or empty (`ENAMETOOLONG`/`EINVAL`).
+    BadName,
+    /// File would exceed the maximum mappable size (`EFBIG`).
+    FileTooBig,
+    /// Too many hard links (`EMLINK`).
+    TooManyLinks,
+    /// Invalid argument (`EINVAL`).
+    InvalidArg,
+    /// Stale or malformed inode handle (`ESTALE`).
+    StaleHandle,
+    /// Cross-device or unsupported operation (`EXDEV`/`ENOSYS`).
+    Unsupported,
+    /// On-disk structure failed validation; fsck needed.
+    Corrupt(String),
+    /// Underlying device error (injected by failure tests).
+    Io(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::Exists => write!(f, "file exists"),
+            FsError::NotDir => write!(f, "not a directory"),
+            FsError::IsDir => write!(f, "is a directory"),
+            FsError::DirNotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes"),
+            FsError::BadName => write!(f, "invalid file name"),
+            FsError::FileTooBig => write!(f, "file too large"),
+            FsError::TooManyLinks => write!(f, "too many links"),
+            FsError::InvalidArg => write!(f, "invalid argument"),
+            FsError::StaleHandle => write!(f, "stale file handle"),
+            FsError::Unsupported => write!(f, "operation not supported"),
+            FsError::Corrupt(m) => write!(f, "file system corrupt: {m}"),
+            FsError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Validate a file name: nonempty, within the length limit, no NUL or '/'.
+pub fn check_name(name: &str) -> FsResult<()> {
+    if name.is_empty()
+        || name.len() > crate::MAX_NAME_LEN
+        || name.bytes().any(|b| b == 0 || b == b'/')
+    {
+        return Err(FsError::BadName);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(check_name("hello.c").is_ok());
+        assert!(check_name(".").is_ok());
+        assert_eq!(check_name(""), Err(FsError::BadName));
+        assert_eq!(check_name("a/b"), Err(FsError::BadName));
+        assert_eq!(check_name("a\0b"), Err(FsError::BadName));
+        assert_eq!(check_name(&"x".repeat(256)), Err(FsError::BadName));
+        assert!(check_name(&"x".repeat(255)).is_ok());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(FsError::NoSpace.to_string(), "no space left on device");
+        assert!(FsError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Path-level convenience helpers over any [`FileSystem`].
+//!
+//! The trait works on `(directory inode, name)` pairs, like a kernel VFS.
+//! Workloads and examples want `"/usr/src/lib/io.c"`-style paths; these
+//! helpers provide that layer.
+
+use crate::error::{FsError, FsResult};
+use crate::vfs::{FileKind, FileSystem, Ino};
+
+/// Split a path into components, ignoring empty segments and leading `/`.
+pub fn components(path: &str) -> Vec<&str> {
+    path.split('/').filter(|c| !c.is_empty() && *c != ".").collect()
+}
+
+/// Resolve a path to an inode.
+pub fn resolve(fs: &mut (impl FileSystem + ?Sized), path: &str) -> FsResult<Ino> {
+    let mut cur = fs.root();
+    for c in components(path) {
+        cur = fs.lookup(cur, c)?;
+    }
+    Ok(cur)
+}
+
+/// Resolve the parent directory of a path; returns `(parent_ino, leaf_name)`.
+pub fn resolve_parent<'p>(
+    fs: &mut (impl FileSystem + ?Sized),
+    path: &'p str,
+) -> FsResult<(Ino, &'p str)> {
+    let comps = components(path);
+    let (leaf, dirs) = comps.split_last().ok_or(FsError::InvalidArg)?;
+    let mut cur = fs.root();
+    for c in dirs {
+        cur = fs.lookup(cur, c)?;
+    }
+    Ok((cur, leaf))
+}
+
+/// `mkdir -p`: create every missing directory along `path`; returns the
+/// final directory's inode.
+pub fn mkdir_p(fs: &mut (impl FileSystem + ?Sized), path: &str) -> FsResult<Ino> {
+    let mut cur = fs.root();
+    for c in components(path) {
+        cur = match fs.lookup(cur, c) {
+            Ok(ino) => {
+                if fs.getattr(ino)?.kind != FileKind::Dir {
+                    return Err(FsError::NotDir);
+                }
+                ino
+            }
+            Err(FsError::NotFound) => fs.mkdir(cur, c)?,
+            Err(e) => return Err(e),
+        };
+    }
+    Ok(cur)
+}
+
+/// Create (or truncate) the file at `path` and write `data` to it.
+/// Returns the file's inode.
+pub fn write_file(fs: &mut (impl FileSystem + ?Sized), path: &str, data: &[u8]) -> FsResult<Ino> {
+    let (dir, name) = resolve_parent(fs, path)?;
+    let ino = match fs.lookup(dir, name) {
+        Ok(existing) => {
+            fs.truncate(existing, 0)?;
+            existing
+        }
+        Err(FsError::NotFound) => fs.create(dir, name)?,
+        Err(e) => return Err(e),
+    };
+    let mut off = 0u64;
+    while (off as usize) < data.len() {
+        let n = fs.write(ino, off, &data[off as usize..])?;
+        if n == 0 {
+            return Err(FsError::Io("short write".into()));
+        }
+        off += n as u64;
+    }
+    Ok(ino)
+}
+
+/// Read the whole file at `path`.
+pub fn read_file(fs: &mut (impl FileSystem + ?Sized), path: &str) -> FsResult<Vec<u8>> {
+    let ino = resolve(fs, path)?;
+    read_all(fs, ino)
+}
+
+/// Read the whole file with inode `ino`.
+pub fn read_all(fs: &mut (impl FileSystem + ?Sized), ino: Ino) -> FsResult<Vec<u8>> {
+    let size = fs.getattr(ino)?.size as usize;
+    let mut out = vec![0u8; size];
+    let mut off = 0usize;
+    while off < size {
+        let n = fs.read(ino, off as u64, &mut out[off..])?;
+        if n == 0 {
+            break;
+        }
+        off += n;
+    }
+    out.truncate(off);
+    Ok(out)
+}
+
+/// Remove the file at `path`.
+pub fn remove_file(fs: &mut (impl FileSystem + ?Sized), path: &str) -> FsResult<()> {
+    let (dir, name) = resolve_parent(fs, path)?;
+    fs.unlink(dir, name)
+}
+
+/// Recursively delete a directory tree rooted at `path` (like `rm -rf`,
+/// but failing on errors rather than ignoring them).
+pub fn remove_tree(fs: &mut (impl FileSystem + ?Sized), path: &str) -> FsResult<()> {
+    let (parent, name) = resolve_parent(fs, path)?;
+    let ino = fs.lookup(parent, name)?;
+    remove_tree_inner(fs, ino)?;
+    fs.rmdir(parent, name)
+}
+
+fn remove_tree_inner(fs: &mut (impl FileSystem + ?Sized), dir: Ino) -> FsResult<()> {
+    for e in fs.readdir(dir)? {
+        match e.kind {
+            FileKind::File => fs.unlink(dir, &e.name)?,
+            FileKind::Dir => {
+                remove_tree_inner(fs, e.ino)?;
+                fs.rmdir(dir, &e.name)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walk a tree depth-first, invoking `visit(path, ino, kind)` for every
+/// entry below `root_path`.
+pub fn walk(
+    fs: &mut (impl FileSystem + ?Sized),
+    root_path: &str,
+    visit: &mut dyn FnMut(&str, Ino, FileKind),
+) -> FsResult<()> {
+    let root = resolve(fs, root_path)?;
+    let base = root_path.trim_end_matches('/').to_string();
+    walk_inner(fs, root, &base, visit)
+}
+
+fn walk_inner(
+    fs: &mut (impl FileSystem + ?Sized),
+    dir: Ino,
+    prefix: &str,
+    visit: &mut dyn FnMut(&str, Ino, FileKind),
+) -> FsResult<()> {
+    for e in fs.readdir(dir)? {
+        let p = format!("{prefix}/{}", e.name);
+        visit(&p, e.ino, e.kind);
+        if e.kind == FileKind::Dir {
+            walk_inner(fs, e.ino, &p, visit)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelFs;
+
+    #[test]
+    fn components_normalizes() {
+        assert_eq!(components("/a/b/c"), vec!["a", "b", "c"]);
+        assert_eq!(components("a//b/"), vec!["a", "b"]);
+        assert_eq!(components("/"), Vec::<&str>::new());
+        assert_eq!(components("./a/./b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mkdir_p_and_resolve() {
+        let mut fs = ModelFs::new();
+        let d = mkdir_p(&mut fs, "/usr/src/lib").unwrap();
+        assert_eq!(resolve(&mut fs, "/usr/src/lib").unwrap(), d);
+        // Idempotent.
+        assert_eq!(mkdir_p(&mut fs, "/usr/src/lib").unwrap(), d);
+    }
+
+    #[test]
+    fn write_then_read_file() {
+        let mut fs = ModelFs::new();
+        mkdir_p(&mut fs, "/tmp").unwrap();
+        write_file(&mut fs, "/tmp/hello.txt", b"hello world").unwrap();
+        assert_eq!(read_file(&mut fs, "/tmp/hello.txt").unwrap(), b"hello world");
+        // Overwrite truncates.
+        write_file(&mut fs, "/tmp/hello.txt", b"bye").unwrap();
+        assert_eq!(read_file(&mut fs, "/tmp/hello.txt").unwrap(), b"bye");
+    }
+
+    #[test]
+    fn remove_tree_removes_everything() {
+        let mut fs = ModelFs::new();
+        mkdir_p(&mut fs, "/a/b/c").unwrap();
+        write_file(&mut fs, "/a/x", b"1").unwrap();
+        write_file(&mut fs, "/a/b/y", b"2").unwrap();
+        write_file(&mut fs, "/a/b/c/z", b"3").unwrap();
+        remove_tree(&mut fs, "/a").unwrap();
+        assert_eq!(resolve(&mut fs, "/a"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn walk_visits_all() {
+        let mut fs = ModelFs::new();
+        mkdir_p(&mut fs, "/src/sub").unwrap();
+        write_file(&mut fs, "/src/a.c", b"x").unwrap();
+        write_file(&mut fs, "/src/sub/b.c", b"y").unwrap();
+        let mut seen = Vec::new();
+        walk(&mut fs, "/src", &mut |p, _, _| seen.push(p.to_string())).unwrap();
+        seen.sort();
+        assert_eq!(seen, vec!["/src/a.c", "/src/sub", "/src/sub/b.c"]);
+    }
+
+    #[test]
+    fn resolve_parent_of_root_is_error() {
+        let mut fs = ModelFs::new();
+        assert_eq!(resolve_parent(&mut fs, "/").unwrap_err(), FsError::InvalidArg);
+    }
+
+    #[test]
+    fn mkdir_p_through_file_fails() {
+        let mut fs = ModelFs::new();
+        write_file(&mut fs, "/f", b"").unwrap();
+        assert_eq!(mkdir_p(&mut fs, "/f/sub"), Err(FsError::NotDir));
+    }
+}

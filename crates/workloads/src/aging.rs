@@ -1,0 +1,167 @@
+//! File-system aging, after [Herrin93].
+//!
+//! "The program simply creates and deletes a large number of files. The
+//! probability that the next operation performed is a file creation
+//! (rather than a deletion) is taken from a distribution centered around a
+//! desired file system utilization."
+//!
+//! Concretely: when the file system sits below the target utilization the
+//! next operation is biased toward creation, above it toward deletion, so
+//! utilization oscillates around the target while allocation and freeing
+//! churn fragments the free space. The E7 reproduction ages the disk, then
+//! reruns the small-file read phase to see how much of the grouping
+//! benefit fragmentation erodes.
+
+use crate::sizes::SizeDist;
+use cffs_fslib::{FileSystem, FsResult, Ino};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aging parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AgingParams {
+    /// Target fraction of data blocks in use, in `(0, 1)`.
+    pub utilization: f64,
+    /// Create/delete operations to perform.
+    pub ops: usize,
+    /// Directories to spread the churn over.
+    pub ndirs: usize,
+    /// RNG seed (determinism).
+    pub seed: u64,
+}
+
+impl Default for AgingParams {
+    fn default() -> Self {
+        AgingParams { utilization: 0.5, ops: 50_000, ndirs: 50, seed: 1997 }
+    }
+}
+
+/// Summary of an aging run.
+#[derive(Debug, Clone, Copy)]
+pub struct AgingOutcome {
+    /// Files created.
+    pub creates: u64,
+    /// Files deleted.
+    pub deletes: u64,
+    /// Creates that failed with `NoSpace` (pressure events).
+    pub enospc: u64,
+    /// Final utilization (used / total data blocks).
+    pub final_utilization: f64,
+    /// Live files at the end.
+    pub live_files: usize,
+}
+
+/// Age the file system. Files are created with sizes drawn from `dist` and
+/// deleted at random; the create probability tracks the utilization target.
+pub fn age(
+    fs: &mut (impl FileSystem + ?Sized),
+    params: AgingParams,
+    dist: &impl SizeDist,
+) -> FsResult<AgingOutcome> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let root = fs.root();
+    let mut dirs: Vec<Ino> = Vec::new();
+    for d in 0..params.ndirs {
+        let name = format!("age{d:03}");
+        let ino = match fs.lookup(root, &name) {
+            Ok(i) => i,
+            Err(_) => fs.mkdir(root, &name)?,
+        };
+        dirs.push(ino);
+    }
+    // (dir index, name) of live files.
+    let mut live: Vec<(usize, String)> = Vec::new();
+    let mut out = AgingOutcome {
+        creates: 0,
+        deletes: 0,
+        enospc: 0,
+        final_utilization: 0.0,
+        live_files: 0,
+    };
+    let mut serial = 0u64;
+    let mut buf = Vec::new();
+    for _ in 0..params.ops {
+        let st = fs.statfs()?;
+        let used =
+            (st.total_blocks - st.free_blocks - st.group_slack_blocks) as f64 / st.total_blocks as f64;
+        // Bias: at target the coin is fair; the further below (above), the
+        // more likely a create (delete).
+        let p_create = (0.5 + (params.utilization - used) * 2.0).clamp(0.05, 0.95);
+        let create = live.is_empty() || rng.gen::<f64>() < p_create;
+        if create {
+            let d = rng.gen_range(0..dirs.len());
+            // Seed-qualified names so successive aging passes (different
+            // seeds) over one image never collide.
+            let name = format!("g{:04x}{serial:08}", params.seed as u16);
+            serial += 1;
+            let size = dist.sample(&mut rng);
+            buf.resize(size, 0);
+            buf.fill((serial % 251) as u8);
+            match fs.create(dirs[d], &name) {
+                Ok(ino) => match fs.write(ino, 0, &buf) {
+                    Ok(_) => {
+                        live.push((d, name));
+                        out.creates += 1;
+                    }
+                    Err(cffs_fslib::FsError::NoSpace) => {
+                        // Undo the half-made file and count the pressure event.
+                        fs.unlink(dirs[d], &name)?;
+                        out.enospc += 1;
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(cffs_fslib::FsError::NoSpace | cffs_fslib::FsError::NoInodes) => {
+                    out.enospc += 1
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let (d, name) = live.swap_remove(idx);
+            fs.unlink(dirs[d], &name)?;
+            out.deletes += 1;
+        }
+    }
+    fs.sync()?;
+    let st = fs.statfs()?;
+    out.final_utilization =
+        (st.total_blocks - st.free_blocks - st.group_slack_blocks) as f64 / st.total_blocks as f64;
+    out.live_files = live.len();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::Fixed;
+    use cffs_fslib::model::ModelFs;
+
+    #[test]
+    fn aging_on_oracle_creates_and_deletes() {
+        let mut fs = ModelFs::new();
+        let out = age(
+            &mut fs,
+            AgingParams { utilization: 0.5, ops: 500, ndirs: 4, seed: 7 },
+            &Fixed(2048),
+        )
+        .unwrap();
+        assert_eq!(out.creates + out.deletes, 500);
+        assert!(out.creates > 0 && out.deletes > 0);
+        assert_eq!(out.live_files as u64, out.creates - out.deletes);
+    }
+
+    #[test]
+    fn aging_is_deterministic() {
+        let run = || {
+            let mut fs = ModelFs::new();
+            age(
+                &mut fs,
+                AgingParams { utilization: 0.4, ops: 300, ndirs: 3, seed: 99 },
+                &Fixed(1024),
+            )
+            .unwrap()
+            .creates
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic name generation for workloads.
+
+/// The name of small-file benchmark file `i`.
+pub fn file_name(i: usize) -> String {
+    format!("file{i:06}")
+}
+
+/// The name of benchmark directory `d`.
+pub fn dir_name(d: usize) -> String {
+    format!("dir{d:04}")
+}
+
+/// A C-source-tree-ish file name.
+pub fn source_name(i: usize) -> String {
+    const STEMS: [&str; 8] = ["main", "util", "parse", "io", "alloc", "hash", "list", "str"];
+    format!("{}{}.c", STEMS[i % STEMS.len()], i / STEMS.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        assert_eq!(file_name(7), "file000007");
+        assert_eq!(dir_name(3), "dir0003");
+        let mut all: Vec<String> = (0..1000).map(source_name).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 1000);
+    }
+}

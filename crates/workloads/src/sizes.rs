@@ -1,0 +1,135 @@
+//! File-size distributions.
+//!
+//! The paper's Figure 1 argument: "79% of all files on our file servers
+//! are less than 8 KB in size", and [Baker91]: "about 80% of the files
+//! accessed ... were less than 10KB". [`Empirical1993`] reproduces that
+//! shape with a piecewise log-uniform CDF; a lognormal alternative is
+//! provided for sensitivity studies.
+
+use rand::Rng;
+
+/// A sampleable file-size distribution.
+pub trait SizeDist {
+    /// Draw one file size in bytes.
+    fn sample(&self, rng: &mut impl Rng) -> usize;
+}
+
+/// Piecewise CDF matching mid-90s file-server measurements.
+///
+/// | size bucket | cumulative fraction |
+/// |---|---|
+/// | ≤ 1 KB | 0.33 |
+/// | ≤ 4 KB | 0.62 |
+/// | ≤ 8 KB | 0.79 |
+/// | ≤ 64 KB | 0.95 |
+/// | ≤ 1 MB | 0.998 |
+/// | ≤ 4 MB | 1.0 |
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Empirical1993;
+
+const BUCKETS: [(f64, usize, usize); 6] = [
+    (0.33, 1, 1024),
+    (0.62, 1025, 4096),
+    (0.79, 4097, 8192),
+    (0.95, 8193, 65_536),
+    (0.998, 65_537, 1 << 20),
+    (1.0, (1 << 20) + 1, 4 << 20),
+];
+
+impl SizeDist for Empirical1993 {
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        for &(cum, lo, hi) in &BUCKETS {
+            if u <= cum {
+                // Log-uniform within the bucket: small files dominate.
+                let llo = (lo as f64).ln();
+                let lhi = (hi as f64).ln();
+                let v = (llo + rng.gen::<f64>() * (lhi - llo)).exp();
+                return (v as usize).clamp(lo, hi);
+            }
+        }
+        4 << 20
+    }
+}
+
+/// A fixed size (micro-benchmarks).
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub usize);
+
+impl SizeDist for Fixed {
+    fn sample(&self, _rng: &mut impl Rng) -> usize {
+        self.0
+    }
+}
+
+/// Lognormal sizes with the given ln-space mean and sigma, clamped to
+/// `[1, max]`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of ln(size).
+    pub mu: f64,
+    /// Std-dev of ln(size).
+    pub sigma: f64,
+    /// Upper clamp in bytes.
+    pub max: usize,
+}
+
+impl Default for LogNormal {
+    /// Median 2 KB, heavy tail, 4 MB cap.
+    fn default() -> Self {
+        LogNormal { mu: (2048f64).ln(), sigma: 1.6, max: 4 << 20 }
+    }
+}
+
+impl SizeDist for LogNormal {
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        // Box-Muller.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        ((self.mu + self.sigma * z).exp() as usize).clamp(1, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_reproduces_the_79_percent_point() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Empirical1993;
+        let n = 50_000;
+        let under_8k = (0..n).filter(|_| d.sample(&mut rng) <= 8192).count();
+        let frac = under_8k as f64 / n as f64;
+        assert!((0.76..0.82).contains(&frac), "P(size <= 8KB) = {frac}");
+    }
+
+    #[test]
+    fn empirical_sizes_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Empirical1993;
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=4 << 20).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Fixed(1024).sample(&mut rng), 1024);
+    }
+
+    #[test]
+    fn lognormal_median_near_target() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = LogNormal::default();
+        let mut v: Vec<usize> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_unstable();
+        let median = v[10_000];
+        assert!((1024..4096).contains(&median), "median {median}");
+    }
+}

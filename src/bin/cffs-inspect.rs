@@ -1,0 +1,141 @@
+//! `cffs-inspect` — a debugfs-style examiner for C-FFS disk images.
+//!
+//! Usage:
+//!   cffs-inspect <image>          # inspect a saved image (Disk::save_image)
+//!   cffs-inspect --demo [path]    # build a demo image (and optionally save it)
+//!
+//! Prints the superblock, per-cylinder-group occupancy, the group
+//! descriptor table, the namespace tree annotated with each inode's
+//! placement (embedded vs external) and its blocks' group membership,
+//! and finishes with a full fsck report.
+
+use cffs::core::layout::{decode_ino, InoRef};
+use cffs::core::{fsck, Cffs, CffsConfig};
+use cffs::prelude::*;
+use cffs_disksim::{models, Disk};
+use std::path::Path;
+
+fn demo_image() -> Disk {
+    let mut fs = cffs::build::on_disk(models::tiny_test_disk(), CffsConfig::cffs());
+    path::mkdir_p(&mut fs, "/src/include").expect("mkdir");
+    for (p, data) in [
+        ("/src/main.c", vec![b'm'; 1800]),
+        ("/src/util.c", vec![b'u'; 900]),
+        ("/src/include/util.h", vec![b'h'; 300]),
+        ("/README", vec![b'r'; 450]),
+        ("/bigfile.bin", vec![b'B'; 120_000]),
+    ] {
+        path::write_file(&mut fs, p, &data).expect("write");
+    }
+    let f = path::resolve(&mut fs, "/src/util.c").expect("resolve");
+    fs.link(f, fs.root(), "util-alias.c").expect("link");
+    fs.unmount().expect("unmount")
+}
+
+fn walk(fs: &mut Cffs, dir: Ino, prefix: &str, out: &mut String) {
+    let sb = fs.superblock().clone();
+    for e in fs.readdir(dir).expect("readdir") {
+        let attr = fs.getattr(e.ino).expect("getattr");
+        let placement = match decode_ino(e.ino) {
+            InoRef::Embedded { blk, off, gen } => format!("embedded @ block {blk}+{off} gen {gen}"),
+            InoRef::External(slot) => format!("external slot {slot}"),
+        };
+        let grouping = if attr.kind == FileKind::File && attr.size > 0 {
+            let mut b = [0u8; 1];
+            let _ = fs.read(e.ino, 0, &mut b);
+            match fs.cache_block_of(e.ino, 0) {
+                Some(blk) => match fs.group_index().group_of_block(&sb, blk) {
+                    Some(g) => format!(
+                        ", data in group {}/{} [{}..+{}]",
+                        g.cg, g.idx, g.start, g.nslots
+                    ),
+                    None => format!(", data ungrouped @ block {blk}"),
+                },
+                None => String::new(),
+            }
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{prefix}{} {:>8} B  nlink {}  [{placement}{grouping}]\n",
+            match attr.kind {
+                FileKind::Dir => format!("{}/", e.name),
+                FileKind::File => e.name.clone(),
+            },
+            attr.size,
+            attr.nlink,
+        ));
+        if attr.kind == FileKind::Dir {
+            walk(fs, e.ino, &format!("{prefix}  "), out);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let disk = match args.get(1).map(String::as_str) {
+        Some("--demo") => {
+            let d = demo_image();
+            if let Some(p) = args.get(2) {
+                d.save_image(Path::new(p)).expect("save image");
+                println!("(demo image saved to {p})\n");
+            }
+            d
+        }
+        Some(p) => Disk::load_image(Path::new(p)).expect("load image"),
+        None => {
+            eprintln!("usage: cffs-inspect <image> | --demo [save-path]");
+            std::process::exit(2);
+        }
+    };
+
+    let mut fs = Cffs::mount(disk, CffsConfig::cffs()).expect("mount");
+    let sb = fs.superblock().clone();
+    println!("superblock:");
+    println!("  total blocks        {}", sb.total_blocks);
+    println!("  cylinder groups     {} x {} blocks", sb.cg_count, sb.cg_size);
+    println!(
+        "  external inode file {} slot(s) in {} block(s)",
+        sb.exfile_slots, sb.exfile.blocks
+    );
+    let st = fs.statfs().expect("statfs");
+    println!(
+        "  space               {} free / {} total ({} group slack)",
+        st.free_blocks, st.total_blocks, st.group_slack_blocks
+    );
+
+    println!("\ngroups ({}):", fs.group_index().len());
+    let mut groups: Vec<_> = fs.group_index().iter().copied().collect();
+    groups.sort_by_key(|g| (g.cg, g.idx));
+    for g in groups {
+        println!(
+            "  {}/{}: blocks {}..+{}  owner {:#x}  members {:016b} ({} live, {} slack)",
+            g.cg,
+            g.idx,
+            g.start,
+            g.nslots,
+            g.owner,
+            g.member_valid,
+            g.live(),
+            g.slack()
+        );
+    }
+
+    println!("\nnamespace:");
+    let mut out = String::new();
+    let root = fs.root();
+    walk(&mut fs, root, "  /", &mut out);
+    print!("{out}");
+
+    let mut img = fs.unmount().expect("unmount");
+    let report = fsck::fsck(&mut img, false).expect("fsck");
+    println!(
+        "\nfsck: {} ({} files, {} dirs)",
+        if report.clean() { "clean" } else { "INCONSISTENT" },
+        report.files,
+        report.dirs
+    );
+    for e in &report.errors {
+        println!("  error: {e}");
+    }
+}
