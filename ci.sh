@@ -1,0 +1,18 @@
+#!/bin/sh
+# Offline CI gate: build, test, lint. No network access is assumed or
+# required — the workspace has no external dependencies (rand/proptest are
+# vendored path crates), so --offline must always succeed.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets --offline
+
+echo "== test =="
+cargo test --workspace --offline -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== ci.sh: all green =="

@@ -1,83 +1,82 @@
-//! Criterion micro-benchmarks of the substrate: disk service-time engine,
-//! request scheduling/coalescing, allocation bitmaps.
+//! Micro-benchmarks of the substrate: disk service-time engine, request
+//! scheduling/coalescing, allocation bitmaps.
 
+use cffs_bench::microbench::{bench, bench_with_setup};
 use cffs_disksim::driver::{Driver, DriverConfig, IoReq, Scheduler};
 use cffs_disksim::{models, Disk, SimTime};
 use cffs_fslib::Bitmap;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_disk_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("disk_access");
-    g.bench_function("random_4k_writes", |b| {
+fn bench_disk_access() {
+    {
         let mut disk = Disk::new(models::seagate_st31200());
         let buf = vec![0u8; 4096];
         let cap = disk.capacity_sectors() - 8;
         let mut t = SimTime::ZERO;
         let mut pos = 0u64;
-        b.iter(|| {
+        bench("disk_access/random_4k_writes", 200, || {
             pos = (pos + 987_654_321) % cap;
             t = disk.write(t, black_box(pos), &buf);
-            black_box(t)
-        })
-    });
-    g.bench_function("sequential_64k_reads", |b| {
-        let mut disk = Disk::new(models::seagate_st31200());
-        let mut buf = vec![0u8; 65536];
-        let mut t = SimTime::ZERO;
-        let mut pos = 0u64;
-        b.iter(|| {
-            pos = (pos + 128) % (disk.capacity_sectors() - 128);
-            t = disk.read(t, black_box(pos), &mut buf);
-            black_box(t)
-        })
-    });
-    g.finish();
-}
-
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler_batch_64");
-    for sched in [Scheduler::Fcfs, Scheduler::CLook, Scheduler::Sstf] {
-        g.bench_function(format!("{sched:?}"), |b| {
-            b.iter_batched(
-                || {
-                    let drv = Driver::new(
-                        Disk::new(models::seagate_st31200()),
-                        DriverConfig { scheduler: sched },
-                    );
-                    let reqs: Vec<IoReq> = (0..64)
-                        .map(|i| IoReq::write((i * 997_001) % 2_000_000, vec![0u8; 4096]))
-                        .collect();
-                    (drv, reqs)
-                },
-                |(mut drv, reqs)| black_box(drv.submit_batch(reqs).len()),
-                criterion::BatchSize::SmallInput,
-            )
+            t
         });
     }
-    g.finish();
+    {
+        let mut disk = Disk::new(models::seagate_st31200());
+        let mut buf = vec![0u8; 65536];
+        let cap = disk.capacity_sectors() - 128;
+        let mut t = SimTime::ZERO;
+        let mut pos = 0u64;
+        bench("disk_access/sequential_64k_reads", 200, || {
+            pos = (pos + 128) % cap;
+            t = disk.read(t, black_box(pos), &mut buf);
+            t
+        });
+    }
 }
 
-fn bench_bitmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bitmap");
-    g.bench_function("find_free_run_16_fragmented", |b| {
+fn bench_scheduler() {
+    for sched in [Scheduler::Fcfs, Scheduler::CLook, Scheduler::Sstf] {
+        bench_with_setup(
+            &format!("scheduler_batch_64/{sched:?}"),
+            200,
+            || {
+                let drv = Driver::new(
+                    Disk::new(models::seagate_st31200()),
+                    DriverConfig { scheduler: sched },
+                );
+                let reqs: Vec<IoReq> = (0..64)
+                    .map(|i| IoReq::write((i * 997_001) % 2_000_000, vec![0u8; 4096]))
+                    .collect();
+                (drv, reqs)
+            },
+            |(mut drv, reqs)| black_box(drv.submit_batch(reqs).len()),
+        );
+    }
+}
+
+fn bench_bitmap() {
+    {
         let mut bm = Bitmap::new(2048);
         for i in (0..2048).step_by(3) {
             bm.set(i);
         }
-        b.iter(|| black_box(bm.find_free_run(black_box(700), 2)))
-    });
-    g.bench_function("alloc_free_cycle", |b| {
+        bench("bitmap/find_free_run_16_fragmented", 100, || {
+            black_box(bm.find_free_run(black_box(700), 2))
+        });
+    }
+    {
         let mut bm = Bitmap::new(2048);
-        b.iter(|| {
+        bench("bitmap/alloc_free_cycle", 100, || {
             let i = bm.find_free(900).unwrap();
             bm.set(i);
             bm.clear(i);
-            black_box(i)
-        })
-    });
-    g.finish();
+            i
+        });
+    }
 }
 
-criterion_group!(benches, bench_disk_access, bench_scheduler, bench_bitmap);
-criterion_main!(benches);
+fn main() {
+    bench_disk_access();
+    bench_scheduler();
+    bench_bitmap();
+}

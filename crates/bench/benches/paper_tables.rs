@@ -1,71 +1,62 @@
-//! One criterion bench per paper table/figure: each runs a scaled-down
+//! One micro-bench per paper table/figure: each runs a scaled-down
 //! version of the corresponding `repro_*` experiment, so `cargo bench`
 //! exercises every reproduction end to end and tracks its wall-clock cost.
 //! (The full-size runs and the reported numbers live in the `repro_*`
 //! binaries; see EXPERIMENTS.md.)
 
 use cffs_bench::experiments;
+use cffs_bench::microbench::bench;
 use cffs_fslib::MetadataMode;
 use cffs_workloads::appdev::DevTreeParams;
 use cffs_workloads::smallfile::SmallFileParams;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-
-    g.bench_function("e1_table1_drives", |b| b.iter(|| black_box(experiments::table1::run())));
-    g.bench_function("e2_fig2_access_time", |b| {
-        b.iter(|| black_box(experiments::fig2::run(50)))
+fn main() {
+    bench("paper/e1_table1_drives", 200, || {
+        black_box(experiments::table1::run())
     });
-    g.bench_function("e3_table2_testbed", |b| b.iter(|| black_box(experiments::table2::run())));
+    bench("paper/e2_fig2_access_time", 200, || {
+        black_box(experiments::fig2::run(50))
+    });
+    bench("paper/e3_table2_testbed", 200, || {
+        black_box(experiments::table2::run())
+    });
 
     let sf = SmallFileParams { nfiles: 300, ndirs: 20, ..SmallFileParams::default() };
-    g.bench_function("e4_smallfile_sync", |b| {
-        b.iter(|| black_box(experiments::smallfile::run(MetadataMode::Synchronous, sf)))
+    bench("paper/e4_smallfile_sync", 500, || {
+        black_box(experiments::smallfile::run(MetadataMode::Synchronous, sf))
     });
-    g.bench_function("e5_smallfile_softdep", |b| {
-        b.iter(|| black_box(experiments::smallfile::run(MetadataMode::Delayed, sf)))
+    bench("paper/e5_smallfile_softdep", 500, || {
+        black_box(experiments::smallfile::run(MetadataMode::Delayed, sf))
     });
-    g.bench_function("e6_filesize_point_8k", |b| {
-        b.iter(|| {
-            black_box(experiments::filesize::point(
-                cffs_core::CffsConfig::cffs(),
-                black_box(8192),
-            ))
-        })
+    bench("paper/e6_filesize_point_8k", 500, || {
+        black_box(experiments::filesize::point(
+            cffs_core::CffsConfig::cffs(),
+            black_box(8192),
+        ))
     });
-    g.bench_function("e7_aging_point", |b| {
-        b.iter(|| {
-            black_box(experiments::aging::point(cffs_core::CffsConfig::cffs(), 0.5, 2000))
-        })
+    bench("paper/e7_aging_point", 500, || {
+        black_box(experiments::aging::point(cffs_core::CffsConfig::cffs(), 0.5, 2000))
     });
-    g.bench_function("e8_diskreqs", |b| {
-        b.iter(|| black_box(experiments::diskreqs::run(sf)))
+    bench("paper/e8_diskreqs", 500, || {
+        black_box(experiments::diskreqs::run(sf))
     });
     let dev = DevTreeParams::small();
-    g.bench_function("e9_apps", |b| {
-        b.iter(|| black_box(experiments::apps::run(MetadataMode::Synchronous, dev)))
+    bench("paper/e9_apps", 500, || {
+        black_box(experiments::apps::run(MetadataMode::Synchronous, dev))
     });
-    g.bench_function("e10_dirsize_point", |b| {
-        b.iter(|| {
-            // One population point of the E10 sweep.
-            let mut fs = cffs::build::on_disk(
-                cffs_disksim::models::tiny_test_disk(),
-                cffs_core::CffsConfig::cffs(),
-            );
-            use cffs::prelude::*;
-            let root = fs.root();
-            let dir = fs.mkdir(root, "d").unwrap();
-            for i in 0..100 {
-                fs.create(dir, &format!("file{i:05}")).unwrap();
-            }
-            black_box(fs.getattr(dir).unwrap().size)
-        })
+    bench("paper/e10_dirsize_point", 200, || {
+        // One population point of the E10 sweep.
+        let mut fs = cffs::build::on_disk(
+            cffs_disksim::models::tiny_test_disk(),
+            cffs_core::CffsConfig::cffs(),
+        );
+        use cffs::prelude::*;
+        let root = fs.root();
+        let dir = fs.mkdir(root, "d").unwrap();
+        for i in 0..100 {
+            fs.create(dir, &format!("file{i:05}")).unwrap();
+        }
+        black_box(fs.getattr(dir).unwrap().size)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

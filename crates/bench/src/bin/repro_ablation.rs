@@ -1,6 +1,11 @@
 //! Ablation sweeps of C-FFS design choices (group size, read threshold,
 //! scheduler, cache size, access order).
 
+use cffs_bench::experiments::ablation;
+use cffs_bench::report::emit_bench;
+
 fn main() {
-    print!("{}", cffs_bench::experiments::ablation::run());
+    let (text, json) = ablation::report();
+    print!("{text}");
+    emit_bench("ABLATION", json);
 }

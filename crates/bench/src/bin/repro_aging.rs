@@ -1,6 +1,9 @@
 //! E7: file-system aging ([Herrin93] program) — performance vs target
 //! utilization. Usage: repro_aging [--ops N]
 
+use cffs_bench::experiments::aging;
+use cffs_bench::report::emit_bench;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ops = args
@@ -9,5 +12,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse().expect("--ops"))
         .unwrap_or(20_000);
-    print!("{}", cffs_bench::experiments::aging::run(ops));
+    let (text, json) = aging::report(ops);
+    print!("{text}");
+    emit_bench("AGING", json);
 }

@@ -1,5 +1,7 @@
 //! Run every reproduction (E1–E10) and print the combined report — the
-//! source material for `EXPERIMENTS.md`.
+//! source material for `EXPERIMENTS.md`. Each experiment also writes its
+//! `BENCH_*.json` payload (counters included) next to the text output;
+//! set `BENCH_OUT_DIR` to redirect them.
 //!
 //! Usage: repro_all [--quick]
 //!
@@ -7,10 +9,16 @@
 //! ops) for a fast smoke run; the default matches the paper's sizes.
 
 use cffs_bench::experiments::*;
+use cffs_bench::report::emit_bench;
 use cffs_fslib::MetadataMode;
 use cffs_workloads::appdev::DevTreeParams;
 use cffs_workloads::postmark::PostmarkParams;
 use cffs_workloads::smallfile::SmallFileParams;
+
+fn show(bench: &str, r: (String, cffs_obs::json::Json)) {
+    print!("{}", r.0);
+    emit_bench(bench, r.1);
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -25,24 +33,24 @@ fn main() {
     println!("C-FFS reproduction — full experiment suite");
     println!("==========================================");
     println!("\n==== E1: Table 1 — 1996 drive characteristics ====\n");
-    print!("{}", table1::run());
+    show("TABLE1", table1::report());
     println!("\n==== E2: Figure 2 — access time vs request size ====\n");
-    print!("{}", fig2::run(fig2_samples));
+    show("FIG2", fig2::report(fig2_samples));
     println!("\n==== E3: Table 2 — testbed drive ====\n");
-    print!("{}", table2::run());
-    print!("{}", smallfile::run(MetadataMode::Synchronous, sf)); // E4
-    print!("{}", smallfile::run(MetadataMode::Delayed, sf)); // E5
-    print!("{}", filesize::run()); // E6
-    print!("{}", aging::run(aging_ops)); // E7
-    print!("{}", diskreqs::run(sf)); // E8
-    print!("{}", apps::run(MetadataMode::Synchronous, DevTreeParams::default())); // E9
-    print!("{}", apps::run(MetadataMode::Delayed, DevTreeParams::default())); // E9
-    print!("{}", dirsize::run()); // E10
-    print!("{}", ablation::run()); // E11 (extra)
+    show("TABLE2", table2::report());
+    show("SMALLFILE_SYNC", smallfile::report(MetadataMode::Synchronous, sf)); // E4
+    show("SMALLFILE_SOFTDEP", smallfile::report(MetadataMode::Delayed, sf)); // E5
+    show("FILESIZE", filesize::report()); // E6
+    show("AGING", aging::report(aging_ops)); // E7
+    show("DISKREQS", diskreqs::report(sf)); // E8
+    show("APPS_SYNC", apps::report(MetadataMode::Synchronous, DevTreeParams::default())); // E9
+    show("APPS_SOFTDEP", apps::report(MetadataMode::Delayed, DevTreeParams::default())); // E9
+    show("DIRSIZE", dirsize::report()); // E10
+    show("ABLATION", ablation::report()); // E11 (extra)
     let pm = if quick {
         PostmarkParams { nfiles: 500, transactions: 1000, ..PostmarkParams::default() }
     } else {
         PostmarkParams::default()
     };
-    print!("{}", postmark::run(MetadataMode::Synchronous, pm)); // E12 (extra)
+    show("POSTMARK_SYNC", postmark::report(MetadataMode::Synchronous, pm)); // E12 (extra)
 }

@@ -2,8 +2,15 @@
 //! Usage: repro_apps [--mode sync|softdep|both]
 
 use cffs_bench::experiments::apps;
+use cffs_bench::report::emit_bench;
 use cffs_fslib::MetadataMode;
 use cffs_workloads::appdev::DevTreeParams;
+
+fn run_mode(mode: MetadataMode, params: DevTreeParams, bench: &str) {
+    let (text, json) = apps::report(mode, params);
+    print!("{text}");
+    emit_bench(bench, json);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -15,11 +22,11 @@ fn main() {
         .unwrap_or_else(|| "both".to_string());
     let params = DevTreeParams::default();
     match mode.as_str() {
-        "sync" => print!("{}", apps::run(MetadataMode::Synchronous, params)),
-        "softdep" => print!("{}", apps::run(MetadataMode::Delayed, params)),
+        "sync" => run_mode(MetadataMode::Synchronous, params, "APPS_SYNC"),
+        "softdep" => run_mode(MetadataMode::Delayed, params, "APPS_SOFTDEP"),
         _ => {
-            print!("{}", apps::run(MetadataMode::Synchronous, params));
-            print!("{}", apps::run(MetadataMode::Delayed, params));
+            run_mode(MetadataMode::Synchronous, params, "APPS_SYNC");
+            run_mode(MetadataMode::Delayed, params, "APPS_SOFTDEP");
         }
     }
 }

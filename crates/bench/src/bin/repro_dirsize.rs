@@ -1,5 +1,10 @@
 //! E10: directory growth vs static inode preallocation.
 
+use cffs_bench::experiments::dirsize;
+use cffs_bench::report::emit_bench;
+
 fn main() {
-    print!("{}", cffs_bench::experiments::dirsize::run());
+    let (text, json) = dirsize::report();
+    print!("{text}");
+    emit_bench("DIRSIZE", json);
 }

@@ -3,6 +3,8 @@
 //! halving, all read out of the counters.
 //! Usage: repro_diskreqs [--files N]
 
+use cffs_bench::experiments::diskreqs;
+use cffs_bench::report::emit_bench;
 use cffs_workloads::smallfile::SmallFileParams;
 
 fn main() {
@@ -14,5 +16,7 @@ fn main() {
         .map(|s| s.parse().expect("--files"))
         .unwrap_or(10_000);
     let params = SmallFileParams { nfiles, ..SmallFileParams::default() };
-    print!("{}", cffs_bench::experiments::diskreqs::run(params));
+    let (text, json) = diskreqs::report(params);
+    print!("{text}");
+    emit_bench("DISKREQS", json);
 }

@@ -1,6 +1,9 @@
 //! E2: Figure 2 — average access time vs request size for the Table 1
 //! drives. Usage: repro_fig2 [--samples N]
 
+use cffs_bench::experiments::fig2;
+use cffs_bench::report::emit_bench;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let samples = args
@@ -9,5 +12,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse().expect("--samples"))
         .unwrap_or(500);
-    print!("{}", cffs_bench::experiments::fig2::run(samples));
+    let (text, json) = fig2::report(samples);
+    print!("{text}");
+    emit_bench("FIG2", json);
 }

@@ -1,5 +1,10 @@
 //! E6: throughput vs file size — where the grouping advantage decays.
 
+use cffs_bench::experiments::filesize;
+use cffs_bench::report::emit_bench;
+
 fn main() {
-    print!("{}", cffs_bench::experiments::filesize::run());
+    let (text, json) = filesize::report();
+    print!("{text}");
+    emit_bench("FILESIZE", json);
 }

@@ -2,8 +2,15 @@
 //! Usage: repro_postmark [--mode sync|softdep|both] [--transactions N]
 
 use cffs_bench::experiments::postmark;
+use cffs_bench::report::emit_bench;
 use cffs_fslib::MetadataMode;
 use cffs_workloads::postmark::PostmarkParams;
+
+fn run_mode(mode: MetadataMode, params: PostmarkParams, bench: &str) {
+    let (text, json) = postmark::report(mode, params);
+    print!("{text}");
+    emit_bench(bench, json);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,11 +26,11 @@ fn main() {
         ..PostmarkParams::default()
     };
     match get("--mode", "both").as_str() {
-        "sync" => print!("{}", postmark::run(MetadataMode::Synchronous, params)),
-        "softdep" => print!("{}", postmark::run(MetadataMode::Delayed, params)),
+        "sync" => run_mode(MetadataMode::Synchronous, params, "POSTMARK_SYNC"),
+        "softdep" => run_mode(MetadataMode::Delayed, params, "POSTMARK_SOFTDEP"),
         _ => {
-            print!("{}", postmark::run(MetadataMode::Synchronous, params));
-            print!("{}", postmark::run(MetadataMode::Delayed, params));
+            run_mode(MetadataMode::Synchronous, params, "POSTMARK_SYNC");
+            run_mode(MetadataMode::Delayed, params, "POSTMARK_SOFTDEP");
         }
     }
 }

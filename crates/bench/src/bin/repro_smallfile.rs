@@ -5,8 +5,15 @@
 //!                   [--dirs N] [--order roundrobin|dirmajor]
 
 use cffs_bench::experiments::smallfile;
+use cffs_bench::report::emit_bench;
 use cffs_fslib::MetadataMode;
 use cffs_workloads::smallfile::{Assignment, SmallFileParams};
+
+fn run_mode(mode: MetadataMode, params: SmallFileParams, bench: &str) {
+    let (text, json) = smallfile::report(mode, params);
+    print!("{text}");
+    emit_bench(bench, json);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -27,11 +34,11 @@ fn main() {
         },
     };
     match get("--mode", "both").as_str() {
-        "sync" => print!("{}", smallfile::run(MetadataMode::Synchronous, params)),
-        "softdep" => print!("{}", smallfile::run(MetadataMode::Delayed, params)),
+        "sync" => run_mode(MetadataMode::Synchronous, params, "SMALLFILE_SYNC"),
+        "softdep" => run_mode(MetadataMode::Delayed, params, "SMALLFILE_SOFTDEP"),
         _ => {
-            print!("{}", smallfile::run(MetadataMode::Synchronous, params));
-            print!("{}", smallfile::run(MetadataMode::Delayed, params));
+            run_mode(MetadataMode::Synchronous, params, "SMALLFILE_SYNC");
+            run_mode(MetadataMode::Delayed, params, "SMALLFILE_SOFTDEP");
         }
     }
 }

@@ -1,5 +1,10 @@
 //! E1: Table 1 — characteristics of three modern (1996) disk drives.
 
+use cffs_bench::experiments::table1;
+use cffs_bench::report::emit_bench;
+
 fn main() {
-    print!("{}", cffs_bench::experiments::table1::run());
+    let (text, json) = table1::report();
+    print!("{text}");
+    emit_bench("TABLE1", json);
 }

@@ -1,5 +1,10 @@
 //! E3: Table 2 — the testbed drive (Seagate ST31200).
 
+use cffs_bench::experiments::table2;
+use cffs_bench::report::emit_bench;
+
 fn main() {
-    print!("{}", cffs_bench::experiments::table2::run());
+    let (text, json) = table2::report();
+    print!("{text}");
+    emit_bench("TABLE2", json);
 }

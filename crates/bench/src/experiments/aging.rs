@@ -9,21 +9,24 @@
 //! grouping advantage: carving contiguous 16-block extents gets harder,
 //! groups fill with holes, and whole-group reads shrink.
 
-use crate::report::header;
+use crate::report::{header, rows_json};
 use cffs::build;
 use cffs_core::CffsConfig;
 use cffs_disksim::models;
 use cffs_fslib::{FileSystem, MetadataMode};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 use cffs_workloads::aging::{age, AgingParams};
 use cffs_workloads::sizes::Empirical1993;
 use cffs_workloads::smallfile::{self, Assignment, SmallFileParams};
+use cffs_workloads::PhaseResult;
 
 /// Utilization targets swept.
 pub const UTILIZATIONS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 0.85];
 
-/// One aged measurement: create+read throughput (files/s) after aging to
-/// `util` on the 64 MB test disk.
-pub fn point(cfg: CffsConfig, util: f64, ops: usize) -> (f64, f64, f64) {
+/// One aged measurement: the full phase rows plus the actual utilization
+/// the aging program reached.
+pub fn point_rows(cfg: CffsConfig, util: f64, ops: usize) -> (Vec<PhaseResult>, f64) {
     let mut fs = build::on_disk(models::tiny_test_disk(), cfg);
     let outcome = age(
         &mut fs,
@@ -43,13 +46,26 @@ pub fn point(cfg: CffsConfig, util: f64, ops: usize) -> (f64, f64, f64) {
         order: Assignment::RoundRobin,
     };
     let rs = smallfile::run(&mut fs, params).expect("aged benchmark");
-    let create = rs.iter().find(|r| r.phase == "create").expect("create row");
-    let read = rs.iter().find(|r| r.phase == "read").expect("read row");
-    (create.items_per_sec(), read.items_per_sec(), outcome.final_utilization)
+    (rs, outcome.final_utilization)
 }
 
-/// Render the sweep.
-pub fn run(ops: usize) -> String {
+fn rates(rows: &[PhaseResult]) -> (f64, f64) {
+    let create = rows.iter().find(|r| r.phase == "create").expect("create row");
+    let read = rows.iter().find(|r| r.phase == "read").expect("read row");
+    (create.items_per_sec(), read.items_per_sec())
+}
+
+/// One aged measurement: create+read throughput (files/s) after aging to
+/// `util` on the 64 MB test disk.
+pub fn point(cfg: CffsConfig, util: f64, ops: usize) -> (f64, f64, f64) {
+    let (rows, actual) = point_rows(cfg, util, ops);
+    let (c, r) = rates(&rows);
+    (c, r, actual)
+}
+
+/// Run the sweep once, rendering both the text report and the JSON payload.
+pub fn report(ops: usize) -> (String, Json) {
+    let mut points: Vec<Json> = Vec::new();
     let mut out = header(&format!(
         "aging ([Herrin93] program, {ops} ops, 64 MB disk): small-file rates on the aged image"
     ));
@@ -60,13 +76,21 @@ pub fn run(ops: usize) -> String {
     out.push_str(&"-".repeat(78));
     out.push('\n');
     for util in UTILIZATIONS {
-        let (conv_c, conv_r, _) = point(
+        let (conv_rows, _) = point_rows(
             CffsConfig::conventional().with_mode(MetadataMode::Delayed),
             util,
             ops,
         );
-        let (cffs_c, cffs_r, actual) =
-            point(CffsConfig::cffs().with_mode(MetadataMode::Delayed), util, ops);
+        let (cffs_rows, actual) =
+            point_rows(CffsConfig::cffs().with_mode(MetadataMode::Delayed), util, ops);
+        let (conv_c, conv_r) = rates(&conv_rows);
+        let (cffs_c, cffs_r) = rates(&cffs_rows);
+        points.push(obj![
+            ("target_utilization", util.to_json()),
+            ("actual_utilization", actual.to_json()),
+            ("conventional", rows_json(&conv_rows)),
+            ("cffs", rows_json(&cffs_rows)),
+        ]);
         out.push_str(&format!(
             "{:<12} {:>9.0}% {:>14.0} {:>12.0} {:>14.0} {:>12.0}\n",
             format!("{:.0}%", util * 100.0),
@@ -82,5 +106,15 @@ pub fn run(ops: usize) -> String {
          utilization: contiguous 16-block extents become scarce, so more files\n\
          fall back to ungrouped allocation.\n",
     );
-    out
+    let json = obj![
+        ("experiment", "aging".to_json()),
+        ("ops", ops.to_json()),
+        ("points", Json::Arr(points)),
+    ];
+    (out, json)
+}
+
+/// Render the sweep.
+pub fn run(ops: usize) -> String {
+    report(ops).0
 }

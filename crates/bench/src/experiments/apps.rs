@@ -7,9 +7,11 @@
 //! improvement over the conventional baseline in the paper's percentage
 //! form.
 
-use crate::report::{header, phase_table, speedup};
+use crate::report::{header, phase_table, rows_json, speedup};
 use cffs::build;
 use cffs_fslib::MetadataMode;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 use cffs_workloads::appdev::{self, DevTreeParams};
 use cffs_workloads::PhaseResult;
 
@@ -22,9 +24,22 @@ pub fn run_all(mode: MetadataMode, params: DevTreeParams) -> Vec<PhaseResult> {
     all
 }
 
-/// Render the report.
-pub fn run(mode: MetadataMode, params: DevTreeParams) -> String {
+/// Run once, rendering both the text report and the JSON payload.
+pub fn report(mode: MetadataMode, params: DevTreeParams) -> (String, Json) {
     let rows = run_all(mode, params);
+    let json = obj![
+        ("experiment", "apps".to_json()),
+        ("mode", format!("{mode:?}").to_json()),
+        (
+            "params",
+            obj![
+                ("dirs", params.dirs.to_json()),
+                ("files_per_dir", params.files_per_dir.to_json()),
+                ("headers", params.headers.to_json()),
+            ]
+        ),
+        ("rows", rows_json(&rows)),
+    ];
     let mut out = header(&format!(
         "software-development suite ({} dirs x {} files + {} headers, metadata={:?})",
         params.dirs, params.files_per_dir, params.headers, mode
@@ -42,5 +57,10 @@ pub fn run(mode: MetadataMode, params: DevTreeParams) -> String {
             (speedup(base, new) - 1.0) * 100.0
         ));
     }
-    out
+    (out, json)
+}
+
+/// Render the report.
+pub fn run(mode: MetadataMode, params: DevTreeParams) -> String {
+    report(mode, params).0
 }

@@ -14,12 +14,15 @@ use cffs_disksim::models;
 use cffs_ffs::{mkfs as ffs_mkfs, FfsOptions, MkfsParams};
 use cffs_disksim::Disk;
 use cffs_fslib::{FileSystem, BLOCK_SIZE};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::{obj, StatsSnapshot};
 
 /// Directory populations measured.
 pub const POPULATIONS: [usize; 4] = [10, 100, 1000, 10_000];
 
-/// Bytes of directory data per entry at population `n`.
-fn dir_bytes_per_entry(cfg: CffsConfig, n: usize) -> f64 {
+/// Bytes of directory data per entry at population `n`, plus the stack's
+/// counter snapshot for the population run.
+fn dir_bytes_per_entry(cfg: CffsConfig, n: usize) -> (f64, StatsSnapshot) {
     let mut fs = build::on_disk(models::seagate_st31200(), cfg);
     let root = fs.root();
     let dir = fs.mkdir(root, "d").expect("mkdir");
@@ -27,11 +30,13 @@ fn dir_bytes_per_entry(cfg: CffsConfig, n: usize) -> f64 {
         fs.create(dir, &format!("file{i:05}")).expect("create");
     }
     let size = fs.getattr(dir).expect("getattr").size;
-    size as f64 / n as f64
+    let snap = fs.obs().snapshot(fs.config().label.as_str(), fs.now().as_nanos());
+    (size as f64 / n as f64, snap)
 }
 
-/// Render the report.
-pub fn run() -> String {
+/// Run once, rendering both the text report and the JSON payload.
+pub fn report() -> (String, Json) {
+    let mut points: Vec<Json> = Vec::new();
     let mut out = header("directory size and inode-capacity trade (E10)");
     out.push_str(&format!(
         "{:<12} {:>22} {:>22}\n",
@@ -40,8 +45,15 @@ pub fn run() -> String {
     out.push_str(&"-".repeat(58));
     out.push('\n');
     for n in POPULATIONS {
-        let emb = dir_bytes_per_entry(CffsConfig::cffs(), n);
-        let ext = dir_bytes_per_entry(CffsConfig::conventional(), n);
+        let (emb, emb_snap) = dir_bytes_per_entry(CffsConfig::cffs(), n);
+        let (ext, ext_snap) = dir_bytes_per_entry(CffsConfig::conventional(), n);
+        points.push(obj![
+            ("entries", n.to_json()),
+            ("embedded_bytes_per_entry", emb.to_json()),
+            ("external_bytes_per_entry", ext.to_json()),
+            ("embedded_counters", emb_snap.to_json()),
+            ("external_counters", ext_snap.to_json()),
+        ]);
         out.push_str(&format!("{n:<12} {emb:>22.1} {ext:>22.1}\n"));
     }
 
@@ -76,5 +88,14 @@ pub fn run() -> String {
          indirection; the paper's position is that directories remain small\n\
          relative to data, while every (cold) open saves a disk access.\n",
     );
-    out
+    let json = obj![
+        ("experiment", "dirsize".to_json()),
+        ("points", Json::Arr(points)),
+    ];
+    (out, json)
+}
+
+/// Render the report.
+pub fn run() -> String {
+    report().0
 }

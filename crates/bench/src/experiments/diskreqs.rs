@@ -11,9 +11,10 @@
 //! * "Embedding inodes halves the number of blocks actually dirtied when
 //!   removing the files because there are no separate inode blocks."
 
-use crate::experiments::smallfile::run_all;
+use crate::experiments::smallfile::{rows_payload, run_all};
 use crate::report::header;
 use cffs_fslib::MetadataMode;
+use cffs_obs::json::Json;
 use cffs_workloads::smallfile::SmallFileParams;
 use cffs_workloads::PhaseResult;
 
@@ -21,9 +22,15 @@ fn find<'a>(rows: &'a [PhaseResult], fs: &str, phase: &str) -> &'a PhaseResult {
     rows.iter().find(|r| r.fs == fs && r.phase == phase).expect("row present")
 }
 
-/// Render the accounting report.
-pub fn run(params: SmallFileParams) -> String {
+/// Run once, rendering both the text report and the JSON payload.
+pub fn report(params: SmallFileParams) -> (String, Json) {
     let rows = run_all(MetadataMode::Synchronous, params);
+    let mut json = rows_payload(MetadataMode::Synchronous, params, &rows);
+    if let Json::Obj(m) = &mut json {
+        if let Some(e) = m.iter_mut().find(|(k, _)| k == "experiment") {
+            e.1 = Json::Str("diskreqs".to_string());
+        }
+    }
     let mut out = header(&format!(
         "disk-request accounting ({} x {} B, synchronous metadata)",
         params.nfiles, params.file_size
@@ -72,5 +79,10 @@ pub fn run(params: SmallFileParams) -> String {
         (conv_del.io.cache.writebacks + conv_del.io.cache.sync_writes) as f64
             / (emb_del.io.cache.writebacks + emb_del.io.cache.sync_writes).max(1) as f64,
     ));
-    out
+    (out, json)
+}
+
+/// Render the accounting report.
+pub fn run(params: SmallFileParams) -> String {
+    report(params).0
 }

@@ -12,14 +12,18 @@
 
 use cffs_disksim::cache::OnboardCacheConfig;
 use cffs_disksim::{models, Disk, SimTime};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::{obj, StatsSnapshot};
 
 /// Sizes plotted, in KB.
 pub const SIZES_KB: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
-/// Average access time (ms) of `n` random reads of `size` bytes.
-pub fn avg_access_ms(model: cffs_disksim::DiskModel, size: usize, n: usize) -> f64 {
+/// One measured point: average access time (ms) of `n` random reads of
+/// `size` bytes, plus the disk's counter snapshot for the run.
+pub fn point(model: cffs_disksim::DiskModel, size: usize, n: usize) -> (f64, StatsSnapshot) {
     let mut model = model;
     model.cache = OnboardCacheConfig::disabled();
+    let name = model.name.clone();
     let mut disk = Disk::new(model);
     let cap = disk.capacity_sectors();
     let sectors = (size / cffs_disksim::SECTOR_SIZE) as u64;
@@ -33,11 +37,18 @@ pub fn avg_access_ms(model: cffs_disksim::DiskModel, size: usize, n: usize) -> f
         pos = (pos + stride) % (cap - sectors);
         t = disk.read(t, pos, &mut buf);
     }
-    (t - t0).as_millis_f64() / n as f64
+    let snap = disk.obs().snapshot(&name, (t - t0).as_nanos());
+    ((t - t0).as_millis_f64() / n as f64, snap)
 }
 
-/// Render the figure as a table (ms per request, and effective MB/s).
-pub fn run(samples: usize) -> String {
+/// Average access time (ms) of `n` random reads of `size` bytes.
+pub fn avg_access_ms(model: cffs_disksim::DiskModel, size: usize, n: usize) -> f64 {
+    point(model, size, n).0
+}
+
+/// Run the figure once, rendering the table and the JSON payload.
+pub fn report(samples: usize) -> (String, Json) {
+    let mut points: Vec<Json> = Vec::new();
     let drives = models::table1_drives();
     let mut out = String::new();
     out.push_str(&format!("{:<10}", "size"));
@@ -55,8 +66,15 @@ pub fn run(samples: usize) -> String {
     for kb in SIZES_KB {
         out.push_str(&format!("{:<10}", format!("{kb} KB")));
         for d in &drives {
-            let ms = avg_access_ms(d.clone(), kb * 1024, samples);
+            let (ms, snap) = point(d.clone(), kb * 1024, samples);
             let mbps = kb as f64 / 1024.0 / (ms / 1000.0);
+            points.push(obj![
+                ("drive", d.name.to_json()),
+                ("size_kb", kb.to_json()),
+                ("ms_per_req", ms.to_json()),
+                ("mb_per_sec", mbps.to_json()),
+                ("counters", snap.to_json()),
+            ]);
             out.push_str(&format!("{ms:>14.2} {mbps:>9.2}"));
         }
         out.push('\n');
@@ -71,5 +89,15 @@ pub fn run(samples: usize) -> String {
         t64 / t4,
         d.name
     ));
-    out
+    let json = obj![
+        ("experiment", "fig2".to_json()),
+        ("samples", samples.to_json()),
+        ("points", Json::Arr(points)),
+    ];
+    (out, json)
+}
+
+/// Render the figure as a table (ms per request, and effective MB/s).
+pub fn run(samples: usize) -> String {
+    report(samples).0
 }

@@ -5,9 +5,11 @@
 //! create/delete/read/append churn (mail, news, web). Not a paper
 //! artifact — included because a 1997 reviewer would have asked for it.
 
-use crate::report::{header, phase_table, speedup};
+use crate::report::{header, phase_table, rows_json, speedup};
 use cffs::build;
 use cffs_fslib::MetadataMode;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 use cffs_workloads::postmark::{self, PostmarkParams};
 use cffs_workloads::PhaseResult;
 
@@ -20,9 +22,23 @@ pub fn run_all(mode: MetadataMode, params: PostmarkParams) -> Vec<PhaseResult> {
     all
 }
 
-/// Render the report.
-pub fn run(mode: MetadataMode, params: PostmarkParams) -> String {
+/// Run once, rendering both the text report and the JSON payload.
+pub fn report(mode: MetadataMode, params: PostmarkParams) -> (String, Json) {
     let rows = run_all(mode, params);
+    let json = obj![
+        ("experiment", "postmark".to_json()),
+        ("mode", format!("{mode:?}").to_json()),
+        (
+            "params",
+            obj![
+                ("nfiles", params.nfiles.to_json()),
+                ("transactions", params.transactions.to_json()),
+                ("min_size", params.min_size.to_json()),
+                ("max_size", params.max_size.to_json()),
+            ]
+        ),
+        ("rows", rows_json(&rows)),
+    ];
     let mut out = header(&format!(
         "PostMark-style workload ({} files, {} transactions, {}-{} B, metadata={:?})",
         params.nfiles, params.transactions, params.min_size, params.max_size, mode
@@ -42,5 +58,10 @@ pub fn run(mode: MetadataMode, params: PostmarkParams) -> String {
             new.disk_requests()
         ));
     }
-    out
+    (out, json)
+}
+
+/// Render the report.
+pub fn run(mode: MetadataMode, params: PostmarkParams) -> String {
+    report(mode, params).0
 }

@@ -7,9 +7,11 @@
 //! writes — the paper's soft-updates emulation ("[Ganger94] shows that
 //! this will accurately predict the performance impact of soft updates").
 
-use crate::report::{header, phase_table, speedup};
+use crate::report::{header, phase_table, rows_json, speedup};
 use cffs::build;
 use cffs_fslib::MetadataMode;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 use cffs_workloads::smallfile::{self, SmallFileParams};
 use cffs_workloads::PhaseResult;
 
@@ -22,9 +24,28 @@ pub fn run_all(mode: MetadataMode, params: SmallFileParams) -> Vec<PhaseResult> 
     all
 }
 
-/// Render the report for one metadata mode.
-pub fn run(mode: MetadataMode, params: SmallFileParams) -> String {
+/// JSON payload for one metadata mode's rows.
+pub fn rows_payload(mode: MetadataMode, params: SmallFileParams, rows: &[PhaseResult]) -> Json {
+    obj![
+        ("experiment", "smallfile".to_json()),
+        ("mode", format!("{mode:?}").to_json()),
+        (
+            "params",
+            obj![
+                ("nfiles", params.nfiles.to_json()),
+                ("file_size", params.file_size.to_json()),
+                ("ndirs", params.ndirs.to_json()),
+            ]
+        ),
+        ("rows", rows_json(rows)),
+    ]
+}
+
+/// Run one metadata mode and render both the text report and the JSON
+/// payload from the same pass.
+pub fn report(mode: MetadataMode, params: SmallFileParams) -> (String, Json) {
     let all = run_all(mode, params);
+    let json = rows_payload(mode, params, &all);
     let mut out = header(&format!(
         "small-file benchmark: {} x {} B in {} dirs, metadata={:?}",
         params.nfiles, params.file_size, params.ndirs, mode
@@ -44,5 +65,10 @@ pub fn run(mode: MetadataMode, params: SmallFileParams) -> String {
             new.disk_requests()
         ));
     }
-    out
+    (out, json)
+}
+
+/// Render the report for one metadata mode.
+pub fn run(mode: MetadataMode, params: SmallFileParams) -> String {
+    report(mode, params).0
 }

@@ -8,6 +8,8 @@
 
 use cffs_disksim::models;
 use cffs_disksim::DiskModel;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::{obj, Obs};
 
 fn row(label: &str, f: impl Fn(&DiskModel) -> String, drives: &[DiskModel]) -> String {
     let mut s = format!("{label:<28}");
@@ -90,4 +92,16 @@ pub fn run() -> String {
         access_new,
     ));
     out
+}
+
+/// Text report plus JSON payload (the drive models themselves; the
+/// counter snapshot is all-zero because a spec table does no I/O).
+pub fn report() -> (String, Json) {
+    let drives = models::table1_drives();
+    let json = obj![
+        ("experiment", "table1".to_json()),
+        ("drives", Json::Arr(drives.iter().map(|d| d.to_json()).collect())),
+        ("counters", Obs::new().snapshot("static-table", 0).to_json()),
+    ];
+    (run(), json)
 }

@@ -7,6 +7,8 @@
 //! `cffs_disksim::driver` and `cffs_disksim::cache`).
 
 use cffs_disksim::models;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::{obj, Obs};
 
 /// Render the table.
 pub fn run() -> String {
@@ -49,4 +51,15 @@ pub fn run() -> String {
     );
     push("Driver scheduling", "C-LOOK, scatter/gather".to_string());
     out
+}
+
+/// Text report plus JSON payload (the testbed model itself; the counter
+/// snapshot is all-zero because a spec table does no I/O).
+pub fn report() -> (String, Json) {
+    let json = obj![
+        ("experiment", "table2".to_json()),
+        ("drive", models::seagate_st31200().to_json()),
+        ("counters", Obs::new().snapshot("static-table", 0).to_json()),
+    ];
+    (run(), json)
 }

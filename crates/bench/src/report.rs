@@ -1,5 +1,6 @@
 //! Report formatting shared by all reproduction binaries.
 
+use cffs_obs::json::{Json, ToJson};
 use cffs_workloads::PhaseResult;
 
 /// Format a phase-result table: one row per (fs, phase), with simulated
@@ -36,6 +37,32 @@ pub fn header(title: &str) -> String {
     format!("\n==== {title} ====\n\n")
 }
 
+/// JSON array of phase rows (each with its full counter snapshot delta).
+pub fn rows_json(rows: &[PhaseResult]) -> Json {
+    Json::Arr(rows.iter().map(|r| r.to_json()).collect())
+}
+
+/// Write a reproduction result to `BENCH_<NAME>.json` in the directory
+/// named by `BENCH_OUT_DIR` (default: the current directory). Returns the
+/// path written. Every `repro_*` binary calls this with a payload that
+/// carries the simulated-time results *and* the observability counter
+/// snapshots, so runs are machine-comparable.
+pub fn write_bench(name: &str, payload: Json) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, payload.to_string_pretty() + "\n")?;
+    Ok(path)
+}
+
+/// Write and report on stdout; I/O failure degrades to a notice (the text
+/// report is the primary artifact and must not be lost to a read-only cwd).
+pub fn emit_bench(name: &str, payload: Json) {
+    match write_bench(name, payload) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{name}.json: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +77,7 @@ mod tests {
             items: 100,
             bytes: 102_400,
             io: IoStats::default(),
+            counters: None,
         }
     }
 

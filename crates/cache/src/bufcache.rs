@@ -3,8 +3,10 @@
 use cffs_disksim::driver::{Driver, IoReq};
 use cffs_fslib::vfs::CacheStats;
 use cffs_fslib::{FsResult, Ino, BLOCK_SIZE, SECTORS_PER_BLOCK};
+use cffs_obs::{Ctr, Obs};
 use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::sync::Arc;
 
 /// Buffer-cache configuration.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +56,13 @@ pub struct BufferCache {
     lru: BinaryHeap<Reverse<(u64, usize)>>,
     tick: u64,
     stats: CacheStats,
+    /// Shared observability handle. Starts as a private instance; the
+    /// file-system layer rebinds it to the disk's handle via [`set_obs`]
+    /// so the whole stack reports into one [`StatsSnapshot`].
+    ///
+    /// [`set_obs`]: BufferCache::set_obs
+    /// [`StatsSnapshot`]: cffs_obs::StatsSnapshot
+    obs: Arc<Obs>,
 }
 
 impl BufferCache {
@@ -69,12 +78,24 @@ impl BufferCache {
             lru: BinaryHeap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            obs: Obs::new(),
         }
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Rebind the observability handle (normally to `driver.obs()`, so
+    /// cache counters land in the same registry as the disk's).
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// The observability handle this cache reports into.
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
     }
 
     /// Reset statistics.
@@ -136,8 +157,11 @@ impl BufferCache {
             if b.dirty {
                 driver.write(b.blkno * SECTORS_PER_BLOCK, &b.data);
                 self.stats.writebacks += 1;
+                self.obs.bump(Ctr::CacheWritebacks);
+                self.obs.bump(Ctr::CacheDelayedFlushes);
             }
             self.stats.evictions += 1;
+            self.obs.bump(Ctr::CacheEvictions);
             return slot;
         }
     }
@@ -163,8 +187,10 @@ impl BufferCache {
     /// bmap translation entirely, which is the point of the second index.
     pub fn lookup_logical(&mut self, ino: Ino, lbn: u64) -> Option<u64> {
         self.stats.lookups += 1;
+        self.obs.bump(Ctr::CacheLookups);
         if let Some(&slot) = self.logical.get(&(ino, lbn)) {
             self.stats.logical_hits += 1;
+            self.obs.bump(Ctr::CacheLogicalHits);
             self.touch(slot);
             self.bufs[slot].as_ref().map(|b| b.blkno)
         } else {
@@ -238,6 +264,7 @@ impl BufferCache {
                 driver.write(blkno * SECTORS_PER_BLOCK, &b.data);
                 b.dirty = false;
                 self.stats.sync_writes += 1;
+                self.obs.bump(Ctr::CacheSyncFlushes);
             }
         }
         Ok(())
@@ -263,6 +290,7 @@ impl BufferCache {
             let sector = b.data[lo..hi].to_vec();
             driver.write(blkno * SECTORS_PER_BLOCK + sector_in_block as u64, &sector);
             self.stats.sync_writes += 1;
+            self.obs.bump(Ctr::CacheSyncFlushes);
         }
         Ok(())
     }
@@ -282,6 +310,7 @@ impl BufferCache {
             old => {
                 if old.is_none() {
                     self.stats.backbinds += 1;
+                    self.obs.bump(Ctr::CacheBackbinds);
                 }
                 if let Some(oldid) = old {
                     self.logical.remove(&oldid);
@@ -364,6 +393,7 @@ impl BufferCache {
         }
         let done = driver.submit_batch(reqs);
         self.stats.group_reads += 1;
+        self.obs.bump(Ctr::CacheGroupReads);
         // Install every fetched block, identity-less. Block numbers come
         // from the requests themselves — the scheduler may have serviced
         // them in any order.
@@ -385,6 +415,7 @@ impl BufferCache {
                     },
                 );
                 self.stats.group_read_blocks += 1;
+                self.obs.bump(Ctr::CacheGroupReadBlocks);
             }
         }
         Ok(())
@@ -406,6 +437,24 @@ impl BufferCache {
         }
         dirty.sort_by_key(|(blk, _)| *blk);
         self.stats.writebacks += dirty.len() as u64;
+        self.obs.add(Ctr::CacheWritebacks, dirty.len() as u64);
+        self.obs.add(Ctr::CacheDelayedFlushes, dirty.len() as u64);
+        // Count physically contiguous runs of 2+ blocks: each becomes one
+        // scatter/gather write at the driver instead of N single writes.
+        let mut run_len = 1u64;
+        for w in dirty.windows(2) {
+            if w[1].0 == w[0].0 + 1 {
+                run_len += 1;
+            } else {
+                if run_len > 1 {
+                    self.obs.bump(Ctr::CacheCoalescedRuns);
+                }
+                run_len = 1;
+            }
+        }
+        if run_len > 1 {
+            self.obs.bump(Ctr::CacheCoalescedRuns);
+        }
         let reqs = dirty
             .into_iter()
             .map(|(blk, data)| IoReq::write(blk * SECTORS_PER_BLOCK, data))
@@ -441,11 +490,14 @@ impl BufferCache {
     /// on a miss when `read` is set (otherwise installing a zero buffer).
     fn get_slot(&mut self, driver: &mut Driver, blkno: u64, read: bool) -> FsResult<usize> {
         self.stats.lookups += 1;
+        self.obs.bump(Ctr::CacheLookups);
         if let Some(slot) = self.slot_of(blkno) {
             self.stats.phys_hits += 1;
+            self.obs.bump(Ctr::CachePhysHits);
             self.touch(slot);
             return Ok(slot);
         }
+        self.obs.bump(Ctr::CacheMisses);
         let mut data = vec![0u8; BLOCK_SIZE];
         if read {
             driver.read(blkno * SECTORS_PER_BLOCK, &mut data);
@@ -511,6 +563,61 @@ mod tests {
         c.sync(&mut drv).unwrap();
         assert_eq!(drv.stats().physical_requests, 2, "16 adjacent + 1 = 2 phys writes");
         assert_eq!(drv.stats().coalesced, 15);
+    }
+
+    #[test]
+    fn sync_counts_coalesced_runs_in_shared_obs() {
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.set_obs(drv.obs());
+        // Two contiguous runs (4 and 2 blocks) plus two isolated loners.
+        for blk in 1000..1004u64 {
+            c.modify_block(&mut drv, blk, false, false, |d| d.fill(1)).unwrap();
+        }
+        for blk in 2000..2002u64 {
+            c.modify_block(&mut drv, blk, false, false, |d| d.fill(2)).unwrap();
+        }
+        c.modify_block(&mut drv, 5000, false, false, |d| d.fill(3)).unwrap();
+        c.modify_block(&mut drv, 60_000, false, false, |d| d.fill(4)).unwrap();
+        c.sync(&mut drv).unwrap();
+        let obs = drv.obs();
+        assert_eq!(obs.get(Ctr::CacheWritebacks), 8);
+        assert_eq!(obs.get(Ctr::CacheCoalescedRuns), 2, "two runs of >= 2 blocks");
+        // The driver saw the same picture: 4 physical writes carrying 8
+        // scatter/gather segments, 4 logical requests merged away.
+        assert_eq!(obs.get(Ctr::DriverPhysicalRequests), 4);
+        assert_eq!(obs.get(Ctr::DriverSgSegments), 8);
+        assert_eq!(obs.get(Ctr::DriverCoalesced), 4);
+        assert_eq!(drv.stats().physical_requests, 4);
+    }
+
+    #[test]
+    fn sync_counts_run_ending_at_list_tail() {
+        // Regression guard for the classic off-by-one: a contiguous run that
+        // ends at the *last* element of the sorted dirty list must still be
+        // counted (the loop only closes runs on a discontinuity).
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.set_obs(drv.obs());
+        c.modify_block(&mut drv, 10, false, false, |d| d.fill(9)).unwrap();
+        for blk in 100..103u64 {
+            c.modify_block(&mut drv, blk, false, false, |d| d.fill(9)).unwrap();
+        }
+        c.sync(&mut drv).unwrap();
+        let obs = drv.obs();
+        assert_eq!(obs.get(Ctr::CacheCoalescedRuns), 1, "tail run [100..103) counts");
+        assert_eq!(obs.get(Ctr::DriverPhysicalRequests), 2);
+
+        // And a pair at the *head* of the list, loner at the tail.
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.set_obs(drv.obs());
+        c.modify_block(&mut drv, 20, false, false, |d| d.fill(9)).unwrap();
+        c.modify_block(&mut drv, 21, false, false, |d| d.fill(9)).unwrap();
+        c.modify_block(&mut drv, 900, false, false, |d| d.fill(9)).unwrap();
+        c.sync(&mut drv).unwrap();
+        assert_eq!(drv.obs().get(Ctr::CacheCoalescedRuns), 1, "head run [20..22) counts");
+        assert_eq!(drv.obs().get(Ctr::DriverPhysicalRequests), 2);
     }
 
     #[test]

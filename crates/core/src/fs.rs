@@ -51,7 +51,9 @@ use cffs_fslib::{
     Attr, CpuModel, DirEntry, FileKind, FsError, FsResult, FileSystem, Ino, IoStats, StatFs,
     BLOCK_SIZE,
 };
+use cffs_obs::{Ctr, Obs};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of a C-FFS mount.
 #[derive(Debug, Clone)]
@@ -186,9 +188,13 @@ impl Cffs {
             cgs.push(CgHeader::read_from(&buf, cg)?);
         }
         let groups = GroupIndex::build(&sb, &cgs);
+        // One Obs handle for the whole stack: the disk owns it, the
+        // driver delegates to it, and the cache is rebound onto it here.
+        let mut cache = BufferCache::new(cfg.cache);
+        cache.set_obs(drv.obs());
         let mut fs = Cffs {
             drv,
-            cache: BufferCache::new(cfg.cache),
+            cache,
             sb,
             cg_dirty: vec![false; cgs.len()],
             cgs,
@@ -236,6 +242,12 @@ impl Cffs {
     /// The active configuration.
     pub fn config(&self) -> &CffsConfig {
         &self.cfg
+    }
+
+    /// The stack-wide observability handle (counters + event trace) shared
+    /// by the disk, driver, cache, and this file-system layer.
+    pub fn obs(&self) -> Arc<Obs> {
+        self.drv.obs()
     }
 
     /// The physical block currently cached for `(ino, lbn)`, if resident —
@@ -344,11 +356,13 @@ impl Cffs {
         self.charge(self.cpu_model().block_op);
         match decode_ino(ino) {
             InoRef::External(slot) => {
+                self.obs().bump(Ctr::FsExternalInodeOps);
                 let (blk, off) = self.exfile_locate(slot)?;
                 let data = self.cache.read_block(&mut self.drv, blk)?;
                 Inode::read_from(data, off).ok_or(FsError::StaleHandle)
             }
             InoRef::Embedded { blk, off, gen } => {
+                self.obs().bump(Ctr::FsEmbeddedInodeOps);
                 self.fetch_group_for(blk)?;
                 let data = self.cache.read_block(&mut self.drv, blk)?;
                 let entry = dirent::entry_at(data, off)?;
@@ -372,8 +386,16 @@ impl Cffs {
     fn write_inode(&mut self, ino: Ino, inode: &Inode, durable: bool) -> FsResult<()> {
         self.charge(self.cpu_model().block_op);
         let sync = durable && self.cfg.metadata_mode == MetadataMode::Synchronous;
+        if durable {
+            self.obs().bump(if sync {
+                Ctr::FsSyncMetaWrites
+            } else {
+                Ctr::FsDelayedMetaWrites
+            });
+        }
         match decode_ino(ino) {
             InoRef::External(slot) => {
+                self.obs().bump(Ctr::FsExternalInodeOps);
                 let (blk, off) = self.exfile_locate(slot)?;
                 self.cache
                     .modify_block(&mut self.drv, blk, true, true, |d| inode.write_to(d, off))?;
@@ -382,6 +404,7 @@ impl Cffs {
                 }
             }
             InoRef::Embedded { blk, off, gen } => {
+                self.obs().bump(Ctr::FsEmbeddedInodeOps);
                 let img = {
                     let data = self.cache.read_block(&mut self.drv, blk)?;
                     let entry = dirent::entry_at(data, off)?;
@@ -550,6 +573,7 @@ impl Cffs {
                 // The extent stays reserved; only the member bit changed.
             }
             Some(FreeOutcome::Dissolved { start, nslots }) => {
+                self.obs().bump(Ctr::FsGroupDissolves);
                 let cg = sb.block_cg(start).expect("group extent inside a CG");
                 let data_start = sb.cg_data_start(cg);
                 self.cgs[cg as usize]
@@ -787,6 +811,9 @@ impl Cffs {
             Some(g) if g.live() >= self.cfg.group_read_min => g.live_runs(),
             _ => return Ok(()),
         };
+        let obs = self.obs();
+        obs.bump(Ctr::FsGroupFetches);
+        obs.add(Ctr::FsGroupFetchBlocks, runs.iter().map(|&(_, n)| n as u64).sum());
         self.cache.read_group(&mut self.drv, &runs)
     }
 
@@ -842,6 +869,7 @@ impl Cffs {
     /// the paper prescribes ("placement of data for large files remains
     /// unchanged").
     fn degroup(&mut self, ino: Ino, inode: &mut Inode) -> FsResult<()> {
+        self.obs().bump(Ctr::FsDegroupings);
         let near = match self.data_ctx(ino)? {
             AllocCtx::Plain { near } | AllocCtx::Grouped { near, .. } => near,
         };
@@ -1088,8 +1116,10 @@ impl Cffs {
     /// one sector with embedded inodes, the whole block otherwise.
     fn dir_durable(&mut self, blk: u64, off: usize) -> FsResult<()> {
         if self.cfg.metadata_mode != MetadataMode::Synchronous {
+            self.obs().bump(Ctr::FsDelayedMetaWrites);
             return Ok(());
         }
+        self.obs().bump(Ctr::FsSyncMetaWrites);
         if self.cfg.embed {
             self.cache.flush_sector_sync(&mut self.drv, blk, off)
         } else {
@@ -1102,6 +1132,7 @@ impl Cffs {
     /// or a crash leaves garbage chunks around the one flushed sector.
     fn dir_durable_grown(&mut self, blk: u64, off: usize, grew: bool) -> FsResult<()> {
         if grew && self.cfg.metadata_mode == MetadataMode::Synchronous {
+            self.obs().bump(Ctr::FsSyncMetaWrites);
             self.cache.flush_block_sync(&mut self.drv, blk)
         } else {
             self.dir_durable(blk, off)
@@ -1741,6 +1772,10 @@ impl FileSystem for Cffs {
 
     fn cpu_model(&self) -> CpuModel {
         self.cfg.cpu
+    }
+
+    fn obs(&self) -> Option<Arc<Obs>> {
+        Some(Cffs::obs(self))
     }
 }
 

@@ -19,10 +19,11 @@
 //! was shipped disabled for integrity, and the paper's file systems rely on
 //! writes being durable when acknowledged).
 
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{FromJson, Json, JsonError, ToJson};
+use cffs_obs::obj;
 
 /// Configuration of the on-board cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OnboardCacheConfig {
     /// Number of cache segments.
     pub segments: usize,
@@ -36,6 +37,26 @@ impl OnboardCacheConfig {
     /// A disabled cache (every read goes to the media).
     pub fn disabled() -> Self {
         OnboardCacheConfig { segments: 0, segment_sectors: 0, read_ahead: 0 }
+    }
+}
+
+impl ToJson for OnboardCacheConfig {
+    fn to_json(&self) -> Json {
+        obj![
+            ("segments", self.segments.to_json()),
+            ("segment_sectors", self.segment_sectors.to_json()),
+            ("read_ahead", self.read_ahead.to_json()),
+        ]
+    }
+}
+
+impl FromJson for OnboardCacheConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(OnboardCacheConfig {
+            segments: usize::from_json(j.want("segments")?)?,
+            segment_sectors: u64::from_json(j.want("segment_sectors")?)?,
+            read_ahead: u64::from_json(j.want("read_ahead")?)?,
+        })
     }
 }
 

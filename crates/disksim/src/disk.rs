@@ -9,10 +9,12 @@ use crate::stats::DiskStats;
 use crate::store::SectorStore;
 use crate::time::{SimDuration, SimTime};
 use crate::SECTOR_SIZE;
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{FromJson, Json, JsonError, ToJson};
+use cffs_obs::{obj, Ctr, Obs};
+use std::sync::Arc;
 
 /// Static description of a drive: everything needed to predict service times.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskModel {
     /// Marketing name, e.g. `"Seagate ST31200N"`.
     pub name: String,
@@ -33,6 +35,38 @@ pub struct DiskModel {
     pub bus_mb_per_s: f64,
     /// On-board cache configuration.
     pub cache: OnboardCacheConfig,
+}
+
+impl ToJson for DiskModel {
+    fn to_json(&self) -> Json {
+        obj![
+            ("name", self.name.to_json()),
+            ("geometry", self.geometry.to_json()),
+            ("seek", self.seek.to_json()),
+            ("rpm", self.rpm.to_json()),
+            ("head_switch", self.head_switch.to_json()),
+            ("write_settle", self.write_settle.to_json()),
+            ("controller_overhead", self.controller_overhead.to_json()),
+            ("bus_mb_per_s", self.bus_mb_per_s.to_json()),
+            ("cache", self.cache.to_json()),
+        ]
+    }
+}
+
+impl FromJson for DiskModel {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(DiskModel {
+            name: String::from_json(j.want("name")?)?,
+            geometry: Geometry::from_json(j.want("geometry")?)?,
+            seek: SeekCurve::from_json(j.want("seek")?)?,
+            rpm: u32::from_json(j.want("rpm")?)?,
+            head_switch: SimDuration::from_json(j.want("head_switch")?)?,
+            write_settle: SimDuration::from_json(j.want("write_settle")?)?,
+            controller_overhead: SimDuration::from_json(j.want("controller_overhead")?)?,
+            bus_mb_per_s: f64::from_json(j.want("bus_mb_per_s")?)?,
+            cache: OnboardCacheConfig::from_json(j.want("cache")?)?,
+        })
+    }
 }
 
 impl DiskModel {
@@ -56,7 +90,7 @@ impl DiskModel {
 
 /// One serviced request, for access-pattern analysis (recording is off by
 /// default; see [`Disk::set_trace`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEntry {
     /// When service began.
     pub start: SimTime,
@@ -91,6 +125,8 @@ pub struct Disk {
     last_write_undo: Option<(u64, Vec<u8>)>,
     /// Request trace, populated only while enabled.
     trace: Option<Vec<TraceEntry>>,
+    /// Cross-layer observability handle (shared with driver/cache/fs).
+    obs: Arc<Obs>,
 }
 
 impl Disk {
@@ -106,7 +142,19 @@ impl Disk {
             last_completion: SimTime::ZERO,
             last_write_undo: None,
             trace: None,
+            obs: Obs::new(),
         }
+    }
+
+    /// The observability handle (counters + trace ring). The upper layers
+    /// of a stack clone this so one snapshot covers the whole path.
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Replace the observability handle (to share one across stacks).
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
     }
 
     /// The drive's static model.
@@ -170,8 +218,7 @@ impl Disk {
     /// I/O errors from the underlying file.
     pub fn save_image(&self, path: &std::path::Path) -> std::io::Result<()> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        let model = serde_json::to_vec(&self.model)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let model = self.model.to_json().to_string().into_bytes();
         use std::io::Write as _;
         f.write_all(&(model.len() as u64).to_le_bytes())?;
         f.write_all(&model)?;
@@ -189,8 +236,12 @@ impl Disk {
         f.read_exact(&mut n8)?;
         let mut model_bytes = vec![0u8; u64::from_le_bytes(n8) as usize];
         f.read_exact(&mut model_bytes)?;
-        let model: DiskModel = serde_json::from_slice(&model_bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let invalid = |e: JsonError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let model_text = std::str::from_utf8(&model_bytes).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+        })?;
+        let model = DiskModel::from_json(&cffs_obs::json::parse(model_text).map_err(invalid)?)
+            .map_err(invalid)?;
         let store = SectorStore::load_from(&mut f)?;
         let mut d = Disk::new(model);
         d.store = store;
@@ -241,6 +292,9 @@ impl Disk {
         self.store.read(lba, buf);
         self.stats.reads += 1;
         self.stats.sectors_read += n;
+        self.obs.bump(Ctr::DiskRequests);
+        self.obs.bump(Ctr::DiskReads);
+        self.obs.add(Ctr::DiskBytesRead, n * SECTOR_SIZE as u64);
         done
     }
 
@@ -260,6 +314,9 @@ impl Disk {
         self.store.write(lba, buf);
         self.stats.writes += 1;
         self.stats.sectors_written += n;
+        self.obs.bump(Ctr::DiskRequests);
+        self.obs.bump(Ctr::DiskWrites);
+        self.obs.add(Ctr::DiskBytesWritten, n * SECTOR_SIZE as u64);
         done
     }
 
@@ -291,6 +348,9 @@ impl Disk {
             self.stats.cache_hits += 1;
             self.stats.busy_ns += (t - start).as_nanos();
             self.last_completion = t;
+            self.obs.bump(Ctr::DiskCacheHits);
+            self.obs.add(Ctr::DiskServiceNs, (t - start).as_nanos());
+            self.obs.trace(start.as_nanos(), "disk.cache_hit", lba, nsect);
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEntry {
                     start,
@@ -316,6 +376,10 @@ impl Disk {
         }
         t += seek;
         self.stats.seek_ns += seek.as_nanos();
+        if dist > 0 {
+            self.obs.bump(Ctr::DiskSeeks);
+        }
+        self.obs.add(Ctr::DiskSeekNs, seek.as_nanos());
 
         // Rotational latency: wait for the target sector to come around.
         let angle_now = Self::angle_at(t, rev);
@@ -381,6 +445,13 @@ impl Disk {
         }
         self.stats.busy_ns += (t - start).as_nanos();
         self.last_completion = t;
+        self.obs.add(Ctr::DiskServiceNs, (t - start).as_nanos());
+        self.obs.trace(
+            start.as_nanos(),
+            if is_write { "disk.write" } else { "disk.read" },
+            lba,
+            nsect,
+        );
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEntry {
                 start,

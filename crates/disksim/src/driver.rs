@@ -16,10 +16,12 @@ use crate::disk::Disk;
 use crate::stats::DiskStats;
 use crate::time::{SimDuration, SimTime};
 use crate::SECTOR_SIZE;
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::{obj, Ctr, Obs};
+use std::sync::Arc;
 
 /// Request ordering policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
     /// First-come, first-served.
     Fcfs,
@@ -32,7 +34,7 @@ pub enum Scheduler {
 }
 
 /// Driver configuration.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DriverConfig {
     /// Scheduling policy for batches.
     pub scheduler: Scheduler,
@@ -75,7 +77,7 @@ impl IoReq {
 }
 
 /// Driver-level statistics (above the disk's own counters).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DriverStats {
     /// Requests handed to the driver before coalescing.
     pub logical_requests: u64,
@@ -85,6 +87,17 @@ pub struct DriverStats {
     pub coalesced: u64,
     /// Batches submitted.
     pub batches: u64,
+}
+
+impl ToJson for DriverStats {
+    fn to_json(&self) -> Json {
+        obj![
+            ("logical_requests", self.logical_requests.to_json()),
+            ("physical_requests", self.physical_requests.to_json()),
+            ("coalesced", self.coalesced.to_json()),
+            ("batches", self.batches.to_json()),
+        ]
+    }
 }
 
 /// The driver: disk + scheduler + simulated clock.
@@ -110,6 +123,11 @@ impl Driver {
     /// Advance the clock by `d` (CPU work, think time, etc.).
     pub fn advance(&mut self, d: SimDuration) {
         self.now += d;
+    }
+
+    /// The shared observability handle (owned by the disk).
+    pub fn obs(&self) -> Arc<Obs> {
+        self.disk.obs()
     }
 
     /// Borrow the underlying disk.
@@ -147,6 +165,10 @@ impl Driver {
     pub fn read(&mut self, lba: u64, buf: &mut [u8]) {
         self.stats.logical_requests += 1;
         self.stats.physical_requests += 1;
+        let obs = self.disk.obs();
+        obs.bump(Ctr::DriverLogicalRequests);
+        obs.bump(Ctr::DriverPhysicalRequests);
+        obs.bump(Ctr::DriverSgSegments);
         self.now = self.disk.read(self.now, lba, buf);
     }
 
@@ -154,6 +176,10 @@ impl Driver {
     pub fn write(&mut self, lba: u64, buf: &[u8]) {
         self.stats.logical_requests += 1;
         self.stats.physical_requests += 1;
+        let obs = self.disk.obs();
+        obs.bump(Ctr::DriverLogicalRequests);
+        obs.bump(Ctr::DriverPhysicalRequests);
+        obs.bump(Ctr::DriverSgSegments);
         self.now = self.disk.write(self.now, lba, buf);
     }
 
@@ -167,6 +193,9 @@ impl Driver {
         }
         self.stats.batches += 1;
         self.stats.logical_requests += reqs.len() as u64;
+        let obs = self.disk.obs();
+        obs.bump(Ctr::DriverBatches);
+        obs.add(Ctr::DriverLogicalRequests, reqs.len() as u64);
 
         self.order(&mut reqs);
 
@@ -195,6 +224,9 @@ impl Driver {
         for (lba, dir, parts) in merged {
             self.stats.physical_requests += 1;
             self.stats.coalesced += parts.len() as u64 - 1;
+            obs.bump(Ctr::DriverPhysicalRequests);
+            obs.add(Ctr::DriverSgSegments, parts.len() as u64);
+            obs.add(Ctr::DriverCoalesced, parts.len() as u64 - 1);
             let total: usize = parts.iter().map(|p| p.1).sum();
             match dir {
                 IoDir::Write => {

@@ -14,11 +14,12 @@
 //! reads proceed at nearly full media rate. We model track skew and cylinder
 //! skew in sector units, as drive vendors specify them.
 
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{FromJson, Json, JsonError, ToJson};
+use cffs_obs::obj;
 
 /// One recording zone: a contiguous range of cylinders sharing a
 /// sectors-per-track count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Zone {
     /// Number of cylinders in this zone.
     pub cylinders: u32,
@@ -39,8 +40,26 @@ pub struct ChsPos {
     pub sectors_per_track: u32,
 }
 
+impl ToJson for Zone {
+    fn to_json(&self) -> Json {
+        obj![
+            ("cylinders", self.cylinders.to_json()),
+            ("sectors_per_track", self.sectors_per_track.to_json()),
+        ]
+    }
+}
+
+impl FromJson for Zone {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Zone {
+            cylinders: u32::from_json(j.want("cylinders")?)?,
+            sectors_per_track: u32::from_json(j.want("sectors_per_track")?)?,
+        })
+    }
+}
+
 /// Full drive geometry: surfaces and zones.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Geometry {
     /// Number of data surfaces (heads).
     pub heads: u32,
@@ -52,6 +71,33 @@ pub struct Geometry {
     /// Cylinder skew in sectors: additional offset when crossing to the next
     /// cylinder, hiding the single-cylinder seek.
     pub cylinder_skew: u32,
+}
+
+impl ToJson for Geometry {
+    fn to_json(&self) -> Json {
+        obj![
+            ("heads", self.heads.to_json()),
+            ("zones", self.zones.to_json()),
+            ("track_skew", self.track_skew.to_json()),
+            ("cylinder_skew", self.cylinder_skew.to_json()),
+        ]
+    }
+}
+
+impl FromJson for Geometry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let heads = u32::from_json(j.want("heads")?)?;
+        let zones = Vec::<Zone>::from_json(j.want("zones")?)?;
+        if heads == 0 || zones.is_empty() || zones.iter().any(|z| z.cylinders == 0 || z.sectors_per_track == 0) {
+            return Err(JsonError("invalid geometry in image".into()));
+        }
+        Ok(Geometry::new(
+            heads,
+            zones,
+            u32::from_json(j.want("track_skew")?)?,
+            u32::from_json(j.want("cylinder_skew")?)?,
+        ))
+    }
 }
 
 impl Geometry {

@@ -18,10 +18,11 @@
 //! *locality* (same cylinder group) buys much less than *adjacency*.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{FromJson, Json, JsonError, ToJson};
+use cffs_obs::obj;
 
 /// Piecewise seek-time curve fitted to vendor-published seek figures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeekCurve {
     /// Total cylinders on the drive the curve was fitted for.
     pub cylinders: u32,
@@ -35,6 +36,32 @@ pub struct SeekCurve {
     c: f64,
     /// Long-region slope (ms / cyl).
     e: f64,
+}
+
+impl ToJson for SeekCurve {
+    fn to_json(&self) -> Json {
+        obj![
+            ("cylinders", self.cylinders.to_json()),
+            ("pivot", self.pivot.to_json()),
+            ("a", self.a.to_json()),
+            ("b", self.b.to_json()),
+            ("c", self.c.to_json()),
+            ("e", self.e.to_json()),
+        ]
+    }
+}
+
+impl FromJson for SeekCurve {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SeekCurve {
+            cylinders: u32::from_json(j.want("cylinders")?)?,
+            pivot: u32::from_json(j.want("pivot")?)?,
+            a: f64::from_json(j.want("a")?)?,
+            b: f64::from_json(j.want("b")?)?,
+            c: f64::from_json(j.want("c")?)?,
+            e: f64::from_json(j.want("e")?)?,
+        })
+    }
 }
 
 impl SeekCurve {

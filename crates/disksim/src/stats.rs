@@ -6,10 +6,11 @@
 //! (seek / rotation / transfer) backs the Figure 2 analysis.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 
 /// Cumulative counters for one simulated drive.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
     /// Media (or cache-hit) read requests serviced.
     pub reads: u64,
@@ -31,6 +32,23 @@ pub struct DiskStats {
     pub overhead_ns: u64,
     /// Total busy time (ns) — the sum of the four buckets above.
     pub busy_ns: u64,
+}
+
+impl ToJson for DiskStats {
+    fn to_json(&self) -> Json {
+        obj![
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("sectors_read", self.sectors_read.to_json()),
+            ("sectors_written", self.sectors_written.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("seek_ns", self.seek_ns.to_json()),
+            ("rotation_ns", self.rotation_ns.to_json()),
+            ("transfer_ns", self.transfer_ns.to_json()),
+            ("overhead_ns", self.overhead_ns.to_json()),
+            ("busy_ns", self.busy_ns.to_json()),
+        ]
+    }
 }
 
 impl DiskStats {

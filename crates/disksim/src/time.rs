@@ -5,17 +5,41 @@
 //! arithmetic explicit and makes it impossible to confuse simulated time
 //! with wall-clock time.
 
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant on the simulated clock, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
+
+impl ToJson for SimTime {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j).map(SimTime)
+    }
+}
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for SimDuration {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j).map(SimDuration)
+    }
+}
 
 impl SimTime {
     /// The simulation epoch.

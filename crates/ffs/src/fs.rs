@@ -35,6 +35,8 @@ use cffs_fslib::{
     Attr, CpuModel, DirEntry, FileKind, FsError, FsResult, FileSystem, Ino, IoStats, StatFs,
     BLOCK_SIZE,
 };
+use cffs_obs::{Ctr, Obs};
+use std::sync::Arc;
 
 /// Mount-time options.
 #[derive(Debug, Clone)]
@@ -87,9 +89,12 @@ impl Ffs {
             drv.read(sb.cg_header_block(cg) * cffs_fslib::SECTORS_PER_BLOCK, &mut buf);
             cgs.push(CgHeader::read_from(&buf, cg)?);
         }
+        // Share one Obs handle across disk, driver, and cache.
+        let mut cache = BufferCache::new(opts.cache);
+        cache.set_obs(drv.obs());
         Ok(Ffs {
             drv,
-            cache: BufferCache::new(opts.cache),
+            cache,
             sb,
             alloc: Allocator::new(cgs),
             cpu: opts.cpu,
@@ -122,6 +127,12 @@ impl Ffs {
         &self.sb
     }
 
+    /// The stack-wide observability handle (counters + event trace) shared
+    /// by the disk, driver, cache, and this file-system layer.
+    pub fn obs(&self) -> Arc<Obs> {
+        self.drv.obs()
+    }
+
     /// Enable/disable per-request disk trace recording (access-pattern
     /// analysis; off by default).
     pub fn set_disk_trace(&mut self, on: bool) {
@@ -145,6 +156,7 @@ impl Ffs {
 
     fn read_inode(&mut self, ino: Ino) -> FsResult<Inode> {
         self.charge(self.cpu.block_op);
+        self.obs().bump(Ctr::FsExternalInodeOps);
         let (blk, off) = self.sb.inode_location(ino)?;
         let data = self.cache.read_block(&mut self.drv, blk)?;
         Inode::read_from(data, off).ok_or(FsError::StaleHandle)
@@ -154,11 +166,17 @@ impl Ffs {
     /// the mount is in synchronous-metadata mode.
     fn write_inode(&mut self, ino: Ino, inode: &Inode, durable: bool) -> FsResult<()> {
         self.charge(self.cpu.block_op);
+        self.obs().bump(Ctr::FsExternalInodeOps);
         let (blk, off) = self.sb.inode_location(ino)?;
         self.cache
             .modify_block(&mut self.drv, blk, true, true, |d| inode.write_to(d, off))?;
-        if durable && self.mode == MetadataMode::Synchronous {
-            self.cache.flush_block_sync(&mut self.drv, blk)?;
+        if durable {
+            if self.mode == MetadataMode::Synchronous {
+                self.obs().bump(Ctr::FsSyncMetaWrites);
+                self.cache.flush_block_sync(&mut self.drv, blk)?;
+            } else {
+                self.obs().bump(Ctr::FsDelayedMetaWrites);
+            }
         }
         Ok(())
     }
@@ -487,7 +505,10 @@ impl Ffs {
     /// Apply the synchronous-metadata policy to a dirtied directory block.
     fn dir_durable(&mut self, blk: u64) -> FsResult<()> {
         if self.mode == MetadataMode::Synchronous {
+            self.obs().bump(Ctr::FsSyncMetaWrites);
             self.cache.flush_block_sync(&mut self.drv, blk)?;
+        } else {
+            self.obs().bump(Ctr::FsDelayedMetaWrites);
         }
         Ok(())
     }
@@ -916,6 +937,10 @@ impl FileSystem for Ffs {
 
     fn cpu_model(&self) -> CpuModel {
         self.cpu
+    }
+
+    fn obs(&self) -> Option<Arc<Obs>> {
+        Some(Ffs::obs(self))
     }
 }
 

@@ -12,10 +12,9 @@
 //! scans cost about a microsecond per entry.
 
 use cffs_disksim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Per-operation CPU costs charged to the simulated clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuModel {
     /// Fixed cost of entering a file-system operation (trap + VFS layer).
     pub syscall: SimDuration,

@@ -25,14 +25,15 @@ use crate::cpu::CpuModel;
 use crate::error::FsResult;
 use cffs_disksim::{DiskStats, SimTime};
 use cffs_disksim::driver::DriverStats;
-use serde::{Deserialize, Serialize};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 
 /// An inode number. For embedded inodes this encodes a physical location;
 /// treat it as opaque.
 pub type Ino = u64;
 
 /// What kind of object an inode describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FileKind {
     /// Regular file.
     File,
@@ -67,7 +68,7 @@ pub struct DirEntry {
 }
 
 /// Capacity summary returned by [`FileSystem::statfs`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatFs {
     /// Block size in bytes.
     pub block_size: u32,
@@ -87,7 +88,7 @@ pub struct StatFs {
 
 /// Buffer-cache statistics, defined here so the trait can expose them
 /// without a circular crate dependency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Block lookups.
     pub lookups: u64,
@@ -110,8 +111,25 @@ pub struct CacheStats {
     pub group_read_blocks: u64,
 }
 
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        obj![
+            ("lookups", self.lookups.to_json()),
+            ("phys_hits", self.phys_hits.to_json()),
+            ("logical_hits", self.logical_hits.to_json()),
+            ("backbinds", self.backbinds.to_json()),
+            ("evictions", self.evictions.to_json()),
+            ("writebacks", self.writebacks.to_json()),
+            ("sync_writes", self.sync_writes.to_json()),
+            ("group_reads", self.group_reads.to_json()),
+            ("group_read_blocks", self.group_read_blocks.to_json()),
+        ]
+    }
+}
+
 /// Combined I/O accounting: what the E8 reproduction reads out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoStats {
     /// Drive-level counters.
     pub disk: DiskStats,
@@ -121,8 +139,19 @@ pub struct IoStats {
     pub cache: CacheStats,
 }
 
+
+impl ToJson for IoStats {
+    fn to_json(&self) -> Json {
+        obj![
+            ("disk", self.disk.to_json()),
+            ("driver", self.driver.to_json()),
+            ("cache", self.cache.to_json()),
+        ]
+    }
+}
+
 /// Metadata-integrity policy — the paper's Section 4 experimental axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MetadataMode {
     /// Synchronous, ordered metadata writes: the conventional FFS approach
     /// the paper measures first.
@@ -222,6 +251,13 @@ pub trait FileSystem {
     /// The CPU cost model in effect (for workload think-time accounting).
     fn cpu_model(&self) -> CpuModel {
         CpuModel::default()
+    }
+
+    /// The stack-wide observability handle (counter registry + event
+    /// trace), when the implementation carries one. Benchmarks snapshot it
+    /// per phase; `None` means the stack has no instrumentation.
+    fn obs(&self) -> Option<std::sync::Arc<cffs_obs::Obs>> {
+        None
     }
 }
 

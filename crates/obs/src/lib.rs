@@ -1,0 +1,532 @@
+//! `cffs-obs` — cross-layer observability for the C-FFS reproduction.
+//!
+//! Three pieces, all dependency-free and cheap enough for simulator hot
+//! paths:
+//!
+//! * [`Counters`]: a fixed registry of relaxed atomic `u64` counters indexed
+//!   by the [`Ctr`] enum. Incrementing is one relaxed `fetch_add`; the hot
+//!   path never allocates, locks, or formats.
+//! * [`TraceRing`]: a bounded ring of [`Event`]s that overwrites the oldest
+//!   entries on wrap, so the newest events are always retained.
+//! * [`StatsSnapshot`]: a point-in-time, JSON-serializable copy of every
+//!   counter plus simulated time — the unit that bench binaries embed in
+//!   their `BENCH_*.json` output and that tests diff against hand counts.
+//!
+//! One [`Obs`] handle (an `Arc`) is shared by the disk, driver, buffer
+//! cache, and file-system layers of a mounted stack, so a single snapshot
+//! sees the whole path a request took.
+
+pub mod json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use json::{Json, JsonError, ToJson};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal,)+) => {
+        /// Every counter in the registry. `Ctr::name()` gives the stable
+        /// snake_case string used in snapshots and `BENCH_*.json`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Ctr {
+            $($(#[$doc])* $variant,)+
+        }
+
+        impl Ctr {
+            /// Number of registered counters.
+            pub const COUNT: usize = [$($name),+].len();
+
+            /// All counters, in registry (snapshot) order.
+            pub const ALL: [Ctr; Self::COUNT] = [$(Ctr::$variant),+];
+
+            /// Stable external name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Ctr::$variant => $name,)+
+                }
+            }
+
+            /// Inverse of [`Ctr::name`].
+            pub fn from_name(name: &str) -> Option<Ctr> {
+                match name {
+                    $($name => Some(Ctr::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    // ---- disksim: mechanical disk ----
+    /// Requests serviced by the disk (after driver coalescing).
+    DiskRequests => "disk_requests",
+    /// Read requests serviced by the disk.
+    DiskReads => "disk_reads",
+    /// Write requests serviced by the disk.
+    DiskWrites => "disk_writes",
+    /// Requests that required an arm seek (nonzero cylinder delta).
+    DiskSeeks => "disk_seeks",
+    /// Nanoseconds the arm spent seeking.
+    DiskSeekNs => "disk_seek_ns",
+    /// Total simulated service time, nanoseconds.
+    DiskServiceNs => "disk_service_ns",
+    /// Bytes transferred from the media on reads.
+    DiskBytesRead => "disk_bytes_read",
+    /// Bytes transferred to the media on writes.
+    DiskBytesWritten => "disk_bytes_written",
+    /// Read requests absorbed by the on-board (track) cache.
+    DiskCacheHits => "disk_cache_hits",
+
+    // ---- disksim: driver / scheduler ----
+    /// Logical I/O requests submitted to the driver.
+    DriverLogicalRequests => "driver_logical_requests",
+    /// Physical requests issued after scheduling + coalescing.
+    DriverPhysicalRequests => "driver_physical_requests",
+    /// Scatter/gather segments across all physical requests.
+    DriverSgSegments => "driver_sg_segments",
+    /// Logical requests merged away by coalescing.
+    DriverCoalesced => "driver_coalesced",
+    /// Batches submitted to the driver.
+    DriverBatches => "driver_batches",
+
+    // ---- buffer cache ----
+    /// Block lookups against the cache.
+    CacheLookups => "cache_lookups",
+    /// Lookups satisfied via the physical (disk-address) index.
+    CachePhysHits => "cache_phys_hits",
+    /// Lookups satisfied via the logical (file-identity) index.
+    CacheLogicalHits => "cache_logical_hits",
+    /// Lookups that missed and went to disk.
+    CacheMisses => "cache_misses",
+    /// Group-fetched buffers later claimed by file identity.
+    CacheBackbinds => "cache_backbinds",
+    /// Buffers evicted to make room.
+    CacheEvictions => "cache_evictions",
+    /// Dirty buffers written back (any path).
+    CacheWritebacks => "cache_writebacks",
+    /// Physically contiguous dirty runs written as one request by sync.
+    CacheCoalescedRuns => "cache_coalesced_runs",
+    /// Blocks flushed synchronously (write-through ordering points).
+    CacheSyncFlushes => "cache_sync_flushes",
+    /// Blocks flushed by delayed write-back (sync sweep / eviction).
+    CacheDelayedFlushes => "cache_delayed_flushes",
+    /// Group read-ahead requests issued.
+    CacheGroupReads => "cache_group_reads",
+    /// Blocks brought in by group read-ahead.
+    CacheGroupReadBlocks => "cache_group_read_blocks",
+
+    // ---- file system (C-FFS and the FFS baseline) ----
+    /// Inode reads/writes served from an embedded (in-directory) inode.
+    FsEmbeddedInodeOps => "fs_embedded_inode_ops",
+    /// Inode reads/writes served from an external inode block/table.
+    FsExternalInodeOps => "fs_external_inode_ops",
+    /// Whole-group prefetches triggered by a member access.
+    FsGroupFetches => "fs_group_fetches",
+    /// Blocks covered by those group prefetches.
+    FsGroupFetchBlocks => "fs_group_fetch_blocks",
+    /// Groups dissolved (membership dropped to zero / reclaimed).
+    FsGroupDissolves => "fs_group_dissolves",
+    /// Files removed from a group without dissolving it.
+    FsDegroupings => "fs_degroupings",
+    /// Metadata updates forced to disk synchronously.
+    FsSyncMetaWrites => "fs_sync_meta_writes",
+    /// Metadata updates deferred to delayed write-back.
+    FsDelayedMetaWrites => "fs_delayed_meta_writes",
+}
+
+/// Fixed registry of relaxed atomic counters.
+pub struct Counters {
+    vals: [AtomicU64; Ctr::COUNT],
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Counters {
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Add `n` to a counter. Relaxed: counters are statistics, not
+    /// synchronization.
+    #[inline]
+    pub fn add(&self, c: Ctr, n: u64) {
+        self.vals[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn bump(&self, c: Ctr) {
+        self.add(c, 1);
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, c: Ctr) -> u64 {
+        self.vals[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Copy of all counter values, in [`Ctr::ALL`] order.
+    pub fn values(&self) -> [u64; Ctr::COUNT] {
+        std::array::from_fn(|i| self.vals[i].load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One trace event. `a`/`b` are event-specific operands (block numbers,
+/// byte counts, inode numbers — the tag's documentation defines them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time the event occurred, nanoseconds.
+    pub t_ns: u64,
+    /// Static event name, e.g. `"disk.read"` or `"cffs.group_fetch"`.
+    pub tag: &'static str,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Event {
+    /// One-line JSON rendering (for JSONL dumps).
+    pub fn to_jsonl(&self) -> String {
+        obj![
+            ("t_ns", Json::Int(self.t_ns as i64)),
+            ("tag", Json::Str(self.tag.to_string())),
+            ("a", Json::Int(self.a as i64)),
+            ("b", Json::Int(self.b as i64)),
+        ]
+        .to_string()
+    }
+}
+
+/// Bounded event ring. When full, recording overwrites the oldest entry —
+/// the newest `capacity` events are always available.
+pub struct TraceRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Next write position; `total` counts all events ever recorded.
+    head: usize,
+    total: u64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs nonzero capacity");
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    pub fn record(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+        }
+        self.head = (self.head + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Events ever recorded (including ones overwritten since).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+
+    /// The newest `n` retained events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<Event> {
+        let all = self.events();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+}
+
+/// Shared observability handle for one mounted stack (disk + driver +
+/// cache + file system). Clone the `Arc` into each layer.
+pub struct Obs {
+    counters: Counters,
+    trace: Mutex<TraceRing>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").finish_non_exhaustive()
+    }
+}
+
+/// Default trace-ring capacity (events retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+impl Obs {
+    pub fn new() -> Arc<Obs> {
+        Obs::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    pub fn with_trace_capacity(capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            counters: Counters::new(),
+            trace: Mutex::new(TraceRing::new(capacity)),
+        })
+    }
+
+    #[inline]
+    pub fn bump(&self, c: Ctr) {
+        self.counters.bump(c);
+    }
+
+    #[inline]
+    pub fn add(&self, c: Ctr, n: u64) {
+        self.counters.add(c, n);
+    }
+
+    pub fn get(&self, c: Ctr) -> u64 {
+        self.counters.get(c)
+    }
+
+    /// Record a trace event at simulated time `t_ns`.
+    pub fn trace(&self, t_ns: u64, tag: &'static str, a: u64, b: u64) {
+        self.trace
+            .lock()
+            .expect("trace ring poisoned")
+            .record(Event { t_ns, tag, a, b });
+    }
+
+    /// The newest `n` trace events, oldest first.
+    pub fn recent_events(&self, n: usize) -> Vec<Event> {
+        self.trace.lock().expect("trace ring poisoned").last(n)
+    }
+
+    /// Events ever recorded (monotonic; exceeds retained count on wrap).
+    pub fn events_recorded(&self) -> u64 {
+        self.trace
+            .lock()
+            .expect("trace ring poisoned")
+            .total_recorded()
+    }
+
+    /// Point-in-time copy of every counter plus simulated time.
+    pub fn snapshot(&self, label: &str, sim_ns: u64) -> StatsSnapshot {
+        let vals = self.counters.values();
+        StatsSnapshot {
+            label: label.to_string(),
+            sim_ns,
+            counters: Ctr::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), vals[c as usize]))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable copy of the whole counter registry at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Which stack this came from, e.g. `"cffs"` or `"ffs"`.
+    pub label: String,
+    /// Simulated time at the snapshot, nanoseconds.
+    pub sim_ns: u64,
+    /// `(counter name, value)` in registry order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl StatsSnapshot {
+    /// Value of a counter by name (0 if the name is absent — snapshots
+    /// parsed from older files may lack newer counters).
+    pub fn get(&self, c: Ctr) -> u64 {
+        self.get_named(c.name())
+    }
+
+    /// Value of a counter by external name.
+    pub fn get_named(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for
+    /// measuring one phase of a longer run.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            label: self.label.clone(),
+            sim_ns: self.sim_ns.saturating_sub(earlier.sim_ns),
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.get_named(n))))
+                .collect(),
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Result<StatsSnapshot, JsonError> {
+        let label = String::from(j.want("label")?.as_str().ok_or_else(|| {
+            JsonError("label must be a string".into())
+        })?);
+        let sim_ns = j
+            .want("sim_ns")?
+            .as_u64()
+            .ok_or_else(|| JsonError("sim_ns must be a u64".into()))?;
+        let counters_obj = j.want("counters")?;
+        let members = match counters_obj {
+            Json::Obj(m) => m,
+            _ => return Err(JsonError("counters must be an object".into())),
+        };
+        let mut counters = Vec::with_capacity(members.len());
+        for (name, val) in members {
+            let v = val
+                .as_u64()
+                .ok_or_else(|| JsonError(format!("counter {name:?} must be a u64")))?;
+            counters.push((name.clone(), v));
+        }
+        Ok(StatsSnapshot {
+            label,
+            sim_ns,
+            counters,
+        })
+    }
+}
+
+impl ToJson for StatsSnapshot {
+    fn to_json(&self) -> Json {
+        obj![
+            ("label", Json::Str(self.label.clone())),
+            ("sim_ns", Json::Int(self.sim_ns as i64)),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Int(*v as i64)))
+                        .collect()
+                )
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let obs = Obs::new();
+        obs.bump(Ctr::DiskRequests);
+        obs.add(Ctr::DiskBytesRead, 4096);
+        obs.add(Ctr::DiskBytesRead, 4096);
+        assert_eq!(obs.get(Ctr::DiskRequests), 1);
+        assert_eq!(obs.get(Ctr::DiskBytesRead), 8192);
+
+        let snap = obs.snapshot("test", 123);
+        assert_eq!(snap.get(Ctr::DiskBytesRead), 8192);
+        assert_eq!(snap.get(Ctr::CacheMisses), 0);
+        assert_eq!(snap.counters.len(), Ctr::COUNT);
+    }
+
+    #[test]
+    fn counter_names_round_trip() {
+        for c in Ctr::ALL {
+            assert_eq!(Ctr::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Ctr::from_name("no_such_counter"), None);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let obs = Obs::new();
+        obs.add(Ctr::DiskRequests, 5);
+        let before = obs.snapshot("s", 100);
+        obs.add(Ctr::DiskRequests, 3);
+        obs.add(Ctr::CacheMisses, 2);
+        let after = obs.snapshot("s", 250);
+        let d = after.delta(&before);
+        assert_eq!(d.sim_ns, 150);
+        assert_eq!(d.get(Ctr::DiskRequests), 3);
+        assert_eq!(d.get(Ctr::CacheMisses), 2);
+        assert_eq!(d.get(Ctr::DiskBytesRead), 0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let obs = Obs::new();
+        obs.add(Ctr::DriverSgSegments, 7);
+        obs.add(Ctr::FsGroupFetches, 2);
+        let snap = obs.snapshot("cffs", 999_999_999_999);
+        let text = snap.to_json().to_string_pretty();
+        let back = StatsSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn trace_ring_wraps_keeping_newest() {
+        let mut ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.record(Event {
+                t_ns: i,
+                tag: "t",
+                a: i,
+                b: 0,
+            });
+        }
+        assert_eq!(ring.total_recorded(), 10);
+        let evs = ring.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(
+            evs.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest-first, newest retained"
+        );
+        assert_eq!(ring.last(2).iter().map(|e| e.a).collect::<Vec<_>>(), vec![8, 9]);
+        // Asking for more than retained returns everything retained.
+        assert_eq!(ring.last(100).len(), 4);
+    }
+
+    #[test]
+    fn trace_through_obs_handle() {
+        let obs = Obs::with_trace_capacity(8);
+        obs.trace(10, "disk.read", 100, 4096);
+        obs.trace(20, "disk.write", 200, 8192);
+        let evs = obs.recent_events(10);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].tag, "disk.write");
+        let line = evs[0].to_jsonl();
+        let j = json::parse(&line).unwrap();
+        assert_eq!(j.get("tag").unwrap().as_str().unwrap(), "disk.read");
+        assert_eq!(j.get("b").unwrap().as_u64().unwrap(), 4096);
+    }
+
+    #[test]
+    fn counters_are_monotonic_under_concurrency() {
+        let obs = Obs::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let obs = &obs;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        obs.bump(Ctr::CacheLookups);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.get(Ctr::CacheLookups), 40_000);
+    }
+}

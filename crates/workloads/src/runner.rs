@@ -9,10 +9,11 @@
 
 use cffs_disksim::SimDuration;
 use cffs_fslib::{FileSystem, FsResult, IoStats};
-use serde::Serialize;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::{obj, StatsSnapshot};
 
 /// Result of one measured phase.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PhaseResult {
     /// File-system label (e.g. `"C-FFS"`).
     pub fs: String,
@@ -26,6 +27,27 @@ pub struct PhaseResult {
     pub bytes: u64,
     /// I/O counter deltas for the phase.
     pub io: IoStats,
+    /// Full observability counter deltas for the phase (`None` when the
+    /// stack carries no instrumentation, e.g. the in-memory model fs).
+    pub counters: Option<StatsSnapshot>,
+}
+
+
+impl ToJson for PhaseResult {
+    fn to_json(&self) -> Json {
+        let mut j = obj![
+            ("fs", self.fs.to_json()),
+            ("phase", self.phase.to_json()),
+            ("elapsed_ns", self.elapsed.to_json()),
+            ("items", self.items.to_json()),
+            ("bytes", self.bytes.to_json()),
+            ("io", self.io.to_json()),
+        ];
+        if let (Json::Obj(m), Some(snap)) = (&mut j, &self.counters) {
+            m.push(("counters".to_string(), snap.to_json()));
+        }
+        j
+    }
 }
 
 impl PhaseResult {
@@ -61,10 +83,16 @@ pub fn measure<F: FileSystem + ?Sized>(
     body: impl FnOnce(&mut F) -> FsResult<()>,
 ) -> FsResult<PhaseResult> {
     fs.reset_io_stats();
+    let before = fs.obs().map(|o| o.snapshot(fs.label(), fs.now().as_nanos()));
     let t0 = fs.now();
     body(fs)?;
     fs.sync()?;
     let elapsed = fs.now() - t0;
+    // Obs counters are monotonic (never reset), so the phase's share is a
+    // snapshot delta rather than a raw read.
+    let counters = fs.obs().zip(before).map(|(o, b)| {
+        o.snapshot(fs.label(), fs.now().as_nanos()).delta(&b)
+    });
     Ok(PhaseResult {
         fs: fs.label().to_string(),
         phase: phase.to_string(),
@@ -72,6 +100,7 @@ pub fn measure<F: FileSystem + ?Sized>(
         items,
         bytes,
         io: fs.io_stats(),
+        counters,
     })
 }
 

@@ -3,16 +3,25 @@
 //! Usage:
 //!   cffs-inspect <image>          # inspect a saved image (Disk::save_image)
 //!   cffs-inspect --demo [path]    # build a demo image (and optionally save it)
+//!   cffs-inspect stats  <image>|--demo            # counter snapshot as JSON
+//!   cffs-inspect trace  [--last N] <image>|--demo # trace events as JSONL
 //!
 //! Prints the superblock, per-cylinder-group occupancy, the group
 //! descriptor table, the namespace tree annotated with each inode's
 //! placement (embedded vs external) and its blocks' group membership,
 //! and finishes with a full fsck report.
+//!
+//! `stats` and `trace` mount the image and walk the entire namespace cold
+//! (every file's first byte is read), then dump what the observability
+//! layer saw: `stats` prints the [`cffs_obs::StatsSnapshot`] of the whole
+//! stack (disk, driver, buffer cache, file system) as JSON; `trace`
+//! prints the newest `N` (default 64) ring-buffer events as JSONL.
 
 use cffs::core::layout::{decode_ino, InoRef};
 use cffs::core::{fsck, Cffs, CffsConfig};
 use cffs::prelude::*;
 use cffs_disksim::{models, Disk};
+use cffs_obs::json::ToJson;
 use std::path::Path;
 
 fn demo_image() -> Disk {
@@ -71,8 +80,68 @@ fn walk(fs: &mut Cffs, dir: Ino, prefix: &str, out: &mut String) {
     }
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: cffs-inspect <image> | --demo [save-path]\n       \
+         cffs-inspect stats <image>|--demo\n       \
+         cffs-inspect trace [--last N] <image>|--demo"
+    );
+    std::process::exit(2);
+}
+
+fn disk_from(arg: Option<&str>) -> Disk {
+    match arg {
+        Some("--demo") => demo_image(),
+        Some(p) => Disk::load_image(Path::new(p)).expect("load image"),
+        None => usage(),
+    }
+}
+
+/// Mount and walk the whole namespace cold so the counters and trace ring
+/// reflect a real traversal of the image.
+fn mounted_walk(disk: Disk) -> Cffs {
+    let mut fs = Cffs::mount(disk, CffsConfig::cffs()).expect("mount");
+    let mut out = String::new();
+    let root = fs.root();
+    walk(&mut fs, root, "  /", &mut out);
+    fs
+}
+
+fn stats_cmd(args: &[String]) {
+    let fs = mounted_walk(disk_from(args.first().map(String::as_str)));
+    let snap = fs.obs().snapshot("cffs-inspect", fs.now().as_nanos());
+    println!("{}", snap.to_json().to_string_pretty());
+}
+
+fn trace_cmd(args: &[String]) {
+    let mut last = 64usize;
+    let mut image: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--last" {
+            last = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => n,
+                None => usage(),
+            };
+            i += 2;
+        } else {
+            image = Some(args[i].as_str());
+            i += 1;
+        }
+    }
+    let fs = mounted_walk(disk_from(image));
+    for e in fs.obs().recent_events(last) {
+        println!("{}", e.to_jsonl());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("stats") => return stats_cmd(&args[2..]),
+        Some("trace") => return trace_cmd(&args[2..]),
+        _ => {}
+    }
     let disk = match args.get(1).map(String::as_str) {
         Some("--demo") => {
             let d = demo_image();
@@ -83,10 +152,7 @@ fn main() {
             d
         }
         Some(p) => Disk::load_image(Path::new(p)).expect("load image"),
-        None => {
-            eprintln!("usage: cffs-inspect <image> | --demo [save-path]");
-            std::process::exit(2);
-        }
+        None => usage(),
     };
 
     let mut fs = Cffs::mount(disk, CffsConfig::cffs()).expect("mount");

@@ -1,0 +1,120 @@
+//! Cross-layer observability, verified against hand-counted workloads.
+//!
+//! The counters are only worth having if they mean what they say. These
+//! tests pin the exact counter deltas of a micro-workload small enough to
+//! count on paper, check monotonicity through a real workload, and wrap
+//! the trace ring through the live stack.
+
+use cffs::core::{Cffs, CffsConfig, MkfsParams};
+use cffs::prelude::*;
+use cffs_disksim::models;
+use cffs_disksim::Disk;
+use cffs_obs::{StatsSnapshot, DEFAULT_TRACE_CAPACITY};
+
+fn fresh(cfg: CffsConfig) -> Cffs {
+    cffs::core::mkfs::mkfs(Disk::new(models::tiny_test_disk()), MkfsParams::tiny(), cfg)
+        .expect("mkfs")
+}
+
+/// Write one 1 KB file, go cold, and read it back, returning the counter
+/// delta of just the read.
+fn cold_read_delta(cfg: CffsConfig) -> StatsSnapshot {
+    let mut fs = fresh(cfg);
+    let root = fs.root();
+    let d = fs.mkdir(root, "d").unwrap();
+    let f = fs.create(d, "small").unwrap();
+    fs.write(f, 0, &vec![7u8; 1024]).unwrap();
+    fs.sync().unwrap();
+    fs.drop_caches().unwrap();
+    let obs = Cffs::obs(&fs);
+    let before = obs.snapshot("cold-read", fs.now().as_nanos());
+    let mut buf = vec![0u8; 1024];
+    assert_eq!(fs.read(f, 0, &mut buf).unwrap(), 1024);
+    assert!(buf.iter().all(|&b| b == 7));
+    obs.snapshot("cold-read", fs.now().as_nanos()).delta(&before)
+}
+
+/// The paper's headline, hand-counted: under full C-FFS a cold small-file
+/// read costs exactly ONE disk request — the group fetch brings the
+/// directory block (with the embedded inode) and the file data together.
+#[test]
+fn cold_small_file_read_is_one_disk_request() {
+    let d = cold_read_delta(CffsConfig::cffs());
+    assert_eq!(d.get_named("disk_requests"), 1);
+    assert_eq!(d.get_named("disk_reads"), 1);
+    assert_eq!(d.get_named("fs_group_fetches"), 1);
+    assert_eq!(d.get_named("cache_group_reads"), 1);
+    assert_eq!(d.get_named("fs_embedded_inode_ops"), 1);
+    assert_eq!(d.get_named("cache_misses"), 0, "the group fetch preempts every miss");
+}
+
+/// The same read on the conventional layout: the external inode block and
+/// the data block are separate requests.
+#[test]
+fn cold_small_file_read_conventional_needs_two_requests() {
+    let d = cold_read_delta(CffsConfig::conventional());
+    assert_eq!(d.get_named("disk_requests"), 2);
+    assert_eq!(d.get_named("fs_group_fetches"), 0);
+    assert_eq!(d.get_named("fs_embedded_inode_ops"), 0);
+    assert_eq!(d.get_named("cache_misses"), 2);
+}
+
+/// Counters never decrease across a real workload, and a later snapshot
+/// dominates an earlier one counter-by-counter.
+#[test]
+fn snapshots_are_monotonic_through_a_workload() {
+    let mut fs = fresh(CffsConfig::cffs());
+    let root = fs.root();
+    let obs = Cffs::obs(&fs);
+    let mut prev = obs.snapshot("t0", fs.now().as_nanos());
+    for round in 0..4 {
+        let d = fs.mkdir(root, &format!("r{round}")).unwrap();
+        for i in 0..10 {
+            let f = fs.create(d, &format!("f{i}")).unwrap();
+            fs.write(f, 0, &vec![round as u8; 900]).unwrap();
+        }
+        fs.sync().unwrap();
+        let snap = obs.snapshot(&format!("t{}", round + 1), fs.now().as_nanos());
+        assert!(snap.sim_ns >= prev.sim_ns);
+        for (name, v) in &snap.counters {
+            let was = prev.get_named(name);
+            assert!(*v >= was, "counter {name} went backwards: {was} -> {v}");
+        }
+        // The delta is exactly the difference (spot-check one counter).
+        let delta = snap.delta(&prev);
+        assert_eq!(
+            delta.get_named("disk_requests"),
+            snap.get_named("disk_requests") - prev.get_named("disk_requests")
+        );
+        prev = snap;
+    }
+}
+
+/// Drive enough real I/O through the stack to wrap the 4096-event trace
+/// ring; the newest events must survive, in time order.
+#[test]
+fn trace_ring_wraps_through_live_stack_keeping_newest() {
+    let mut fs = fresh(CffsConfig::cffs()); // sync metadata: many small writes
+    let root = fs.root();
+    let obs = Cffs::obs(&fs);
+    let mut rounds = 0u32;
+    while obs.events_recorded() <= DEFAULT_TRACE_CAPACITY as u64 {
+        let name = format!("churn{rounds}");
+        let f = fs.create(root, &name).unwrap();
+        fs.write(f, 0, &vec![1u8; 600]).unwrap();
+        fs.sync().unwrap();
+        fs.unlink(root, &name).unwrap();
+        fs.drop_caches().unwrap();
+        rounds += 1;
+        assert!(rounds < 10_000, "workload never filled the trace ring");
+    }
+    assert!(obs.events_recorded() > DEFAULT_TRACE_CAPACITY as u64);
+    // Retention is capped at capacity — the oldest events are gone...
+    let all = obs.recent_events(usize::MAX);
+    assert_eq!(all.len(), DEFAULT_TRACE_CAPACITY);
+    // ...and what's retained is the newest tail, oldest first.
+    assert!(all.windows(2).all(|w| w[0].t_ns <= w[1].t_ns), "events out of order");
+    let newest = all.last().unwrap().t_ns;
+    assert!(obs.recent_events(1)[0].t_ns == newest, "newest event lost");
+    assert!(newest <= fs.now().as_nanos());
+}
