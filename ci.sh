@@ -15,4 +15,13 @@ cargo test --workspace --offline -q
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== bench smoke (repro_smallfile, reduced scale) =="
+BENCH_TMP=$(mktemp -d)
+BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
+    --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
+    > /dev/null
+cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
+    "$BENCH_TMP"/out/BENCH_*.json
+rm -rf "$BENCH_TMP"
+
 echo "== ci.sh: all green =="

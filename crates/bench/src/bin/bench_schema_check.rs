@@ -1,0 +1,65 @@
+//! CI schema gate for `BENCH_*.json` files.
+//!
+//! Usage: bench_schema_check <file.json>...
+//!
+//! Each file must parse with the in-tree JSON reader and carry the
+//! observability payload the analysis tooling relies on: a non-empty
+//! `rows` array whose rows each have a `counters` snapshot with a
+//! `histograms` member and a `latency_ns` summary, with per-op
+//! `p50_ns`/`p90_ns`/`p99_ns` present somewhere in the file. Exits
+//! nonzero naming the first violation.
+
+use cffs_obs::json::{parse, Json};
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let j = parse(&text).map_err(|e| format!("parse: {e}"))?;
+    let rows = j
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("no \"rows\" array")?;
+    if rows.is_empty() {
+        return Err("\"rows\" is empty".into());
+    }
+    let mut saw_percentiles = false;
+    for (i, row) in rows.iter().enumerate() {
+        let counters = row.get("counters").ok_or(format!("row {i}: no \"counters\""))?;
+        counters
+            .get("histograms")
+            .ok_or(format!("row {i}: counters lack \"histograms\""))?;
+        let lat = row.get("latency_ns").ok_or(format!("row {i}: no \"latency_ns\""))?;
+        let Json::Obj(ops) = lat else {
+            return Err(format!("row {i}: \"latency_ns\" is not an object"));
+        };
+        for (op, summary) in ops {
+            for field in ["count", "mean_ns", "p50_ns", "p90_ns", "p99_ns"] {
+                summary
+                    .get(field)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("row {i}: latency_ns.{op}.{field} missing"))?;
+            }
+            saw_percentiles = true;
+        }
+    }
+    if !saw_percentiles {
+        return Err("no row reported any per-op latency percentiles".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bench_schema_check <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        match check(path) {
+            Ok(()) => println!("ok {path}"),
+            Err(e) => {
+                eprintln!("bench_schema_check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

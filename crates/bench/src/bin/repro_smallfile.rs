@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   repro_smallfile [--mode sync|softdep|both] [--files N] [--size BYTES]
-//!                   [--dirs N] [--order roundrobin|dirmajor]
+//!                   [--dirs N] [--order roundrobin|dirmajor] [--seed N]
 
 use cffs_bench::experiments::smallfile;
 use cffs_bench::report::emit_bench;
@@ -32,6 +32,7 @@ fn main() {
             "dirmajor" => Assignment::DirMajor,
             _ => Assignment::RoundRobin,
         },
+        seed: get("--seed", "1997").parse().expect("--seed"),
     };
     match get("--mode", "both").as_str() {
         "sync" => run_mode(MetadataMode::Synchronous, params, "SMALLFILE_SYNC"),

@@ -26,7 +26,7 @@ use cffs_obs::{obj, StatsSnapshot};
 use cffs_workloads::smallfile::{self, Assignment, SmallFileParams};
 
 fn params(order: Assignment) -> SmallFileParams {
-    SmallFileParams { nfiles: 2000, file_size: 1024, ndirs: 100, order }
+    SmallFileParams { nfiles: 2000, ndirs: 100, order, ..SmallFileParams::default() }
 }
 
 /// Files/s (and counter delta) of one phase for a config.

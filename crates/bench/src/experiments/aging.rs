@@ -44,6 +44,7 @@ pub fn point_rows(cfg: CffsConfig, util: f64, ops: usize) -> (Vec<PhaseResult>, 
         file_size: 1024,
         ndirs: 20,
         order: Assignment::RoundRobin,
+        ..SmallFileParams::default()
     };
     let rs = smallfile::run(&mut fs, params).expect("aged benchmark");
     (rs, outcome.final_utilization)

@@ -28,7 +28,7 @@ pub fn point_rows(cfg: CffsConfig, size: usize) -> Vec<PhaseResult> {
     let nfiles = (TOTAL_BYTES / size).clamp(50, 20_000);
     let ndirs = (nfiles / 100).clamp(4, 100);
     let params =
-        SmallFileParams { nfiles, file_size: size, ndirs, order: Assignment::RoundRobin };
+        SmallFileParams { nfiles, file_size: size, ndirs, order: Assignment::RoundRobin, ..SmallFileParams::default() };
     let mut fs = build::on_disk(models::seagate_st31200(), cfg);
     smallfile::run(&mut fs, params).expect("sweep run")
 }

@@ -35,6 +35,7 @@ pub fn rows_payload(mode: MetadataMode, params: SmallFileParams, rows: &[PhaseRe
                 ("nfiles", params.nfiles.to_json()),
                 ("file_size", params.file_size.to_json()),
                 ("ndirs", params.ndirs.to_json()),
+                ("seed", params.seed.to_json()),
             ]
         ),
         ("rows", rows_json(rows)),

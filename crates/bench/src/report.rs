@@ -49,6 +49,7 @@ pub fn rows_json(rows: &[PhaseResult]) -> Json {
 /// snapshots, so runs are machine-comparable.
 pub fn write_bench(name: &str, payload: Json) -> std::io::Result<std::path::PathBuf> {
     let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    std::fs::create_dir_all(&dir)?;
     let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
     std::fs::write(&path, payload.to_string_pretty() + "\n")?;
     Ok(path)
@@ -93,5 +94,21 @@ mod tests {
         let t = phase_table(&[row("a", "create", 1.0), row("b", "create", 2.0)]);
         assert!(t.contains("file system"));
         assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn write_bench_creates_missing_output_dir() {
+        // A nested, not-yet-existing BENCH_OUT_DIR must be created rather
+        // than failing the write.
+        let dir = std::env::temp_dir()
+            .join(format!("cffs-bench-test-{}", std::process::id()))
+            .join("nested");
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let path = write_bench("REPORT_TEST", Json::Int(1)).expect("write succeeds");
+        std::env::remove_var("BENCH_OUT_DIR");
+        assert!(path.starts_with(&dir));
+        let body = std::fs::read_to_string(&path).expect("file exists");
+        assert_eq!(body.trim(), "1");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
     }
 }

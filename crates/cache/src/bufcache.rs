@@ -42,6 +42,22 @@ struct Buf {
     /// Metadata block (affects accounting only; policy is caller-driven).
     meta: bool,
     stamp: u64,
+    /// `Some(fetch id)` while this buffer was installed by a group
+    /// prefetch and has not been hit yet — cleared (and counted as
+    /// "used") on the first hit, or counted as "wasted" if the buffer
+    /// leaves the cache still untouched.
+    gfetch: Option<u32>,
+}
+
+/// Utilization accounting for one in-flight group prefetch.
+#[derive(Debug)]
+struct GroupFetch {
+    /// Blocks the fetch actually installed.
+    fetched: u32,
+    /// Blocks whose fate is known (used or wasted) so far.
+    resolved: u32,
+    /// Blocks hit at least once before leaving the cache.
+    used: u32,
 }
 
 /// The dual-indexed buffer cache.
@@ -63,6 +79,11 @@ pub struct BufferCache {
     /// [`set_obs`]: BufferCache::set_obs
     /// [`StatsSnapshot`]: cffs_obs::StatsSnapshot
     obs: Arc<Obs>,
+    /// In-flight group-fetch utilization accounting, fetch id → tally.
+    /// An entry is dropped (and its utilization histogram sample
+    /// recorded) once all of its blocks resolved as used or wasted.
+    gfetches: HashMap<u32, GroupFetch>,
+    next_gfetch: u32,
 }
 
 impl BufferCache {
@@ -79,6 +100,8 @@ impl BufferCache {
             tick: 0,
             stats: CacheStats::default(),
             obs: Obs::new(),
+            gfetches: HashMap::new(),
+            next_gfetch: 0,
         }
     }
 
@@ -153,6 +176,9 @@ impl BufferCache {
             self.phys.remove(&b.blkno);
             if let Some(id) = b.logical {
                 self.logical.remove(&id);
+            }
+            if let Some(id) = b.gfetch {
+                self.gfetch_wasted(id);
             }
             if b.dirty {
                 driver.write(b.blkno * SECTORS_PER_BLOCK, &b.data);
@@ -303,7 +329,40 @@ impl BufferCache {
         }
     }
 
+    /// A group-fetched buffer was hit for the first time: the speculation
+    /// paid off. No-op for buffers that did not arrive via group fetch or
+    /// were already counted.
+    fn gfetch_used(&mut self, slot: usize) {
+        let Some(b) = self.bufs[slot].as_mut() else { return };
+        let Some(id) = b.gfetch.take() else { return };
+        self.obs.bump(Ctr::GroupFetchBlocksUsed);
+        self.gfetch_resolve(id, true);
+    }
+
+    /// A group-fetched buffer left the cache without ever being hit.
+    fn gfetch_wasted(&mut self, id: u32) {
+        self.obs.bump(Ctr::GroupFetchBlocksWasted);
+        self.gfetch_resolve(id, false);
+    }
+
+    /// One block of fetch `id` resolved; once all have, record the
+    /// fetch's utilization (percent of blocks used) and retire it.
+    fn gfetch_resolve(&mut self, id: u32, used: bool) {
+        let Some(g) = self.gfetches.get_mut(&id) else { return };
+        g.resolved += 1;
+        if used {
+            g.used += 1;
+        }
+        if g.resolved == g.fetched {
+            let g = self.gfetches.remove(&id).expect("checked above");
+            let pct = u64::from(g.used) * 100 / u64::from(g.fetched);
+            self.obs.histos().group_fetch_util_pct.record(pct);
+        }
+    }
+
     fn bind_slot(&mut self, slot: usize, ino: Ino, lbn: u64) {
+        // Claiming a group-fetched buffer (back-binding) is a use.
+        self.gfetch_used(slot);
         let b = self.bufs[slot].as_mut().expect("resident");
         match b.logical {
             Some(id) if id == (ino, lbn) => {}
@@ -355,6 +414,9 @@ impl BufferCache {
                 if let Some(id) = b.logical {
                     self.logical.remove(&id);
                 }
+                if let Some(id) = b.gfetch {
+                    self.gfetch_wasted(id);
+                }
             }
             self.free_slots.push(slot);
         }
@@ -394,6 +456,14 @@ impl BufferCache {
         let done = driver.submit_batch(reqs);
         self.stats.group_reads += 1;
         self.obs.bump(Ctr::CacheGroupReads);
+        let fetch_id = self.next_gfetch;
+        self.next_gfetch += 1;
+        // Register the tally before installing: with a tiny cache,
+        // installing later blocks of the fetch can evict earlier ones,
+        // and their "wasted" resolution must find the entry.
+        let fetched: u32 = done.iter().map(|r| (r.data.len() / BLOCK_SIZE) as u32).sum();
+        self.gfetches
+            .insert(fetch_id, GroupFetch { fetched, resolved: 0, used: 0 });
         // Install every fetched block, identity-less. Block numbers come
         // from the requests themselves — the scheduler may have serviced
         // them in any order.
@@ -412,6 +482,7 @@ impl BufferCache {
                         dirty: false,
                         meta: false,
                         stamp: 0,
+                        gfetch: Some(fetch_id),
                     },
                 );
                 self.stats.group_read_blocks += 1;
@@ -467,6 +538,15 @@ impl BufferCache {
     /// benchmark phases (the moral equivalent of unmount + mount).
     pub fn drop_all(&mut self, driver: &mut Driver) -> FsResult<()> {
         self.sync(driver)?;
+        // Every still-untouched group-fetched buffer leaves the cache
+        // here: resolve them as wasted so in-flight fetch tallies settle
+        // (this is what makes `used + wasted == fetched` hold at every
+        // cold-cache boundary).
+        let pending: Vec<u32> =
+            self.bufs.iter().flatten().filter_map(|b| b.gfetch).collect();
+        for id in pending {
+            self.gfetch_wasted(id);
+        }
         self.bufs.clear();
         self.free_slots.clear();
         self.phys.clear();
@@ -484,6 +564,9 @@ impl BufferCache {
         self.phys.clear();
         self.logical.clear();
         self.lru.clear();
+        // A crash is not an eviction: abandon in-flight utilization
+        // accounting rather than charging the lost buffers as "wasted".
+        self.gfetches.clear();
     }
 
     /// Core miss/hit path: return the slot for `blkno`, reading from disk
@@ -495,6 +578,7 @@ impl BufferCache {
             self.stats.phys_hits += 1;
             self.obs.bump(Ctr::CachePhysHits);
             self.touch(slot);
+            self.gfetch_used(slot);
             return Ok(slot);
         }
         self.obs.bump(Ctr::CacheMisses);
@@ -505,7 +589,7 @@ impl BufferCache {
         let slot = self.alloc_slot(driver);
         self.install(
             slot,
-            Buf { blkno, logical: None, data, dirty: false, meta: false, stamp: 0 },
+            Buf { blkno, logical: None, data, dirty: false, meta: false, stamp: 0, gfetch: None },
         );
         Ok(slot)
     }
@@ -712,6 +796,60 @@ mod tests {
         // Rebinding the same identity is not another back-bind.
         let _ = c.read_block_bound(&mut drv, 301, 42, 0).unwrap();
         assert_eq!(c.stats().backbinds, 1);
+    }
+
+    #[test]
+    fn group_fetch_utilization_used_plus_wasted_equals_fetched() {
+        use cffs_obs::Ctr;
+        let mut drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.read_group(&mut drv, &[(200, 16)]).unwrap();
+        let obs = c.obs();
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 0);
+        // Hit 5 of the 16: two via physical reads, three via back-binding.
+        for blk in 200..202 {
+            let _ = c.read_block(&mut drv, blk).unwrap();
+        }
+        for (i, blk) in (202..205).enumerate() {
+            let _ = c.read_block_bound(&mut drv, blk, 9, i as u64).unwrap();
+        }
+        // Re-hitting a block must not double-count.
+        let _ = c.read_block(&mut drv, 200).unwrap();
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 5);
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksWasted), 0);
+        // Fetch still unresolved: no utilization sample yet.
+        assert_eq!(obs.histos().group_fetch_util_pct.snapshot().count(), 0);
+        // Cold boundary resolves the remaining 11 as wasted and settles
+        // the fetch: used + wasted == blocks fetched.
+        c.drop_all(&mut drv).unwrap();
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 5);
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksWasted), 11);
+        assert_eq!(
+            obs.get(Ctr::GroupFetchBlocksUsed) + obs.get(Ctr::GroupFetchBlocksWasted),
+            obs.get(Ctr::CacheGroupReadBlocks)
+        );
+        let util = obs.histos().group_fetch_util_pct.snapshot();
+        assert_eq!(util.count(), 1);
+        assert_eq!(util.sum, 5 * 100 / 16, "one sample: 31% of the fetch used");
+    }
+
+    #[test]
+    fn group_fetch_eviction_counts_untouched_blocks_as_wasted() {
+        use cffs_obs::Ctr;
+        let mut drv = driver();
+        // 8-buffer cache, 8-block fetch: reading 8 other blocks evicts
+        // the whole untouched fetch.
+        let mut c = small_cache();
+        c.read_group(&mut drv, &[(100, 8)]).unwrap();
+        for blk in 500..508 {
+            let _ = c.read_block(&mut drv, blk).unwrap();
+        }
+        let obs = c.obs();
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 0);
+        assert_eq!(obs.get(Ctr::GroupFetchBlocksWasted), 8);
+        let util = obs.histos().group_fetch_util_pct.snapshot();
+        assert_eq!(util.count(), 1);
+        assert_eq!(util.sum, 0, "fully wasted fetch records 0% utilization");
     }
 
     #[test]

@@ -51,7 +51,7 @@ use cffs_fslib::{
     Attr, CpuModel, DirEntry, FileKind, FsError, FsResult, FileSystem, Ino, IoStats, StatFs,
     BLOCK_SIZE,
 };
-use cffs_obs::{Ctr, Obs};
+use cffs_obs::{Ctr, Obs, OpKind, SpanGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -275,6 +275,7 @@ impl Cffs {
     /// into group extents anchored at `anchor_dir`, so one group fetch
     /// serves the whole document.
     pub fn group_files(&mut self, anchor_dir: Ino, files: &[Ino]) -> FsResult<()> {
+        let _span = self.op_span(OpKind::GroupFiles);
         if !self.cfg.group {
             return Ok(());
         }
@@ -293,6 +294,14 @@ impl Cffs {
 
     fn charge(&mut self, d: SimDuration) {
         self.drv.advance(d);
+    }
+
+    /// Open a causal attribution span for one public entry point: every
+    /// disk request issued while it is open is stamped with this op (see
+    /// [`Obs::span`]; nested entry-point calls stay attributed to the
+    /// outermost op).
+    fn op_span(&self, op: OpKind) -> SpanGuard {
+        self.drv.obs().span(op)
     }
 
     /// Next generation stamp for a freshly embedded inode.
@@ -1223,6 +1232,7 @@ impl FileSystem for Cffs {
     }
 
     fn lookup(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Lookup);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -1237,6 +1247,7 @@ impl FileSystem for Cffs {
     }
 
     fn getattr(&mut self, ino: Ino) -> FsResult<Attr> {
+        let _span = self.op_span(OpKind::Getattr);
         self.charge(self.cpu_model().syscall);
         let inode = self.read_inode(ino)?;
         Ok(Attr {
@@ -1249,6 +1260,7 @@ impl FileSystem for Cffs {
     }
 
     fn create(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Create);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -1281,6 +1293,7 @@ impl FileSystem for Cffs {
     }
 
     fn mkdir(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Mkdir);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -1316,6 +1329,7 @@ impl FileSystem for Cffs {
     }
 
     fn unlink(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Unlink);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -1337,6 +1351,7 @@ impl FileSystem for Cffs {
     }
 
     fn rmdir(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Rmdir);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -1368,6 +1383,7 @@ impl FileSystem for Cffs {
     }
 
     fn link(&mut self, target: Ino, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Link);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut tinode = self.read_inode(target)?;
@@ -1411,6 +1427,7 @@ impl FileSystem for Cffs {
     }
 
     fn rename(&mut self, odir: Ino, oname: &str, ndir: Ino, nname: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Rename);
         self.charge(self.cpu_model().syscall);
         check_name(oname)?;
         check_name(nname)?;
@@ -1542,6 +1559,7 @@ impl FileSystem for Cffs {
     }
 
     fn read(&mut self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let _span = self.op_span(OpKind::Read);
         self.charge(self.cpu_model().syscall);
         let mut inode = self.read_inode(ino)?;
         if inode.kind == FileKind::Dir {
@@ -1586,6 +1604,7 @@ impl FileSystem for Cffs {
     }
 
     fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+        let _span = self.op_span(OpKind::Write);
         self.charge(self.cpu_model().syscall);
         if data.is_empty() {
             return Ok(0);
@@ -1643,6 +1662,7 @@ impl FileSystem for Cffs {
     }
 
     fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Truncate);
         self.charge(self.cpu_model().syscall);
         if size > MAX_FILE_SIZE {
             return Err(FsError::FileTooBig);
@@ -1669,6 +1689,7 @@ impl FileSystem for Cffs {
     }
 
     fn readdir(&mut self, dirino: Ino) -> FsResult<Vec<DirEntry>> {
+        let _span = self.op_span(OpKind::Readdir);
         self.charge(self.cpu_model().syscall);
         let mut dinode = self.require_dir(dirino)?;
         let nblocks = dinode.size / BLOCK_SIZE as u64;
@@ -1693,6 +1714,7 @@ impl FileSystem for Cffs {
     }
 
     fn sync(&mut self) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Sync);
         self.charge(self.cpu_model().syscall);
         let sb = self.sb.clone();
         for cg in 0..self.cgs.len() {
@@ -1714,6 +1736,7 @@ impl FileSystem for Cffs {
     }
 
     fn statfs(&mut self) -> FsResult<StatFs> {
+        let _span = self.op_span(OpKind::Statfs);
         Ok(StatFs {
             block_size: BLOCK_SIZE as u32,
             total_blocks: self.sb.total_blocks,
@@ -1743,6 +1766,7 @@ impl FileSystem for Cffs {
     }
 
     fn drop_caches(&mut self) -> FsResult<()> {
+        let _span = self.op_span(OpKind::DropCaches);
         self.sync()?;
         self.cache.drop_all(&mut self.drv)?;
         self.drv.disk_mut().flush_onboard_cache();
@@ -1750,6 +1774,7 @@ impl FileSystem for Cffs {
     }
 
     fn group_hint(&mut self, dirino: Ino, names: &[&str]) -> FsResult<()> {
+        let _span = self.op_span(OpKind::GroupHint);
         if !self.cfg.group {
             return Ok(());
         }

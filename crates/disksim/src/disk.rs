@@ -350,7 +350,10 @@ impl Disk {
             self.last_completion = t;
             self.obs.bump(Ctr::DiskCacheHits);
             self.obs.add(Ctr::DiskServiceNs, (t - start).as_nanos());
-            self.obs.trace(start.as_nanos(), "disk.cache_hit", lba, nsect);
+            self.obs.histos().disk_req_sectors.record(nsect);
+            self.obs.histos().disk_req_service_ns.record((t - start).as_nanos());
+            self.obs
+                .trace_io(start.as_nanos(), "disk.cache_hit", lba, nsect, (t - start).as_nanos());
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEntry {
                     start,
@@ -378,6 +381,7 @@ impl Disk {
         self.stats.seek_ns += seek.as_nanos();
         if dist > 0 {
             self.obs.bump(Ctr::DiskSeeks);
+            self.obs.histos().disk_seek_cylinders.record(u64::from(dist));
         }
         self.obs.add(Ctr::DiskSeekNs, seek.as_nanos());
 
@@ -446,11 +450,14 @@ impl Disk {
         self.stats.busy_ns += (t - start).as_nanos();
         self.last_completion = t;
         self.obs.add(Ctr::DiskServiceNs, (t - start).as_nanos());
-        self.obs.trace(
+        self.obs.histos().disk_req_sectors.record(nsect);
+        self.obs.histos().disk_req_service_ns.record((t - start).as_nanos());
+        self.obs.trace_io(
             start.as_nanos(),
             if is_write { "disk.write" } else { "disk.read" },
             lba,
             nsect,
+            (t - start).as_nanos(),
         );
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEntry {

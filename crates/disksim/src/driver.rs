@@ -123,6 +123,13 @@ impl Driver {
     /// Advance the clock by `d` (CPU work, think time, etc.).
     pub fn advance(&mut self, d: SimDuration) {
         self.now += d;
+        self.sync_clock();
+    }
+
+    /// Mirror the clock into the shared [`Obs`] so span guards can
+    /// compute op latencies without borrowing the driver.
+    fn sync_clock(&self) {
+        self.disk.obs().set_clock_ns(self.now.as_nanos());
     }
 
     /// The shared observability handle (owned by the disk).
@@ -170,6 +177,7 @@ impl Driver {
         obs.bump(Ctr::DriverPhysicalRequests);
         obs.bump(Ctr::DriverSgSegments);
         self.now = self.disk.read(self.now, lba, buf);
+        self.sync_clock();
     }
 
     /// Synchronously write at `lba`, advancing the clock.
@@ -181,6 +189,7 @@ impl Driver {
         obs.bump(Ctr::DriverPhysicalRequests);
         obs.bump(Ctr::DriverSgSegments);
         self.now = self.disk.write(self.now, lba, buf);
+        self.sync_clock();
     }
 
     /// Submit a batch: schedule, coalesce physically adjacent same-direction
@@ -247,6 +256,7 @@ impl Driver {
                 }
             }
         }
+        self.sync_clock();
         spans
     }
 

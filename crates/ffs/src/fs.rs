@@ -35,7 +35,7 @@ use cffs_fslib::{
     Attr, CpuModel, DirEntry, FileKind, FsError, FsResult, FileSystem, Ino, IoStats, StatFs,
     BLOCK_SIZE,
 };
-use cffs_obs::{Ctr, Obs};
+use cffs_obs::{Ctr, Obs, OpKind, SpanGuard};
 use std::sync::Arc;
 
 /// Mount-time options.
@@ -146,6 +146,14 @@ impl Ffs {
 
     fn charge(&mut self, d: SimDuration) {
         self.drv.advance(d);
+    }
+
+    /// Open a causal attribution span for one public entry point: every
+    /// disk request issued while it is open is stamped with this op (see
+    /// [`Obs::span`]; nested entry-point calls stay attributed to the
+    /// outermost op).
+    fn op_span(&self, op: OpKind) -> SpanGuard {
+        self.drv.obs().span(op)
     }
 
     fn ino_cg(&self, ino: Ino) -> u32 {
@@ -554,6 +562,7 @@ impl FileSystem for Ffs {
     }
 
     fn lookup(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Lookup);
         self.charge(self.cpu.syscall);
         check_name(name)?;
         let mut inode = self.require_dir(dirino)?;
@@ -564,6 +573,7 @@ impl FileSystem for Ffs {
     }
 
     fn getattr(&mut self, ino: Ino) -> FsResult<Attr> {
+        let _span = self.op_span(OpKind::Getattr);
         self.charge(self.cpu.syscall);
         let inode = self.read_inode(ino)?;
         Ok(Attr {
@@ -576,6 +586,7 @@ impl FileSystem for Ffs {
     }
 
     fn create(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Create);
         self.charge(self.cpu.syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -594,6 +605,7 @@ impl FileSystem for Ffs {
     }
 
     fn mkdir(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Mkdir);
         self.charge(self.cpu.syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -613,6 +625,7 @@ impl FileSystem for Ffs {
     }
 
     fn unlink(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Unlink);
         self.charge(self.cpu.syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -629,6 +642,7 @@ impl FileSystem for Ffs {
     }
 
     fn rmdir(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Rmdir);
         self.charge(self.cpu.syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
@@ -655,6 +669,7 @@ impl FileSystem for Ffs {
     }
 
     fn link(&mut self, target: Ino, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Link);
         self.charge(self.cpu.syscall);
         check_name(name)?;
         let mut tinode = self.read_inode(target)?;
@@ -677,6 +692,7 @@ impl FileSystem for Ffs {
     }
 
     fn rename(&mut self, odir: Ino, oname: &str, ndir: Ino, nname: &str) -> FsResult<Ino> {
+        let _span = self.op_span(OpKind::Rename);
         self.charge(self.cpu.syscall);
         check_name(oname)?;
         check_name(nname)?;
@@ -755,6 +771,7 @@ impl FileSystem for Ffs {
     }
 
     fn read(&mut self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let _span = self.op_span(OpKind::Read);
         self.charge(self.cpu.syscall);
         let mut inode = self.read_inode(ino)?;
         if inode.kind == FileKind::Dir {
@@ -789,6 +806,7 @@ impl FileSystem for Ffs {
     }
 
     fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+        let _span = self.op_span(OpKind::Write);
         self.charge(self.cpu.syscall);
         if data.is_empty() {
             return Ok(0);
@@ -828,6 +846,7 @@ impl FileSystem for Ffs {
     }
 
     fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Truncate);
         self.charge(self.cpu.syscall);
         if size > MAX_FILE_SIZE {
             return Err(FsError::FileTooBig);
@@ -857,6 +876,7 @@ impl FileSystem for Ffs {
     }
 
     fn readdir(&mut self, dirino: Ino) -> FsResult<Vec<DirEntry>> {
+        let _span = self.op_span(OpKind::Readdir);
         self.charge(self.cpu.syscall);
         let mut inode = self.require_dir(dirino)?;
         let nblocks = inode.size / BLOCK_SIZE as u64;
@@ -879,6 +899,7 @@ impl FileSystem for Ffs {
     }
 
     fn sync(&mut self) -> FsResult<()> {
+        let _span = self.op_span(OpKind::Sync);
         self.charge(self.cpu.syscall);
         // Persist dirty cylinder-group headers and the superblock, then
         // flush the whole cache as one scheduled batch.
@@ -901,6 +922,7 @@ impl FileSystem for Ffs {
     }
 
     fn statfs(&mut self) -> FsResult<StatFs> {
+        let _span = self.op_span(OpKind::Statfs);
         Ok(StatFs {
             block_size: BLOCK_SIZE as u32,
             total_blocks: self.sb.total_blocks,
@@ -929,6 +951,7 @@ impl FileSystem for Ffs {
     }
 
     fn drop_caches(&mut self) -> FsResult<()> {
+        let _span = self.op_span(OpKind::DropCaches);
         self.sync()?;
         self.cache.drop_all(&mut self.drv)?;
         self.drv.disk_mut().flush_onboard_cache();

@@ -18,7 +18,7 @@
 
 pub mod json;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use json::{Json, JsonError, ToJson};
@@ -116,6 +116,11 @@ counters! {
     CacheGroupReads => "cache_group_reads",
     /// Blocks brought in by group read-ahead.
     CacheGroupReadBlocks => "cache_group_read_blocks",
+    /// Group-fetched blocks that were hit at least once before leaving
+    /// the cache — the "free bandwidth" that actually got used.
+    GroupFetchBlocksUsed => "group_fetch_blocks_used",
+    /// Group-fetched blocks evicted/invalidated without ever being hit.
+    GroupFetchBlocksWasted => "group_fetch_blocks_wasted",
 
     // ---- file system (C-FFS and the FFS baseline) ----
     /// Inode reads/writes served from an embedded (in-directory) inode.
@@ -178,16 +183,327 @@ impl Default for Counters {
     }
 }
 
+macro_rules! op_kinds {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal / $tag:literal,)+) => {
+        /// The kind of file-system operation a [span](Obs::span) is
+        /// attributed to — one variant per public `FileSystem` entry
+        /// point (plus C-FFS's `group_files` hint).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum OpKind {
+            $($(#[$doc])* $variant,)+
+        }
+
+        impl OpKind {
+            /// Number of op kinds.
+            pub const COUNT: usize = [$($name),+].len();
+
+            /// All op kinds, in registry order.
+            pub const ALL: [OpKind; Self::COUNT] = [$(OpKind::$variant),+];
+
+            /// Stable external name (the `op` field of trace events and
+            /// the suffix of the `op_ns_*` latency histograms).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(OpKind::$variant => $name,)+
+                }
+            }
+
+            /// Trace-event tag recorded when the op's span closes.
+            pub fn tag(self) -> &'static str {
+                match self {
+                    $(OpKind::$variant => $tag,)+
+                }
+            }
+
+            /// Inverse of [`OpKind::name`].
+            pub fn from_name(name: &str) -> Option<OpKind> {
+                match name {
+                    $($name => Some(OpKind::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+op_kinds! {
+    /// Name resolution in one directory.
+    Lookup => "lookup" / "op.lookup",
+    /// Attribute read.
+    Getattr => "getattr" / "op.getattr",
+    /// File creation.
+    Create => "create" / "op.create",
+    /// Directory creation.
+    Mkdir => "mkdir" / "op.mkdir",
+    /// File unlink.
+    Unlink => "unlink" / "op.unlink",
+    /// Directory removal.
+    Rmdir => "rmdir" / "op.rmdir",
+    /// Hard-link creation.
+    Link => "link" / "op.link",
+    /// Rename (same or cross directory).
+    Rename => "rename" / "op.rename",
+    /// File data read.
+    Read => "read" / "op.read",
+    /// File data write.
+    Write => "write" / "op.write",
+    /// File truncate/extend.
+    Truncate => "truncate" / "op.truncate",
+    /// Directory scan.
+    Readdir => "readdir" / "op.readdir",
+    /// Flush of all dirty state.
+    Sync => "sync" / "op.sync",
+    /// File-system statistics.
+    Statfs => "statfs" / "op.statfs",
+    /// Application grouping hint.
+    GroupHint => "group_hint" / "op.group_hint",
+    /// Cache drop (cold-cache boundary in benchmarks).
+    DropCaches => "drop_caches" / "op.drop_caches",
+    /// C-FFS explicit co-grouping of named files.
+    GroupFiles => "group_files" / "op.group_files",
+}
+
+/// Number of buckets in every [`Histogram`]. Bucket 0 holds the value 0;
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`. 48 buckets cover
+/// values up to `2^47` (≈ 39 simulated hours in nanoseconds).
+pub const HISTO_BUCKETS: usize = 48;
+
+/// Bucket index a value lands in (log2 buckets, see [`HISTO_BUCKETS`]).
+#[inline]
+pub fn histo_bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTO_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn histo_bucket_lo(i: usize) -> u64 {
+    if i == 0 { 0 } else { 1u64 << (i - 1) }
+}
+
+/// Inclusive upper bound of a bucket (quantiles report this value, so a
+/// log2 histogram's percentiles are upper bounds accurate to 2×).
+pub fn histo_bucket_hi(i: usize) -> u64 {
+    if i == 0 { 0 } else { (1u64 << i) - 1 }
+}
+
+/// Fixed-size log2-bucket histogram of `u64` values. Recording is one
+/// relaxed `fetch_add` on a bucket plus one on the running sum — no
+/// allocation, no locks, no floating point on the hot path.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[histo_bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serializable copy of a [`Histogram`] at one instant. Trailing empty
+/// buckets are trimmed, so `buckets.len()` varies but indices keep the
+/// log2 meaning of [`histo_bucket_of`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Sum of all recorded values (for means).
+    pub sum: u64,
+    /// Per-bucket counts, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Quantile `q` in `[0, 1]`, reported as the inclusive upper bound of
+    /// the bucket where the cumulative count crosses `q` (log2 buckets:
+    /// accurate to a factor of 2). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return histo_bucket_hi(i);
+            }
+        }
+        histo_bucket_hi(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(earlier.buckets.len());
+        let get = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        let mut buckets: Vec<u64> = (0..len)
+            .map(|i| get(&self.buckets, i).saturating_sub(get(&earlier.buckets, i)))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Result<HistogramSnapshot, JsonError> {
+        let sum = j
+            .want("sum")?
+            .as_u64()
+            .ok_or_else(|| JsonError("histogram sum must be a u64".into()))?;
+        let buckets = match j.want("buckets")? {
+            Json::Arr(a) => a
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError("histogram bucket must be a u64".into()))
+                })
+                .collect::<Result<Vec<u64>, _>>()?,
+            _ => return Err(JsonError("histogram buckets must be an array".into())),
+        };
+        Ok(HistogramSnapshot { sum, buckets })
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        obj![
+            ("count", Json::Int(self.count() as i64)),
+            ("sum", Json::Int(self.sum as i64)),
+            (
+                "buckets",
+                Json::Arr(self.buckets.iter().map(|&c| Json::Int(c as i64)).collect())
+            ),
+        ]
+    }
+}
+
+/// The fixed registry of histograms one [`Obs`] carries: per-op latency
+/// (`op_ns_<op>`), disk-request size in sectors, seek distance in
+/// cylinders, per-request service time, and group-fetch utilization.
+pub struct Histos {
+    op_ns: [Histogram; OpKind::COUNT],
+    /// Sectors per disk request, after driver coalescing.
+    pub disk_req_sectors: Histogram,
+    /// Cylinders traversed by each arm seek (zero-distance not recorded).
+    pub disk_seek_cylinders: Histogram,
+    /// Simulated service time of each disk request, nanoseconds.
+    pub disk_req_service_ns: Histogram,
+    /// Percent of each group fetch's blocks hit before leaving the cache,
+    /// recorded once per fetch when its last block resolves.
+    pub group_fetch_util_pct: Histogram,
+}
+
+impl Histos {
+    fn new() -> Self {
+        Histos {
+            op_ns: std::array::from_fn(|_| Histogram::new()),
+            disk_req_sectors: Histogram::new(),
+            disk_seek_cylinders: Histogram::new(),
+            disk_req_service_ns: Histogram::new(),
+            group_fetch_util_pct: Histogram::new(),
+        }
+    }
+
+    /// The latency histogram for one op kind.
+    pub fn op_ns(&self, op: OpKind) -> &Histogram {
+        &self.op_ns[op as usize]
+    }
+
+    /// `(stable name, histogram)` pairs in registry (snapshot) order.
+    pub fn named(&self) -> Vec<(String, &Histogram)> {
+        let mut out: Vec<(String, &Histogram)> = OpKind::ALL
+            .iter()
+            .map(|&op| (format!("op_ns_{}", op.name()), &self.op_ns[op as usize]))
+            .collect();
+        out.push(("disk_req_sectors".to_string(), &self.disk_req_sectors));
+        out.push(("disk_seek_cylinders".to_string(), &self.disk_seek_cylinders));
+        out.push(("disk_req_service_ns".to_string(), &self.disk_req_service_ns));
+        out.push(("group_fetch_util_pct".to_string(), &self.group_fetch_util_pct));
+        out
+    }
+
+    /// All registered histogram names, in snapshot order.
+    pub fn names() -> Vec<String> {
+        let mut out: Vec<String> = OpKind::ALL
+            .iter()
+            .map(|&op| format!("op_ns_{}", op.name()))
+            .collect();
+        out.push("disk_req_sectors".to_string());
+        out.push("disk_seek_cylinders".to_string());
+        out.push("disk_req_service_ns".to_string());
+        out.push("group_fetch_util_pct".to_string());
+        out
+    }
+}
+
 /// One trace event. `a`/`b` are event-specific operands (block numbers,
 /// byte counts, inode numbers — the tag's documentation defines them).
+/// Every event is stamped with the [span](Obs::span) active when it was
+/// recorded (`span == 0` / empty `op` when none), so disk requests can be
+/// attributed to the file-system operation that caused them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Simulated time the event occurred, nanoseconds.
     pub t_ns: u64,
-    /// Static event name, e.g. `"disk.read"` or `"cffs.group_fetch"`.
+    /// Static event name, e.g. `"disk.read"` or `"op.create"`.
     pub tag: &'static str,
     pub a: u64,
     pub b: u64,
+    /// Id of the causing op span; 0 when no span was active.
+    pub span: u64,
+    /// [`OpKind::name`] of the causing op; `""` when no span was active.
+    pub op: &'static str,
+    /// Event duration in simulated nanoseconds (service time for `disk.*`
+    /// events, op latency for `op.*` span events); 0 when instantaneous.
+    pub dur_ns: u64,
 }
 
 impl Event {
@@ -198,6 +514,9 @@ impl Event {
             ("tag", Json::Str(self.tag.to_string())),
             ("a", Json::Int(self.a as i64)),
             ("b", Json::Int(self.b as i64)),
+            ("span", Json::Int(self.span as i64)),
+            ("op", Json::Str(self.op.to_string())),
+            ("dur_ns", Json::Int(self.dur_ns as i64)),
         ]
         .to_string()
     }
@@ -263,7 +582,17 @@ impl TraceRing {
 /// cache + file system). Clone the `Arc` into each layer.
 pub struct Obs {
     counters: Counters,
+    histos: Histos,
     trace: Mutex<TraceRing>,
+    /// Mirror of the driver's simulated clock, updated whenever the
+    /// driver advances time, so span guards can compute op latency
+    /// without a borrow of the driver.
+    clock_ns: AtomicU64,
+    /// Currently open op span (0 = none) and its op-kind index.
+    cur_span: AtomicU64,
+    cur_op: AtomicUsize,
+    /// Next span id to allocate (span ids start at 1; 0 means "none").
+    next_span: AtomicU64,
 }
 
 impl std::fmt::Debug for Obs {
@@ -283,7 +612,12 @@ impl Obs {
     pub fn with_trace_capacity(capacity: usize) -> Arc<Obs> {
         Arc::new(Obs {
             counters: Counters::new(),
+            histos: Histos::new(),
             trace: Mutex::new(TraceRing::new(capacity)),
+            clock_ns: AtomicU64::new(0),
+            cur_span: AtomicU64::new(0),
+            cur_op: AtomicUsize::new(0),
+            next_span: AtomicU64::new(1),
         })
     }
 
@@ -301,12 +635,80 @@ impl Obs {
         self.counters.get(c)
     }
 
-    /// Record a trace event at simulated time `t_ns`.
+    /// Record a trace event at simulated time `t_ns`. The event is
+    /// stamped with the currently open op span (if any).
     pub fn trace(&self, t_ns: u64, tag: &'static str, a: u64, b: u64) {
+        self.trace_io(t_ns, tag, a, b, 0);
+    }
+
+    /// Like [`Obs::trace`], with an explicit duration (e.g. the service
+    /// time of a disk request).
+    pub fn trace_io(&self, t_ns: u64, tag: &'static str, a: u64, b: u64, dur_ns: u64) {
+        let (span, op) = self.current_span_fields();
         self.trace
             .lock()
             .expect("trace ring poisoned")
-            .record(Event { t_ns, tag, a, b });
+            .record(Event { t_ns, tag, a, b, span, op, dur_ns });
+    }
+
+    fn current_span_fields(&self) -> (u64, &'static str) {
+        let span = self.cur_span.load(Ordering::Relaxed);
+        if span == 0 {
+            (0, "")
+        } else {
+            (span, OpKind::ALL[self.cur_op.load(Ordering::Relaxed)].name())
+        }
+    }
+
+    /// The histogram registry.
+    pub fn histos(&self) -> &Histos {
+        &self.histos
+    }
+
+    /// Mirror the driver's simulated clock (monotonic; called by the
+    /// driver whenever its clock moves).
+    #[inline]
+    pub fn set_clock_ns(&self, now_ns: u64) {
+        self.clock_ns.fetch_max(now_ns, Ordering::Relaxed);
+    }
+
+    /// Latest simulated time any layer reported, nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// The currently open op span, if any.
+    pub fn current_span(&self) -> Option<(SpanId, OpKind)> {
+        let span = self.cur_span.load(Ordering::Relaxed);
+        if span == 0 {
+            None
+        } else {
+            Some((SpanId(span), OpKind::ALL[self.cur_op.load(Ordering::Relaxed)]))
+        }
+    }
+
+    /// Open a causal span for one file-system operation. Returns a guard
+    /// that closes the span (recording an `op.*` trace event and the op's
+    /// latency histogram sample) when dropped.
+    ///
+    /// Spans do not nest: if a span is already open (an entry point
+    /// called another entry point, e.g. `drop_caches` → `sync`), the
+    /// inner guard is inert and all I/O stays attributed to the
+    /// outermost — user-visible — operation.
+    pub fn span(self: &Arc<Obs>, op: OpKind) -> SpanGuard {
+        let opened = if self.cur_span.load(Ordering::Relaxed) == 0 {
+            let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+            self.cur_op.store(op as usize, Ordering::Relaxed);
+            self.cur_span.store(id, Ordering::Relaxed);
+            Some((SpanId(id), self.clock_ns()))
+        } else {
+            None
+        };
+        SpanGuard {
+            obs: Arc::clone(self),
+            op,
+            opened,
+        }
     }
 
     /// The newest `n` trace events, oldest first.
@@ -322,7 +724,8 @@ impl Obs {
             .total_recorded()
     }
 
-    /// Point-in-time copy of every counter plus simulated time.
+    /// Point-in-time copy of every counter and histogram plus simulated
+    /// time.
     pub fn snapshot(&self, label: &str, sim_ns: u64) -> StatsSnapshot {
         let vals = self.counters.values();
         StatsSnapshot {
@@ -332,11 +735,57 @@ impl Obs {
                 .iter()
                 .map(|&c| (c.name().to_string(), vals[c as usize]))
                 .collect(),
+            histograms: self
+                .histos
+                .named()
+                .into_iter()
+                .map(|(n, h)| (n, h.snapshot()))
+                .collect(),
         }
     }
 }
 
-/// Serializable copy of the whole counter registry at one instant.
+/// Id of one causal op span. Allocated per-[`Obs`] starting at 1 (0 means
+/// "no span"), so ids are deterministic across runs of a deterministic
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// Guard returned by [`Obs::span`]. Dropping it closes the span: the op's
+/// simulated latency (clock delta since open) is recorded into its
+/// `op_ns_*` histogram and an `op.*` trace event is emitted carrying the
+/// span id and latency. Inert when the span was nested (see
+/// [`Obs::span`]).
+pub struct SpanGuard {
+    obs: Arc<Obs>,
+    op: OpKind,
+    /// `(id, open-time ns)` when this guard actually opened a span.
+    opened: Option<(SpanId, u64)>,
+}
+
+impl SpanGuard {
+    /// The span id, when this guard opened one (None when nested).
+    pub fn id(&self) -> Option<SpanId> {
+        self.opened.map(|(id, _)| id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((SpanId(id), t0)) = self.opened {
+            let latency = self.obs.clock_ns().saturating_sub(t0);
+            self.obs.histos.op_ns(self.op).record(latency);
+            // Emit while the span is still current so the event is
+            // stamped with its own span/op, then close.
+            self.obs.trace_io(t0, self.op.tag(), 0, 0, latency);
+            debug_assert_eq!(self.obs.cur_span.load(Ordering::Relaxed), id);
+            self.obs.cur_span.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serializable copy of the whole counter and histogram registry at one
+/// instant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Which stack this came from, e.g. `"cffs"` or `"ffs"`.
@@ -345,6 +794,9 @@ pub struct StatsSnapshot {
     pub sim_ns: u64,
     /// `(counter name, value)` in registry order.
     pub counters: Vec<(String, u64)>,
+    /// `(histogram name, snapshot)` in registry order. Empty when parsed
+    /// from files written before histograms existed.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 impl StatsSnapshot {
@@ -363,9 +815,48 @@ impl StatsSnapshot {
             .unwrap_or(0)
     }
 
-    /// Counter-wise difference `self - earlier` (saturating), for
-    /// measuring one phase of a longer run.
+    /// Histogram snapshot by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Latency histogram for one op kind, if present.
+    pub fn op_latency(&self, op: OpKind) -> Option<&HistogramSnapshot> {
+        self.histogram(&format!("op_ns_{}", op.name()))
+    }
+
+    /// JSON summary of per-op latency — `{op: {count, mean_ns, p50_ns,
+    /// p90_ns, p99_ns}}` for every op kind that ran (empty object when
+    /// this snapshot carries no histograms). This is what puts
+    /// per-op-kind percentiles into every `BENCH_*.json` phase row.
+    pub fn op_latency_summary(&self) -> Json {
+        let mut ops = Vec::new();
+        for op in OpKind::ALL {
+            if let Some(h) = self.op_latency(op) {
+                if h.count() > 0 {
+                    ops.push((
+                        op.name().to_string(),
+                        obj![
+                            ("count", Json::Int(h.count() as i64)),
+                            ("mean_ns", Json::Int(h.mean() as i64)),
+                            ("p50_ns", Json::Int(h.quantile(0.50) as i64)),
+                            ("p90_ns", Json::Int(h.quantile(0.90) as i64)),
+                            ("p99_ns", Json::Int(h.quantile(0.99) as i64)),
+                        ],
+                    ));
+                }
+            }
+        }
+        Json::Obj(ops)
+    }
+
+    /// Counter- and bucket-wise difference `self - earlier` (saturating),
+    /// for measuring one phase of a longer run.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let empty = HistogramSnapshot::default();
         StatsSnapshot {
             label: self.label.clone(),
             sim_ns: self.sim_ns.saturating_sub(earlier.sim_ns),
@@ -373,6 +864,13 @@ impl StatsSnapshot {
                 .counters
                 .iter()
                 .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.get_named(n))))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    (n.clone(), h.delta(earlier.histogram(n).unwrap_or(&empty)))
+                })
                 .collect(),
         }
     }
@@ -397,10 +895,19 @@ impl StatsSnapshot {
                 .ok_or_else(|| JsonError(format!("counter {name:?} must be a u64")))?;
             counters.push((name.clone(), v));
         }
+        // Optional for forward compatibility: snapshots written before
+        // histograms existed simply have none.
+        let mut histograms = Vec::new();
+        if let Some(Json::Obj(members)) = j.get("histograms") {
+            for (name, val) in members {
+                histograms.push((name.clone(), HistogramSnapshot::from_json(val)?));
+            }
+        }
         Ok(StatsSnapshot {
             label,
             sim_ns,
             counters,
+            histograms,
         })
     }
 }
@@ -416,6 +923,15 @@ impl ToJson for StatsSnapshot {
                     self.counters
                         .iter()
                         .map(|(n, v)| (n.clone(), Json::Int(*v as i64)))
+                        .collect()
+                )
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_json()))
                         .collect()
                 )
             ),
@@ -485,6 +1001,9 @@ mod tests {
                 tag: "t",
                 a: i,
                 b: 0,
+                span: 0,
+                op: "",
+                dur_ns: 0,
             });
         }
         assert_eq!(ring.total_recorded(), 10);
@@ -512,6 +1031,136 @@ mod tests {
         let j = json::parse(&line).unwrap();
         assert_eq!(j.get("tag").unwrap().as_str().unwrap(), "disk.read");
         assert_eq!(j.get("b").unwrap().as_u64().unwrap(), 4096);
+        // No span was open: attribution fields are present but empty.
+        assert_eq!(j.get("span").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(j.get("op").unwrap().as_str().unwrap(), "");
+        assert_eq!(j.get("dur_ns").unwrap().as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn op_kind_names_round_trip() {
+        for op in OpKind::ALL {
+            assert_eq!(OpKind::from_name(op.name()), Some(op));
+            assert_eq!(op.tag(), format!("op.{}", op.name()));
+        }
+        assert_eq!(OpKind::from_name("no_such_op"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(histo_bucket_of(0), 0);
+        assert_eq!(histo_bucket_of(1), 1);
+        assert_eq!(histo_bucket_of(2), 2);
+        assert_eq!(histo_bucket_of(3), 2);
+        assert_eq!(histo_bucket_of(4), 3);
+        assert_eq!(histo_bucket_of(u64::MAX), HISTO_BUCKETS - 1);
+        for i in 1..HISTO_BUCKETS - 1 {
+            assert_eq!(histo_bucket_of(histo_bucket_lo(i)), i);
+            assert_eq!(histo_bucket_of(histo_bucket_hi(i)), i);
+        }
+
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum, 1111);
+        assert_eq!(s.mean(), 1111 / 6);
+        // p50 of {0,1,5,5,100,1000}: 3rd value = 5, bucket [4,8) → hi 7.
+        assert_eq!(s.quantile(0.5), 7);
+        // p100 lands in 1000's bucket [512,1024) → hi 1023.
+        assert_eq!(s.quantile(1.0), 1023);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_snapshot_delta_and_json() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(300);
+        let before = h.snapshot();
+        h.record(3);
+        let after = h.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.sum, 3);
+        assert_eq!(d.quantile(0.5), 3, "only the new sample remains");
+
+        let text = after.to_json().to_string_pretty();
+        let back = HistogramSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, after);
+    }
+
+    #[test]
+    fn spans_attribute_events_and_do_not_nest() {
+        let obs = Obs::new();
+        obs.set_clock_ns(100);
+        {
+            let outer = obs.span(OpKind::DropCaches);
+            assert_eq!(outer.id(), Some(SpanId(1)));
+            {
+                // Nested entry point (drop_caches → sync): inert guard,
+                // attribution stays with the outer op.
+                let inner = obs.span(OpKind::Sync);
+                assert_eq!(inner.id(), None);
+                obs.trace(150, "disk.write", 42, 8);
+            }
+            assert_eq!(
+                obs.current_span(),
+                Some((SpanId(1), OpKind::DropCaches)),
+                "inner drop must not close the outer span"
+            );
+            obs.set_clock_ns(400);
+        }
+        assert_eq!(obs.current_span(), None);
+
+        let evs = obs.recent_events(10);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].tag, "disk.write");
+        assert_eq!(evs[0].span, 1);
+        assert_eq!(evs[0].op, "drop_caches");
+        assert_eq!(evs[1].tag, "op.drop_caches");
+        assert_eq!(evs[1].span, 1);
+        assert_eq!(evs[1].t_ns, 100);
+        assert_eq!(evs[1].dur_ns, 300);
+
+        // Latency was recorded for the outer op only.
+        let snap = obs.snapshot("t", 400);
+        assert_eq!(snap.op_latency(OpKind::DropCaches).unwrap().count(), 1);
+        assert_eq!(snap.op_latency(OpKind::Sync).unwrap().count(), 0);
+
+        // Span ids are deterministic: next op gets id 2.
+        let g = obs.span(OpKind::Read);
+        assert_eq!(g.id(), Some(SpanId(2)));
+    }
+
+    #[test]
+    fn snapshot_histograms_round_trip_and_delta() {
+        let obs = Obs::new();
+        obs.histos().disk_req_sectors.record(8);
+        obs.histos().disk_req_sectors.record(128);
+        let snap = obs.snapshot("cffs", 10);
+        assert_eq!(snap.histograms.len(), Histos::names().len());
+        assert_eq!(snap.histogram("disk_req_sectors").unwrap().count(), 2);
+
+        let text = snap.to_json().to_string_pretty();
+        let back = StatsSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+
+        obs.histos().disk_req_sectors.record(8);
+        let d = obs.snapshot("cffs", 20).delta(&snap);
+        assert_eq!(d.histogram("disk_req_sectors").unwrap().count(), 1);
+
+        // Old files without a "histograms" key still parse.
+        let old = obj![
+            ("label", Json::Str("cffs".into())),
+            ("sim_ns", Json::Int(5)),
+            ("counters", Json::Obj(vec![("disk_requests".into(), Json::Int(3))])),
+        ];
+        let parsed = StatsSnapshot::from_json(&old).unwrap();
+        assert!(parsed.histograms.is_empty());
+        assert_eq!(parsed.get(Ctr::DiskRequests), 3);
     }
 
     #[test]

@@ -45,6 +45,9 @@ impl ToJson for PhaseResult {
         ];
         if let (Json::Obj(m), Some(snap)) = (&mut j, &self.counters) {
             m.push(("counters".to_string(), snap.to_json()));
+            // Per-op-kind p50/p90/p99 for the phase, from the snapshot
+            // delta's latency histograms.
+            m.push(("latency_ns".to_string(), snap.op_latency_summary()));
         }
         j
     }

@@ -14,6 +14,8 @@
 use crate::namegen::{dir_name, file_name};
 use crate::runner::{cold_boundary, measure, PhaseResult};
 use cffs_fslib::{FileSystem, FsResult, Ino};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// How benchmark files are assigned to directories.
 ///
@@ -49,6 +51,11 @@ pub struct SmallFileParams {
     pub ndirs: usize,
     /// File→directory assignment.
     pub order: Assignment,
+    /// Seed for payload generation. Every payload is a pure function of
+    /// `(seed, file index)`, so two runs with equal parameters are
+    /// byte-identical end to end — same data, same block layout, same
+    /// disk requests, same trace timeline.
+    pub seed: u64,
 }
 
 impl Default for SmallFileParams {
@@ -60,6 +67,7 @@ impl Default for SmallFileParams {
             file_size: 1024,
             ndirs: 100,
             order: Assignment::RoundRobin,
+            seed: 1997,
         }
     }
 }
@@ -67,7 +75,7 @@ impl Default for SmallFileParams {
 impl SmallFileParams {
     /// A scaled-down configuration for tests.
     pub fn small() -> Self {
-        SmallFileParams { nfiles: 200, file_size: 1024, ndirs: 4, order: Assignment::RoundRobin }
+        SmallFileParams { nfiles: 200, ndirs: 4, ..SmallFileParams::default() }
     }
 
     fn dir_of(&self, i: usize) -> usize {
@@ -78,9 +86,12 @@ impl SmallFileParams {
     }
 }
 
-/// Deterministic per-file payload.
-fn payload(i: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|j| ((i * 31 + j * 7) % 251) as u8).collect()
+/// Deterministic per-file payload: a fixed-seed PRNG stream keyed by
+/// `(seed, file index)`, so create and read phases regenerate identical
+/// bytes without storing them.
+fn payload(seed: u64, i: usize, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect()
 }
 
 /// Run all four phases; returns one [`PhaseResult`] per phase
@@ -105,7 +116,7 @@ pub fn run(
     results.push(measure(fs, "create", params.nfiles as u64, total_bytes, |fs| {
         for i in 0..params.nfiles {
             let ino = fs.create(dirs[params.dir_of(i)], &file_name(i))?;
-            let data = payload(i, params.file_size);
+            let data = payload(params.seed, i, params.file_size);
             fs.write(ino, 0, &data)?;
         }
         Ok(())
@@ -119,7 +130,7 @@ pub fn run(
             let ino = fs.lookup(dirs[params.dir_of(i)], &file_name(i))?;
             let n = fs.read(ino, 0, &mut buf)?;
             debug_assert_eq!(n, params.file_size);
-            debug_assert_eq!(buf, payload(i, params.file_size));
+            debug_assert_eq!(buf, payload(params.seed, i, params.file_size));
         }
         Ok(())
     })?);
@@ -129,7 +140,7 @@ pub fn run(
     results.push(measure(fs, "overwrite", params.nfiles as u64, total_bytes, |fs| {
         for i in 0..params.nfiles {
             let ino = fs.lookup(dirs[params.dir_of(i)], &file_name(i))?;
-            let data = payload(i + 1, params.file_size);
+            let data = payload(params.seed, i + 1, params.file_size);
             fs.write(ino, 0, &data)?;
         }
         Ok(())
@@ -168,7 +179,8 @@ mod tests {
 
     #[test]
     fn payload_is_deterministic_and_distinct() {
-        assert_eq!(payload(3, 64), payload(3, 64));
-        assert_ne!(payload(3, 64), payload(4, 64));
+        assert_eq!(payload(1997, 3, 64), payload(1997, 3, 64));
+        assert_ne!(payload(1997, 3, 64), payload(1997, 4, 64));
+        assert_ne!(payload(1997, 3, 64), payload(7, 3, 64), "seed changes the stream");
     }
 }

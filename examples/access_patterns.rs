@@ -16,8 +16,13 @@ use cffs_disksim::models;
 use cffs::workloads::smallfile::{Assignment, SmallFileParams};
 use cffs::workloads::namegen::{dir_name, file_name};
 
-const P: SmallFileParams =
-    SmallFileParams { nfiles: 1500, file_size: 1024, ndirs: 50, order: Assignment::RoundRobin };
+const P: SmallFileParams = SmallFileParams {
+    nfiles: 1500,
+    file_size: 1024,
+    ndirs: 50,
+    order: Assignment::RoundRobin,
+    seed: 1997,
+};
 
 fn populate(fs: &mut Cffs) -> FsResult<Vec<Ino>> {
     let root = fs.root();

@@ -5,6 +5,8 @@
 //!   cffs-inspect --demo [path]    # build a demo image (and optionally save it)
 //!   cffs-inspect stats  <image>|--demo            # counter snapshot as JSON
 //!   cffs-inspect trace  [--last N] <image>|--demo # trace events as JSONL
+//!   cffs-inspect timeline [--last N] <image>|--demo # span-resolved ops as JSONL
+//!   cffs-inspect histo  <image>|--demo            # histogram bucket tables
 //!
 //! Prints the superblock, per-cylinder-group occupancy, the group
 //! descriptor table, the namespace tree annotated with each inode's
@@ -16,12 +18,20 @@
 //! layer saw: `stats` prints the [`cffs_obs::StatsSnapshot`] of the whole
 //! stack (disk, driver, buffer cache, file system) as JSON; `trace`
 //! prints the newest `N` (default 64) ring-buffer events as JSONL.
+//!
+//! `timeline` regroups the trace ring causally: one JSON line per op
+//! span, carrying the op kind, open time, latency, and every disk
+//! request the op caused (with `queue_ns` = request issue time relative
+//! to the span open, and `service_ns` = the request's simulated service
+//! time). `histo` renders every non-empty latency/size/seek/utilization
+//! histogram as a log2-bucket table with count, mean, and p50/p90/p99.
 
 use cffs::core::layout::{decode_ino, InoRef};
 use cffs::core::{fsck, Cffs, CffsConfig};
 use cffs::prelude::*;
 use cffs_disksim::{models, Disk};
-use cffs_obs::json::ToJson;
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
 use std::path::Path;
 
 fn demo_image() -> Disk {
@@ -84,7 +94,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: cffs-inspect <image> | --demo [save-path]\n       \
          cffs-inspect stats <image>|--demo\n       \
-         cffs-inspect trace [--last N] <image>|--demo"
+         cffs-inspect trace [--last N] <image>|--demo\n       \
+         cffs-inspect timeline [--last N] <image>|--demo\n       \
+         cffs-inspect histo <image>|--demo"
     );
     std::process::exit(2);
 }
@@ -113,8 +125,9 @@ fn stats_cmd(args: &[String]) {
     println!("{}", snap.to_json().to_string_pretty());
 }
 
-fn trace_cmd(args: &[String]) {
-    let mut last = 64usize;
+/// Parse `[--last N] <image>` from a subcommand's argument tail.
+fn last_and_image(args: &[String], default_last: usize) -> (usize, Option<&str>) {
+    let mut last = default_last;
     let mut image: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
@@ -129,9 +142,123 @@ fn trace_cmd(args: &[String]) {
             i += 1;
         }
     }
+    (last, image)
+}
+
+fn trace_cmd(args: &[String]) {
+    let (last, image) = last_and_image(args, 64);
     let fs = mounted_walk(disk_from(image));
     for e in fs.obs().recent_events(last) {
         println!("{}", e.to_jsonl());
+    }
+}
+
+/// Span-resolved timeline: regroup the trace ring by causing span and
+/// emit one JSONL record per op, newest-window, oldest span first. Disk
+/// requests issued outside any span (mount, background writeback) are
+/// gathered under a final `"span": 0` record with op `"(none)"`.
+fn timeline_cmd(args: &[String]) {
+    let (last, image) = last_and_image(args, cffs_obs::DEFAULT_TRACE_CAPACITY);
+    let fs = mounted_walk(disk_from(image));
+    let events = fs.obs().recent_events(last);
+
+    // One op span = one `op.*` close event plus every other event stamped
+    // with its id. Spans are ids in allocation order, so BTreeMap keeps
+    // the output chronological and deterministic.
+    struct SpanRec {
+        op: &'static str,
+        t_ns: Option<u64>,
+        dur_ns: u64,
+        io: Vec<Json>,
+    }
+    let mut spans: std::collections::BTreeMap<u64, SpanRec> = std::collections::BTreeMap::new();
+    for e in &events {
+        let rec = spans.entry(e.span).or_insert(SpanRec {
+            op: if e.span == 0 { "(none)" } else { e.op },
+            t_ns: None,
+            dur_ns: 0,
+            io: Vec::new(),
+        });
+        if e.tag.starts_with("op.") {
+            rec.op = e.op;
+            rec.t_ns = Some(e.t_ns);
+            rec.dur_ns = e.dur_ns;
+        } else {
+            rec.io.push(obj![
+                ("tag", Json::Str(e.tag.to_string())),
+                ("t_ns", Json::Int(e.t_ns as i64)),
+                ("lba", Json::Int(e.a as i64)),
+                ("b", Json::Int(e.b as i64)),
+                ("service_ns", Json::Int(e.dur_ns as i64)),
+            ]);
+        }
+    }
+    // Second pass: queue_ns (issue time relative to span open) needs the
+    // span's open time, which arrives with the close event *after* its
+    // disk requests in ring order.
+    for (id, rec) in &mut spans {
+        if *id == 0 {
+            continue;
+        }
+        let t0 = rec.t_ns;
+        for io in &mut rec.io {
+            if let (Json::Obj(m), Some(t0)) = (io, t0) {
+                let t = match m.iter().find(|(k, _)| k == "t_ns") {
+                    Some((_, Json::Int(t))) => *t as u64,
+                    _ => continue,
+                };
+                m.push(("queue_ns".to_string(), Json::Int(t.saturating_sub(t0) as i64)));
+            }
+        }
+    }
+    let (zero, rest): (Vec<_>, Vec<_>) = spans.into_iter().partition(|(id, _)| *id == 0);
+    for (id, rec) in rest.into_iter().chain(zero) {
+        // Spans whose close event was evicted from the ring keep their io
+        // events but lose open time/latency; emit t_ns/dur_ns as null so
+        // the record is visibly partial rather than silently wrong.
+        let line = obj![
+            ("span", Json::Int(id as i64)),
+            ("op", Json::Str(rec.op.to_string())),
+            ("t_ns", rec.t_ns.map_or(Json::Null, |t| Json::Int(t as i64))),
+            (
+                "dur_ns",
+                if rec.t_ns.is_some() { Json::Int(rec.dur_ns as i64) } else { Json::Null }
+            ),
+            ("io", Json::Arr(rec.io)),
+        ];
+        println!("{line}");
+    }
+}
+
+/// Histogram bucket tables: every non-empty histogram in the snapshot,
+/// with count/mean/p50/p90/p99 and one row per occupied log2 bucket.
+fn histo_cmd(args: &[String]) {
+    let fs = mounted_walk(disk_from(args.first().map(String::as_str)));
+    let snap = fs.obs().snapshot("cffs-inspect", fs.now().as_nanos());
+    for (name, h) in &snap.histograms {
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{name}: count {}  mean {}  p50 {}  p90 {}  p99 {}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99)
+        );
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            println!(
+                "  [{:>12} .. {:>12}] {:>8}",
+                cffs_obs::histo_bucket_lo(i),
+                cffs_obs::histo_bucket_hi(i),
+                n
+            );
+        }
+        println!();
     }
 }
 
@@ -140,6 +267,8 @@ fn main() {
     match args.get(1).map(String::as_str) {
         Some("stats") => return stats_cmd(&args[2..]),
         Some("trace") => return trace_cmd(&args[2..]),
+        Some("timeline") => return timeline_cmd(&args[2..]),
+        Some("histo") => return histo_cmd(&args[2..]),
         _ => {}
     }
     let disk = match args.get(1).map(String::as_str) {

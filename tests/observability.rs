@@ -9,7 +9,9 @@ use cffs::core::{Cffs, CffsConfig, MkfsParams};
 use cffs::prelude::*;
 use cffs_disksim::models;
 use cffs_disksim::Disk;
+use cffs_obs::json::ToJson;
 use cffs_obs::{StatsSnapshot, DEFAULT_TRACE_CAPACITY};
+use cffs_workloads::smallfile::{self, SmallFileParams};
 
 fn fresh(cfg: CffsConfig) -> Cffs {
     cffs::core::mkfs::mkfs(Disk::new(models::tiny_test_disk()), MkfsParams::tiny(), cfg)
@@ -112,9 +114,136 @@ fn trace_ring_wraps_through_live_stack_keeping_newest() {
     // Retention is capped at capacity — the oldest events are gone...
     let all = obs.recent_events(usize::MAX);
     assert_eq!(all.len(), DEFAULT_TRACE_CAPACITY);
-    // ...and what's retained is the newest tail, oldest first.
-    assert!(all.windows(2).all(|w| w[0].t_ns <= w[1].t_ns), "events out of order");
+    // ...and what's retained is the newest tail, oldest first. Events are
+    // recorded at completion (`op.*` span events carry their *open* time
+    // in t_ns), so emission order is monotonic in t_ns + dur_ns.
+    assert!(
+        all.windows(2).all(|w| w[0].t_ns + w[0].dur_ns <= w[1].t_ns + w[1].dur_ns),
+        "events out of order"
+    );
     let newest = all.last().unwrap().t_ns;
     assert!(obs.recent_events(1)[0].t_ns == newest, "newest event lost");
     assert!(newest <= fs.now().as_nanos());
+}
+
+/// Causal attribution, end to end: the single disk request of a cold
+/// small-file read under full C-FFS carries the span id of the `read` op
+/// that caused it — the trace ring links effect back to cause.
+#[test]
+fn cold_read_disk_request_links_back_to_its_read_span() {
+    let mut fs = fresh(CffsConfig::cffs());
+    let root = fs.root();
+    let d = fs.mkdir(root, "d").unwrap();
+    let f = fs.create(d, "small").unwrap();
+    fs.write(f, 0, &vec![7u8; 1024]).unwrap();
+    fs.sync().unwrap();
+    fs.drop_caches().unwrap();
+    let obs = Cffs::obs(&fs);
+    let before = obs.events_recorded();
+    let mut buf = vec![0u8; 1024];
+    assert_eq!(fs.read(f, 0, &mut buf).unwrap(), 1024);
+    let new = (obs.events_recorded() - before) as usize;
+    let events = obs.recent_events(new);
+
+    let span_events: Vec<_> = events.iter().filter(|e| e.tag == "op.read").collect();
+    assert_eq!(span_events.len(), 1, "exactly one read span closed");
+    let span = span_events[0].span;
+    assert_ne!(span, 0, "the span event carries its own id");
+    assert!(span_events[0].dur_ns > 0, "a cold read takes simulated time");
+
+    let disk_events: Vec<_> =
+        events.iter().filter(|e| e.tag.starts_with("disk.")).collect();
+    assert_eq!(disk_events.len(), 1, "cold C-FFS read = one disk request");
+    assert_eq!(disk_events[0].span, span, "disk request attributed to the read span");
+    assert_eq!(disk_events[0].op, "read", "disk request stamped with the op kind");
+    assert!(disk_events[0].dur_ns > 0, "mechanical request has service time");
+    // Cause precedes effect-completion bookkeeping: the request was issued
+    // inside the span's window.
+    assert!(disk_events[0].t_ns >= span_events[0].t_ns);
+    assert!(disk_events[0].t_ns <= span_events[0].t_ns + span_events[0].dur_ns);
+}
+
+/// Group-fetch utilization accounting closes: reading every small file of
+/// a directory makes most speculatively fetched blocks useful, and each
+/// fetched block ends up counted exactly once as used or wasted.
+#[test]
+fn group_fetch_utilization_accounts_every_fetched_block() {
+    let mut fs = fresh(CffsConfig::cffs());
+    let root = fs.root();
+    let d = fs.mkdir(root, "d").unwrap();
+    let n = 8usize;
+    for i in 0..n {
+        let f = fs.create(d, &format!("f{i}")).unwrap();
+        fs.write(f, 0, &vec![i as u8; 1024]).unwrap();
+    }
+    fs.sync().unwrap();
+    fs.drop_caches().unwrap();
+    let obs = Cffs::obs(&fs);
+    let before = obs.snapshot("gf", fs.now().as_nanos());
+    let mut buf = vec![0u8; 1024];
+    for i in 0..n {
+        let f = fs.lookup(d, &format!("f{i}")).unwrap();
+        assert_eq!(fs.read(f, 0, &mut buf).unwrap(), 1024);
+        assert!(buf.iter().all(|&b| b == i as u8));
+    }
+    // Settle: dropping the caches resolves every still-untouched fetched
+    // block as wasted, so the accounting identity must close exactly.
+    fs.drop_caches().unwrap();
+    let delta = obs.snapshot("gf", fs.now().as_nanos()).delta(&before);
+
+    let used = delta.get_named("group_fetch_blocks_used");
+    let wasted = delta.get_named("group_fetch_blocks_wasted");
+    let fetched = delta.get_named("cache_group_read_blocks");
+    assert!(fetched > 0, "the directory read exercised group fetching");
+    assert!(used > 0, "reading the whole directory makes fetched blocks useful");
+    assert_eq!(used + wasted, fetched, "every fetched block is used xor wasted");
+
+    let h = delta.histogram("group_fetch_util_pct").expect("utilization histogram");
+    assert!(h.count() > 0, "each retired fetch records a utilization sample");
+    // Samples are percentages; the log2-bucket p100 reports its bucket's
+    // upper bound, so check the exact mean instead.
+    assert!(h.mean() <= 100, "utilization is a percentage");
+}
+
+/// Every phase row that reaches a `BENCH_*.json` carries per-op-kind
+/// latency percentiles (`PhaseResult::to_json` is the single emission
+/// path the repro binaries share).
+#[test]
+fn phase_rows_carry_per_op_latency_percentiles() {
+    let mut fs = cffs::build::on_disk(models::seagate_st31200(), CffsConfig::cffs());
+    let params = SmallFileParams { nfiles: 60, ndirs: 3, ..SmallFileParams::default() };
+    let rows = smallfile::run(&mut fs, params).unwrap();
+    assert_eq!(rows.len(), 4);
+    for (row, op) in rows.iter().zip(["create", "read", "write", "unlink"]) {
+        let j = row.to_json();
+        let lat = j.get("latency_ns").expect("phase row has latency_ns");
+        let per_op = lat.get(op).unwrap_or_else(|| panic!("{} phase ran {op} ops", row.phase));
+        for field in ["count", "mean_ns", "p50_ns", "p90_ns", "p99_ns"] {
+            let v = per_op.get(field).and_then(|v| v.as_u64());
+            assert!(v.is_some(), "latency_ns.{op}.{field} missing in {} row", row.phase);
+        }
+        assert!(per_op.get("count").unwrap().as_u64().unwrap() >= 60);
+    }
+}
+
+/// Determinism regression (what makes `cffs-inspect timeline` byte-stable):
+/// two runs of the same fixed-seed workload on fresh identical stacks
+/// produce byte-identical trace timelines.
+#[test]
+fn identical_seeded_runs_produce_byte_identical_timelines() {
+    let run = || {
+        let mut fs = fresh(CffsConfig::cffs());
+        let params = SmallFileParams { nfiles: 40, ndirs: 2, ..SmallFileParams::default() };
+        smallfile::run(&mut fs, params).unwrap();
+        let obs = Cffs::obs(&fs);
+        obs.recent_events(usize::MAX)
+            .iter()
+            .map(|e| e.to_jsonl())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "fixed-seed timelines must be byte-identical");
 }
