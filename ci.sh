@@ -15,13 +15,26 @@ cargo test --workspace --offline -q
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== bench smoke (repro_smallfile, reduced scale) =="
+echo "== bench smoke (repro_smallfile + repro_aging_regroup, reduced scale) =="
 BENCH_TMP=$(mktemp -d)
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
     > /dev/null
+BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
+    --bin repro_aging_regroup > /dev/null
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     "$BENCH_TMP"/out/BENCH_*.json
+
+echo "== bench perf gate (p90 latency + group-fetch utilization vs baselines) =="
+# Simulated time is deterministic, so unchanged code reproduces the
+# baselines exactly; the band absorbs small intentional shifts. Refresh
+# with: BENCH_OUT_DIR=crates/bench/baselines <repro binary>
+cargo run --release --offline -p cffs-bench --bin bench_gate -- \
+    "$BENCH_TMP/out/BENCH_SMALLFILE_SYNC.json" \
+    crates/bench/baselines/BENCH_SMALLFILE_SYNC.json --tolerance-pct 25
+cargo run --release --offline -p cffs-bench --bin bench_gate -- \
+    "$BENCH_TMP/out/BENCH_AGING_REGROUP.json" \
+    crates/bench/baselines/BENCH_AGING_REGROUP.json --tolerance-pct 25
 rm -rf "$BENCH_TMP"
 
 echo "== ci.sh: all green =="

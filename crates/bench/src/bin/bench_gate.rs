@@ -1,0 +1,175 @@
+//! CI performance gate for `BENCH_*.json` files.
+//!
+//! Usage: bench_gate <current.json> <baseline.json> [--tolerance-pct N]
+//!
+//! Compares a freshly produced BENCH payload against a checked-in
+//! baseline. Rows are matched by `(fs, phase)`; for every baseline row
+//! the gate requires, within the tolerance band (default 25%):
+//!
+//! * per-op `latency_ns.*.p90_ns` must not regress above
+//!   `baseline * (1 + tol)`;
+//! * the `group_fetch_util_pct` histogram mean must not drop below
+//!   `baseline * (1 - tol)` (higher is better, so no upper bound);
+//! * if both payloads carry a top-level `recovery_ratio`, the current one
+//!   must not drop below `baseline * (1 - tol)`.
+//!
+//! The simulated timeline is deterministic, so unchanged code reproduces
+//! the baseline exactly; the band absorbs small intentional shifts.
+//! Improvements beyond the band pass but are called out so the baseline
+//! gets refreshed. Exits nonzero listing every violation.
+
+use cffs_obs::json::{parse, Json};
+
+struct Gate {
+    tol: f64,
+    violations: Vec<String>,
+    notices: Vec<String>,
+}
+
+impl Gate {
+    /// `current` must stay at or below `base * (1 + tol)`.
+    fn ceil(&mut self, what: &str, current: f64, base: f64) {
+        if current > base * (1.0 + self.tol) {
+            self.violations
+                .push(format!("{what}: {current:.0} regressed past {base:.0} (+{:.0}%)", self.tol * 100.0));
+        } else if current < base * (1.0 - self.tol) {
+            self.notices
+                .push(format!("{what}: {current:.0} improved well below baseline {base:.0} — refresh the baseline"));
+        }
+    }
+
+    /// `current` must stay at or above `base * (1 - tol)`.
+    fn floor(&mut self, what: &str, current: f64, base: f64) {
+        if current < base * (1.0 - self.tol) {
+            self.violations
+                .push(format!("{what}: {current:.2} dropped below {base:.2} (-{:.0}%)", self.tol * 100.0));
+        }
+    }
+}
+
+fn row_key(row: &Json) -> Option<(String, String)> {
+    Some((
+        row.get("fs")?.as_str()?.to_string(),
+        row.get("phase")?.as_str()?.to_string(),
+    ))
+}
+
+/// Every row anywhere in the payload: top-level `rows`, plus `rows` nested
+/// one level down in arrays like E7's `points` or E13's sweeps.
+fn collect_rows(j: &Json) -> Vec<&Json> {
+    fn push_rows<'a>(node: &'a Json, out: &mut Vec<&'a Json>) {
+        if let Some(rows) = node.get("rows").and_then(Json::as_arr) {
+            out.extend(rows.iter());
+        }
+    }
+    let mut out = Vec::new();
+    push_rows(j, &mut out);
+    if let Json::Obj(members) = j {
+        for (_, v) in members {
+            if let Json::Arr(items) = v {
+                for item in items {
+                    push_rows(item, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn hist_mean(row: &Json, name: &str) -> Option<f64> {
+    let h = row.get("counters")?.get("histograms")?.get(name)?;
+    let count = h.get("count")?.as_f64()?;
+    let sum = h.get("sum")?.as_f64()?;
+    if count == 0.0 {
+        return None;
+    }
+    Some(sum / count)
+}
+
+fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
+    let cur_rows = collect_rows(current);
+    for base_row in collect_rows(baseline) {
+        let Some(key) = row_key(base_row) else { continue };
+        let Some(cur_row) = cur_rows.iter().find(|r| row_key(r).as_ref() == Some(&key)) else {
+            gate.violations.push(format!("row ({}, {}) missing from current payload", key.0, key.1));
+            continue;
+        };
+        let tag = format!("{}/{}", key.0, key.1);
+        if let Some(Json::Obj(ops)) = base_row.get("latency_ns") {
+            for (op, summary) in ops {
+                let (Some(base_p90), Some(cur_p90)) = (
+                    summary.get("p90_ns").and_then(Json::as_f64),
+                    cur_row
+                        .get("latency_ns")
+                        .and_then(|l| l.get(op))
+                        .and_then(|s| s.get("p90_ns"))
+                        .and_then(Json::as_f64),
+                ) else {
+                    gate.violations.push(format!("{tag}: latency_ns.{op}.p90_ns missing"));
+                    continue;
+                };
+                gate.ceil(&format!("{tag}: {op} p90_ns"), cur_p90, base_p90);
+            }
+        }
+        if let Some(base_util) = hist_mean(base_row, "group_fetch_util_pct") {
+            match hist_mean(cur_row, "group_fetch_util_pct") {
+                Some(cur_util) => {
+                    gate.floor(&format!("{tag}: group_fetch_util_pct mean"), cur_util, base_util)
+                }
+                None => gate
+                    .violations
+                    .push(format!("{tag}: group_fetch_util_pct histogram disappeared")),
+            }
+        }
+    }
+    if let (Some(base_r), Some(cur_r)) = (
+        baseline.get("recovery_ratio").and_then(Json::as_f64),
+        current.get("recovery_ratio").and_then(Json::as_f64),
+    ) {
+        gate.floor("recovery_ratio", cur_r, base_r);
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut tol_pct = 25.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance-pct" {
+            tol_pct = it.next().map(|s| s.parse().expect("--tolerance-pct")).expect("--tolerance-pct needs a value");
+        } else {
+            positional.push(a);
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: bench_gate <current.json> <baseline.json> [--tolerance-pct N]");
+        std::process::exit(2);
+    }
+    let current = load(positional[0]);
+    let baseline = load(positional[1]);
+    let mut gate = Gate { tol: tol_pct / 100.0, violations: Vec::new(), notices: Vec::new() };
+    compare(&mut gate, &current, &baseline);
+    for n in &gate.notices {
+        println!("note: {n}");
+    }
+    if gate.violations.is_empty() {
+        println!("ok {} vs {} (±{tol_pct}%)", positional[0], positional[1]);
+    } else {
+        for v in &gate.violations {
+            eprintln!("bench_gate: {v}");
+        }
+        std::process::exit(1);
+    }
+}

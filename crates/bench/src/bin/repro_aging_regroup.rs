@@ -1,0 +1,23 @@
+//! E13 (extra): online regrouping after adversarial aging.
+//! Usage: repro_aging_regroup [--seed N]
+//!
+//! Ages a C-FFS image with the adversarial workload, then runs the
+//! regrouping engine and reports the mean `group_fetch_util_pct` fresh /
+//! aged / recovered, plus a `max_blocks` budget sweep. The BENCH payload
+//! records the recovery ratio (acceptance: >= 0.90 of fresh).
+
+use cffs_bench::experiments::aging_regroup;
+use cffs_bench::report::emit_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed"))
+        .unwrap_or(1997);
+    let (text, json) = aging_regroup::report(seed);
+    print!("{text}");
+    emit_bench("AGING_REGROUP", json);
+}

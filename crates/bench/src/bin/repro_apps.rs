@@ -1,5 +1,5 @@
 //! E9: the software-development application suite (paper: "10-300%").
-//! Usage: repro_apps [--mode sync|softdep|both]
+//! Usage: repro_apps [--mode sync|softdep|both] [--seed N]
 
 use cffs_bench::experiments::apps;
 use cffs_bench::report::emit_bench;
@@ -14,13 +14,18 @@ fn run_mode(mode: MetadataMode, params: DevTreeParams, bench: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mode = args
-        .iter()
-        .position(|a| a == "--mode")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "both".to_string());
-    let params = DevTreeParams::default();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let mode = get("--mode", "both");
+    let params = DevTreeParams {
+        seed: get("--seed", "3").parse().expect("--seed"),
+        ..DevTreeParams::default()
+    };
     match mode.as_str() {
         "sync" => run_mode(MetadataMode::Synchronous, params, "APPS_SYNC"),
         "softdep" => run_mode(MetadataMode::Delayed, params, "APPS_SOFTDEP"),

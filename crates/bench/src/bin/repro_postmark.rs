@@ -1,5 +1,5 @@
 //! E12 (extra): PostMark-style server workload on all five file systems.
-//! Usage: repro_postmark [--mode sync|softdep|both] [--transactions N]
+//! Usage: repro_postmark [--mode sync|softdep|both] [--transactions N] [--seed N]
 
 use cffs_bench::experiments::postmark;
 use cffs_bench::report::emit_bench;
@@ -23,6 +23,7 @@ fn main() {
     };
     let params = PostmarkParams {
         transactions: get("--transactions", "10000").parse().expect("--transactions"),
+        seed: get("--seed", "1997").parse().expect("--seed"),
         ..PostmarkParams::default()
     };
     match get("--mode", "both").as_str() {

@@ -1,0 +1,225 @@
+//! E13 — online regrouping after adversarial aging.
+//!
+//! The aging sweep (E7) shows grouping erodes as the disk churns; this
+//! experiment closes the loop: it ages a C-FFS image with the adversarial
+//! workload (create/delete storms, hostile size mixes, cross-directory
+//! renames), then runs the online regrouping engine and measures how much
+//! of the freshly-mkfs'd grouping quality comes back.
+//!
+//! The quality signal is the mean of `group_fetch_util_pct` — the fraction
+//! of each whole-group fetch that is actually consumed before the blocks
+//! leave the cache. The measured access pattern reads one directory's
+//! files at a time with a cache drop between directories, so every block
+//! a group fetch pulled in for *this* directory but never served counts
+//! as wasted inside the measured window. On a fresh image each extent
+//! holds exactly one directory's files and utilization is near 100%; on
+//! the aged image extents mix directories and holes; after regrouping the
+//! per-directory extents are re-formed.
+//!
+//! Acceptance (ISSUE 4): the recovered mean must be ≥ 90% of the fresh
+//! mean. The BENCH payload records fresh/aged/recovered plus the engine's
+//! work counters and a budget sweep (cost vs. benefit of `max_blocks`).
+
+use crate::report::{header, rows_json};
+use cffs::build;
+use cffs_core::{Cffs, CffsConfig};
+use cffs_disksim::models;
+use cffs_fslib::{FileKind, FileSystem, FsResult, Ino, MetadataMode, BLOCK_SIZE};
+use cffs_obs::json::{Json, ToJson};
+use cffs_obs::obj;
+use cffs_regroup::{RegroupConfig, RegroupMode, RegroupOutcome};
+use cffs_workloads::aging::{age_adversarial, AdversarialParams};
+use cffs_workloads::runner::{cold_boundary, measure};
+use cffs_workloads::PhaseResult;
+
+/// Directories the population (and the churn) lives in.
+const NDIRS: usize = 8;
+/// Long-lived files seeded per directory before the churn starts.
+const FILES_PER_DIR: usize = 12;
+
+fn adv_params(seed: u64) -> AdversarialParams {
+    AdversarialParams { rounds: 3, storm_files: 120, ndirs: NDIRS, seed }
+}
+
+/// Seed the long-lived population in the same `adv*` directories the
+/// adversarial workload churns, so the churn fragments *around* files
+/// that survive it.
+fn populate(fs: &mut Cffs, seed: u64) -> FsResult<()> {
+    let root = fs.root();
+    for d in 0..NDIRS {
+        let dir = fs.mkdir(root, &format!("adv{d:03}"))?;
+        for f in 0..FILES_PER_DIR {
+            // Mostly one-block files with a sprinkling of 3-block ones —
+            // the population explicit grouping serves best.
+            let size = if f % 5 == 4 { 3 * BLOCK_SIZE } else { BLOCK_SIZE };
+            let body: Vec<u8> = (0..size)
+                .map(|j| ((seed as usize ^ (d * 7919 + f * 131 + j)) % 251) as u8)
+                .collect();
+            let ino = fs.create(dir, &format!("base{f:04}"))?;
+            fs.write(ino, 0, &body)?;
+        }
+    }
+    fs.sync()
+}
+
+/// A deterministic aged instance: fresh mkfs, population, adversarial
+/// churn. Equal seeds give byte-identical images, so budget-sweep points
+/// all start from the same layout.
+fn aged_instance(seed: u64) -> Cffs {
+    let mut fs =
+        build::on_disk(models::tiny_test_disk(), CffsConfig::cffs().with_mode(MetadataMode::Delayed));
+    populate(&mut fs, seed).expect("populate");
+    age_adversarial(&mut fs, adv_params(seed), |_, _| Ok(())).expect("adversarial aging");
+    fs
+}
+
+/// Read every file, one directory at a time, cold. Returns the phase row
+/// and the mean `group_fetch_util_pct` over the measured window.
+///
+/// The per-directory `drop_caches` inside the measured body is load-
+/// bearing: it resolves every outstanding group fetch *within* the
+/// measured counter delta, so members fetched for a directory but never
+/// read are charged as wasted here rather than leaking into the next
+/// phase's snapshot.
+fn grouped_read(fs: &mut Cffs, phase: &str) -> (PhaseResult, u64) {
+    // Enumerate up front so the measured region is pure file reads.
+    let root = fs.root();
+    let mut dirs: Vec<(String, Ino)> = fs
+        .readdir(root)
+        .expect("readdir root")
+        .into_iter()
+        .filter(|e| e.kind == FileKind::Dir)
+        .map(|e| (e.name, e.ino))
+        .collect();
+    dirs.sort();
+    let mut dir_files: Vec<Vec<(Ino, usize)>> = Vec::new();
+    let (mut nfiles, mut nbytes) = (0u64, 0u64);
+    for (_, dino) in &dirs {
+        let mut files = Vec::new();
+        for e in fs.readdir(*dino).expect("readdir") {
+            if e.kind == FileKind::File {
+                let sz = fs.getattr(e.ino).expect("getattr").size as usize;
+                nfiles += 1;
+                nbytes += sz as u64;
+                files.push((e.ino, sz));
+            }
+        }
+        dir_files.push(files);
+    }
+    cold_boundary(fs).expect("cold boundary");
+    let row = measure(fs, phase, nfiles, nbytes, |fs| {
+        for files in &dir_files {
+            for &(ino, sz) in files {
+                let mut buf = vec![0u8; sz];
+                fs.read(ino, 0, &mut buf)?;
+            }
+            fs.drop_caches()?;
+        }
+        Ok(())
+    })
+    .expect("read phase");
+    let util = row
+        .counters
+        .as_ref()
+        .and_then(|c| c.histogram("group_fetch_util_pct"))
+        .map(|h| h.mean())
+        .unwrap_or(0);
+    (row, util)
+}
+
+/// One budget-sweep point: regroup a fresh aged instance under `cfg`.
+fn sweep_point(seed: u64, cfg: &RegroupConfig, phase: &str) -> (RegroupOutcome, u64) {
+    let mut fs = aged_instance(seed);
+    let outcome = cffs_regroup::run(&mut fs, cfg).expect("regroup");
+    fs.sync().expect("sync");
+    let (_, util) = grouped_read(&mut fs, phase);
+    (outcome, util)
+}
+
+/// Run the experiment: fresh reference, aged measurement, budget sweep,
+/// exhaustive recovery. Returns the text report and the BENCH payload.
+pub fn report(seed: u64) -> (String, Json) {
+    // Fresh reference: the same population on a never-churned image.
+    let mut fresh_fs =
+        build::on_disk(models::tiny_test_disk(), CffsConfig::cffs().with_mode(MetadataMode::Delayed));
+    populate(&mut fresh_fs, seed).expect("populate");
+    let (fresh_row, fresh_util) = grouped_read(&mut fresh_fs, "fresh-read");
+
+    // Aged, before any regrouping.
+    let mut fs = aged_instance(seed);
+    let (aged_row, aged_util) = grouped_read(&mut fs, "aged-read");
+
+    // Budget sweep: cost (blocks moved) vs. benefit (recovered util),
+    // each point regrouping its own copy of the same aged image.
+    let budgets: [usize; 2] = [64, 256];
+    let mut sweep: Vec<Json> = Vec::new();
+    let mut sweep_text = String::new();
+    for &b in &budgets {
+        let cfg = RegroupConfig { max_blocks: b, mode: RegroupMode::Aggressive };
+        let (o, util) = sweep_point(seed, &cfg, &format!("regroup-b{b}"));
+        sweep.push(obj![
+            ("max_blocks", Json::Int(b as i64)),
+            ("util_pct", Json::Int(util as i64)),
+            ("blocks_moved", Json::Int(o.blocks_moved as i64)),
+            ("groups_formed", Json::Int(o.groups_formed as i64)),
+            ("budget_exhausted", Json::Bool(o.budget_exhausted)),
+        ]);
+        sweep_text.push_str(&format!(
+            "{:<22} {:>10} {:>14} {:>14}\n",
+            format!("regroup max_blocks={b}"),
+            format!("{util}%"),
+            o.blocks_moved,
+            o.groups_formed,
+        ));
+    }
+
+    // Exhaustive pass on the measured instance — the acceptance row.
+    let outcome = cffs_regroup::run(&mut fs, &RegroupConfig::exhaustive()).expect("regroup");
+    fs.sync().expect("sync");
+    let (rec_row, rec_util) = grouped_read(&mut fs, "regrouped-read");
+    let ratio = rec_util as f64 / (fresh_util.max(1)) as f64;
+
+    let mut out = header(&format!(
+        "online regrouping after adversarial aging (seed {seed}, 64 MB disk)"
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>14} {:>14}\n",
+        "stage", "gf util", "blocks moved", "groups formed"
+    ));
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    out.push_str(&format!("{:<22} {:>10}\n", "fresh mkfs", format!("{fresh_util}%")));
+    out.push_str(&format!("{:<22} {:>10}\n", "aged", format!("{aged_util}%")));
+    out.push_str(&sweep_text);
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>14} {:>14}\n",
+        "regroup exhaustive",
+        format!("{rec_util}%"),
+        outcome.blocks_moved,
+        outcome.groups_formed,
+    ));
+    out.push_str(&format!(
+        "\nrecovery: {:.2}x of the fresh group-fetch utilization (target >= 0.90)\n",
+        ratio
+    ));
+
+    let json = obj![
+        ("experiment", "aging_regroup".to_json()),
+        ("seed", Json::Int(seed as i64)),
+        ("fresh_util_pct", Json::Int(fresh_util as i64)),
+        ("aged_util_pct", Json::Int(aged_util as i64)),
+        ("recovered_util_pct", Json::Int(rec_util as i64)),
+        ("recovery_ratio", ratio.to_json()),
+        ("blocks_moved", Json::Int(outcome.blocks_moved as i64)),
+        ("groups_formed", Json::Int(outcome.groups_formed as i64)),
+        ("dirs_regrouped", Json::Int(outcome.dirs_regrouped as i64)),
+        ("budget_sweep", Json::Arr(sweep)),
+        ("rows", rows_json(&[fresh_row, aged_row, rec_row])),
+    ];
+    (out, json)
+}
+
+/// Render the experiment.
+pub fn run(seed: u64) -> String {
+    report(seed).0
+}

@@ -15,9 +15,11 @@
 //! | [`dirsize`] | E10 | directory growth and inode-capacity trade |
 //! | [`ablation`] | E11 (extra) | design-choice sweeps: group size, read threshold, scheduler, cache size, access order, prefetch |
 //! | [`postmark`] | E12 (extra) | PostMark-style server workload |
+//! | [`aging_regroup`] | E13 (extra) | online regrouping after adversarial aging |
 
 pub mod ablation;
 pub mod aging;
+pub mod aging_regroup;
 pub mod apps;
 pub mod dirsize;
 pub mod diskreqs;

@@ -55,12 +55,21 @@ pub fn write_bench(name: &str, payload: Json) -> std::io::Result<std::path::Path
     Ok(path)
 }
 
-/// Write and report on stdout; I/O failure degrades to a notice (the text
-/// report is the primary artifact and must not be lost to a read-only cwd).
+/// Write and report on stdout. Failing to persist the BENCH artifact is a
+/// hard error: CI gates consume these files, so degrading to a notice
+/// would let a mis-set `BENCH_OUT_DIR` silently skip the perf gate. The
+/// text report has already been printed by the time this runs, so nothing
+/// is lost — the run just refuses to claim success.
 pub fn emit_bench(name: &str, payload: Json) {
     match write_bench(name, payload) {
         Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_{name}.json: {e}"),
+        Err(e) => {
+            eprintln!(
+                "error: cannot write BENCH_{name}.json: {e}\n\
+                 (point BENCH_OUT_DIR at a writable directory)"
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -96,8 +105,12 @@ mod tests {
         assert_eq!(t.lines().count(), 4);
     }
 
+    /// Tests below mutate the process-wide `BENCH_OUT_DIR`; serialize them.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn write_bench_creates_missing_output_dir() {
+        let _guard = ENV_LOCK.lock().unwrap();
         // A nested, not-yet-existing BENCH_OUT_DIR must be created rather
         // than failing the write.
         let dir = std::env::temp_dir()
@@ -110,5 +123,20 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("file exists");
         assert_eq!(body.trim(), "1");
         std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn write_bench_surfaces_unwritable_output_dir() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // BENCH_OUT_DIR nested under a regular file cannot be created;
+        // the error must surface (emit_bench turns it into exit(1)).
+        let file = std::env::temp_dir().join(format!("cffs-bench-block-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let dir = file.join("nested");
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let res = write_bench("REPORT_TEST", Json::Int(1));
+        std::env::remove_var("BENCH_OUT_DIR");
+        assert!(res.is_err(), "writing under a regular file must fail");
+        std::fs::remove_file(&file).ok();
     }
 }

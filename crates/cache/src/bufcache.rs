@@ -406,6 +406,31 @@ impl BufferCache {
         }
     }
 
+    /// Relocation-aware rebinding: the regrouper is moving a block's
+    /// storage from physical address `old` to `new`. If `old` is resident,
+    /// its buffer — data, logical identity and all — is re-homed to `new`
+    /// in place (no disk I/O) and marked dirty, since the contents now
+    /// belong at the new address; any stale buffer already sitting at
+    /// `new` is invalidated first. Returns `true` on success, `false` when
+    /// `old` is not resident (the caller must copy through the disk
+    /// instead). A group-fetched buffer that gets relocated counts as
+    /// used: the speculative fetch delivered exactly the block the
+    /// regrouper needed.
+    pub fn relocate_phys(&mut self, old: u64, new: u64) -> bool {
+        if old == new || !self.phys.contains_key(&old) {
+            return false;
+        }
+        self.invalidate_block(new);
+        let slot = self.phys.remove(&old).expect("checked resident");
+        self.gfetch_used(slot);
+        let b = self.bufs[slot].as_mut().expect("resident");
+        b.blkno = new;
+        b.dirty = true;
+        self.phys.insert(new, slot);
+        self.touch(slot);
+        true
+    }
+
     /// Forget a block entirely (its disk space was freed). Dirty contents
     /// are discarded — writing a freed block back would be a bug.
     pub fn invalidate_block(&mut self, blkno: u64) {
@@ -911,6 +936,35 @@ mod tests {
         // identity now maps to block 61.
         let _ = c.read_block_bound(&mut drv, 61, 5, 0).unwrap();
         assert_eq!(c.lookup_logical(5, 0), Some(61));
+    }
+
+    #[test]
+    fn relocate_phys_rehomes_resident_buffer() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        drv.disk_mut().raw_write(70 * SECTORS_PER_BLOCK, &[0xAB; BLOCK_SIZE]);
+        let _ = c.read_block(&mut drv, 70).unwrap();
+        assert!(c.relocate_phys(70, 71));
+        // The buffer answers under its new address, dirty, with the old
+        // contents; the old address is gone from the index.
+        assert!(!c.contains(70));
+        assert!(c.contains(71));
+        assert_eq!(c.read_block(&mut drv, 71).unwrap()[0], 0xAB);
+        c.flush_block_sync(&mut drv, 71).unwrap();
+        let mut out = [0u8; BLOCK_SIZE];
+        drv.disk_mut().raw_read(71 * SECTORS_PER_BLOCK, &mut out);
+        assert_eq!(out[0], 0xAB);
+    }
+
+    #[test]
+    fn relocate_phys_misses_cold_blocks() {
+        let mut drv = driver();
+        let mut c = small_cache();
+        assert!(!c.relocate_phys(80, 81));
+        let _ = c.read_block(&mut drv, 80).unwrap();
+        // Relocating onto itself is a no-op.
+        assert!(!c.relocate_phys(80, 80));
+        assert!(c.contains(80));
     }
 }
 

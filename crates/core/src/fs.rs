@@ -147,6 +147,19 @@ enum AllocCtx {
     },
 }
 
+/// Per-cylinder-group occupancy, as reported by [`Cffs::cg_usage`]. The
+/// regrouping engine and `cffs-inspect heatmap` both key their per-CG
+/// indexes off this snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgUsage {
+    /// Cylinder group number.
+    pub cg: u32,
+    /// Data blocks the group tracks.
+    pub data_blocks: u32,
+    /// Data blocks currently allocated.
+    pub used_blocks: u32,
+}
+
 /// A mounted C-FFS.
 #[derive(Debug)]
 pub struct Cffs {
@@ -290,6 +303,197 @@ impl Cffs {
             self.write_inode(ino, &inode, false)?;
         }
         Ok(())
+    }
+
+    // ----- online regrouping support (driven by `cffs-regroup`) -----------
+
+    /// Per-cylinder-group occupancy snapshot: the regrouper's and
+    /// heatmap's view of how full each CG's data area is.
+    pub fn cg_usage(&self) -> Vec<CgUsage> {
+        self.cgs
+            .iter()
+            .map(|hdr| CgUsage {
+                cg: hdr.cg,
+                data_blocks: hdr.block_bitmap.len() as u32,
+                used_blocks: hdr.block_bitmap.used() as u32,
+            })
+            .collect()
+    }
+
+    /// The mapped `(lbn, physical block)` pairs of a file — the planner's
+    /// input for relocation decisions. Holes are skipped.
+    pub fn file_block_map(&mut self, ino: Ino) -> FsResult<Vec<(u64, u64)>> {
+        let mut inode = self.read_inode(ino)?;
+        let nblocks = inode.size.div_ceil(BLOCK_SIZE as u64);
+        let mut out = Vec::with_capacity(nblocks as usize);
+        for lbn in 0..nblocks {
+            if let Some(b) = self.bmap(ino, &mut inode, lbn, None)? {
+                out.push((lbn, b));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Is this physical block resident in the buffer cache? Idle-only
+    /// regrouping uses this to restrict itself to moves that need no
+    /// source read I/O.
+    pub fn block_resident(&self, blk: u64) -> bool {
+        self.cache.contains(blk)
+    }
+
+    /// Carve a fresh, *empty* group extent owned by `dir`, probing
+    /// cylinder groups outward from the directory's home. Members are
+    /// claimed one at a time via [`Cffs::group_claim_slot`] as blocks are
+    /// relocated in; an extent left empty is reclaimed under space
+    /// pressure (and dissolved by fsck after a crash). Returns the group
+    /// key, or `None` when grouping is off or no contiguous run exists.
+    pub fn carve_group_for(&mut self, dir: Ino) -> FsResult<Option<(u32, u32)>> {
+        if !self.cfg.group {
+            return Ok(None);
+        }
+        let dnode = self.require_dir(dir)?;
+        let near = self.dir_home(dir, &dnode);
+        self.charge(self.cpu_model().alloc_op);
+        let sb = self.sb.clone();
+        let n = self.cgs.len() as u32;
+        let near = near.min(n - 1);
+        let nslots = self.cfg.group_blocks;
+        for d in 0..n {
+            let cg = ((near + d) % n) as usize;
+            let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
+            if let Some(key) = groups.carve_empty(&sb, &mut cgs[cg], dir, nslots)? {
+                dirty[cg] = true;
+                self.obs().bump(Ctr::RegroupGroupsFormed);
+                return Ok(Some(key));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Claim the next free member slot of group `key` (lowest slot first,
+    /// so consecutive claims produce a physically contiguous run).
+    pub fn group_claim_slot(&mut self, key: (u32, u32)) -> Option<u64> {
+        let sb = self.sb.clone();
+        let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
+        groups.alloc_slot_in(
+            key,
+            |c, i, d, _| {
+                cgs[c as usize].groups[i as usize] = Some(*d);
+                dirty[c as usize] = true;
+            },
+            &sb,
+        )
+    }
+
+    /// Step 1 of the regrouper's crash-safe relocation protocol:
+    /// **copy-forward**. The block's contents are placed at the
+    /// already-claimed destination `to` and flushed to the media while the
+    /// inode still points at the old block. A crash anywhere in or after
+    /// this step loses nothing: the logical pointer (and the old block's
+    /// contents) are untouched, and the destination is unreferenced until
+    /// [`Cffs::relocate_commit`] lands. A resident source buffer is
+    /// re-homed in place ([`BufferCache::relocate_phys`]); a cold one is
+    /// copied through the cache.
+    ///
+    /// [`BufferCache::relocate_phys`]: cffs_cache::BufferCache::relocate_phys
+    pub fn relocate_copy_forward(&mut self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
+        let mut inode = self.read_inode(ino)?;
+        let from = self
+            .bmap(ino, &mut inode, lbn, None)?
+            .ok_or_else(|| FsError::Corrupt("relocating an unmapped block".into()))?;
+        if from == to {
+            return Ok(());
+        }
+        if !self.cache.relocate_phys(from, to) {
+            let contents = self.fetch_block(from, ino, lbn)?.to_vec();
+            self.cache.modify_block(&mut self.drv, to, false, false, |d| {
+                d.copy_from_slice(&contents)
+            })?;
+            self.charge(self.cpu_model().copy_cost(BLOCK_SIZE));
+        }
+        self.cache.flush_block_sync(&mut self.drv, to)
+    }
+
+    /// Step 2 of the protocol: **pointer rewrite, then free**. The block
+    /// pointer for `lbn` is switched to `to` and forced durable (a single
+    /// sector write for embedded inodes, a block write for external ones
+    /// or indirect pointers — sector atomicity makes the switch
+    /// all-or-nothing), and only then is the old block freed. Every tear
+    /// point leaves either the old pointer with the old block intact, or
+    /// the new pointer with the copied contents already durable from step
+    /// 1 — fsck-clean and byte-identical either way. Callers must run
+    /// step 1 first and commit immediately after.
+    pub fn relocate_commit(&mut self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
+        let mut inode = self.read_inode(ino)?;
+        let from = self
+            .bmap(ino, &mut inode, lbn, None)?
+            .ok_or_else(|| FsError::Corrupt("committing an unmapped block".into()))?;
+        if from == to {
+            return Ok(());
+        }
+        self.map_set(&mut inode, lbn, to)?;
+        self.write_inode(ino, &inode, true)?;
+        self.flush_map_location(&inode, ino, lbn)?;
+        self.cache.unbind_logical(ino, lbn);
+        self.free_block_any(from);
+        self.cache.bind_logical(to, ino, lbn);
+        self.obs().bump(Ctr::RegroupBlocksMoved);
+        Ok(())
+    }
+
+    /// Claim a slot in `group` and relocate `lbn` of `ino` into it
+    /// (copy-forward then commit). Returns the new block, or `None` when
+    /// the block is unmapped, already inside the target extent, or the
+    /// group is full.
+    pub fn relocate_block_into(
+        &mut self,
+        ino: Ino,
+        lbn: u64,
+        group: (u32, u32),
+    ) -> FsResult<Option<u64>> {
+        let mut inode = self.read_inode(ino)?;
+        let Some(from) = self.bmap(ino, &mut inode, lbn, None)? else {
+            return Ok(None);
+        };
+        if let Some(g) = self.groups.get(group.0, group.1) {
+            if from >= g.start && from < g.start + g.nslots as u64 {
+                return Ok(None);
+            }
+        }
+        let Some(to) = self.group_claim_slot(group) else {
+            return Ok(None);
+        };
+        self.relocate_copy_forward(ino, lbn, to)?;
+        self.relocate_commit(ino, lbn, to)?;
+        Ok(Some(to))
+    }
+
+    /// Force the on-disk location of `lbn`'s block pointer durable,
+    /// whatever the metadata mode: the inode's sector/block for direct
+    /// pointers, the (already dirty) indirect block otherwise.
+    fn flush_map_location(&mut self, inode: &Inode, ino: Ino, lbn: u64) -> FsResult<()> {
+        if (lbn as usize) < NDIRECT {
+            return match decode_ino(ino) {
+                InoRef::External(slot) => {
+                    let (blk, _) = self.exfile_locate(slot)?;
+                    self.cache.flush_block_sync(&mut self.drv, blk)
+                }
+                InoRef::Embedded { blk, off, .. } => {
+                    self.cache.flush_sector_sync(&mut self.drv, blk, off)
+                }
+            };
+        }
+        let l1 = lbn as usize - NDIRECT;
+        if l1 < PTRS_PER_BLOCK {
+            return self.cache.flush_block_sync(&mut self.drv, inode.indirect as u64);
+        }
+        let l2 = l1 - PTRS_PER_BLOCK;
+        let dind = inode.dindirect as u64;
+        let mid = {
+            let data = self.cache.read_block(&mut self.drv, dind)?;
+            cffs_fslib::codec::get_u32(data, (l2 / PTRS_PER_BLOCK) * 4)
+        };
+        self.cache.flush_block_sync(&mut self.drv, mid as u64)
     }
 
     fn charge(&mut self, d: SimDuration) {

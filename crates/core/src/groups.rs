@@ -229,6 +229,32 @@ impl GroupIndex {
         owner: Ino,
         nslots: u8,
     ) -> FsResult<Option<(u64, (u32, u32))>> {
+        let Some(key) = self.carve_empty(sb, hdr, owner, nslots)? else {
+            return Ok(None);
+        };
+        let g = self.by_slot.get_mut(&key).expect("just carved");
+        g.member_valid = 1;
+        let blk = g.start;
+        hdr.groups[key.1 as usize] = Some(to_disk(g, sb));
+        Ok(Some((blk, key)))
+    }
+
+    /// Carve a new group extent with *no* members yet — the regrouper's
+    /// re-formation path: the extent is reserved first, then members are
+    /// claimed one at a time via [`GroupIndex::alloc_slot_in`] as blocks
+    /// are relocated into it. An extent left empty is reclaimed by
+    /// [`GroupIndex::trim_slack`] (and dissolved by fsck after a crash),
+    /// so an aborted re-formation leaks nothing permanently.
+    ///
+    /// # Panics
+    /// Panics if `nslots` is 0 or exceeds [`GROUP_BLOCKS`].
+    pub fn carve_empty(
+        &mut self,
+        sb: &Superblock,
+        hdr: &mut CgHeader,
+        owner: Ino,
+        nslots: u8,
+    ) -> FsResult<Option<(u32, u32)>> {
         assert!(
             nslots > 0 && nslots as usize <= GROUP_BLOCKS,
             "group size {nslots} outside 1..={GROUP_BLOCKS}"
@@ -246,12 +272,32 @@ impl GroupIndex {
             idx: idx as u32,
             start: sb.cg_data_start(cg) + start_idx as u64,
             nslots,
-            member_valid: 1,
+            member_valid: 0,
             owner,
         };
         hdr.groups[idx] = Some(to_disk(&g, sb));
         self.insert(g);
-        Ok(Some((g.start, (cg, idx as u32))))
+        Ok(Some((cg, idx as u32)))
+    }
+
+    /// Claim the lowest free member slot of *exactly* the group `key`
+    /// (unlike [`GroupIndex::alloc_slot`], which falls back to the owner's
+    /// other groups). This is how the regrouper packs relocated blocks
+    /// into consecutive slots of a freshly carved extent. Returns the
+    /// claimed block, or `None` if the group is full or missing.
+    pub fn alloc_slot_in(
+        &mut self,
+        key: (u32, u32),
+        mut persist: impl FnMut(u32, u32, &GroupDescDisk, &Superblock),
+        sb: &Superblock,
+    ) -> Option<u64> {
+        let g = self.by_slot.get_mut(&key)?;
+        let s = g.free_slot()?;
+        g.member_valid |= 1 << s;
+        let blk = g.slot_block(s);
+        let d = to_disk(g, sb);
+        persist(key.0, key.1, &d, sb);
+        Some(blk)
     }
 
     /// Free the member slot holding `blk`. Returns `true` and updates (or
@@ -493,6 +539,44 @@ mod tests {
         let g = ix2.groups_of(owner);
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].member_valid, 1);
+    }
+
+    #[test]
+    fn carve_empty_then_pack_consecutively() {
+        let (sb, mut cgs, mut ix) = setup();
+        let owner = crate::layout::external_ino(4);
+        let key = ix.carve_empty(&sb, &mut cgs[1], owner, 16).unwrap().unwrap();
+        // The extent is reserved whole but has no members yet.
+        assert_eq!(cgs[1].block_bitmap.used(), 16);
+        assert_eq!(ix.get(key.0, key.1).unwrap().live(), 0);
+        // Claims come back lowest-slot-first: a contiguous run.
+        let start = ix.get(key.0, key.1).unwrap().start;
+        for i in 0..16u64 {
+            let b = ix.alloc_slot_in(key, |c, i, d, _| {
+                cgs[c as usize].groups[i as usize] = Some(*d);
+            }, &sb);
+            assert_eq!(b, Some(start + i));
+        }
+        assert!(ix.alloc_slot_in(key, |_, _, _, _| {}, &sb).is_none());
+        // Descriptor round-trips with all members live.
+        let rebuilt = GroupIndex::build(&sb, &cgs);
+        assert_eq!(rebuilt.get(key.0, key.1).unwrap().member_valid, 0xFFFF);
+    }
+
+    #[test]
+    fn empty_carved_group_is_reclaimed_by_trim() {
+        let (sb, mut cgs, mut ix) = setup();
+        let owner = crate::layout::external_ino(5);
+        let key = ix.carve_empty(&sb, &mut cgs[0], owner, 16).unwrap().unwrap();
+        let start = ix.get(key.0, key.1).unwrap().start;
+        // An aborted re-formation (no members claimed) leaks nothing:
+        // trim_slack removes the whole extent.
+        let released = ix.trim_slack(&sb, 0, |c, i, d| {
+            cgs[c as usize].groups[i as usize] = d.copied();
+        });
+        assert_eq!(released, vec![(start, 16)]);
+        assert!(ix.is_empty());
+        assert!(cgs[0].groups.iter().all(|g| g.is_none()));
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod groups;
 pub mod layout;
 pub mod mkfs;
 
-pub use fs::{Cffs, CffsConfig};
+pub use fs::{Cffs, CffsConfig, CgUsage};
 pub use fsck::{fsck, FsckReport};
 pub use mkfs::MkfsParams;

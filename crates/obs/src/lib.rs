@@ -139,6 +139,12 @@ counters! {
     FsSyncMetaWrites => "fs_sync_meta_writes",
     /// Metadata updates deferred to delayed write-back.
     FsDelayedMetaWrites => "fs_delayed_meta_writes",
+
+    // ---- online regrouping engine ----
+    /// Blocks relocated by the regrouper (copy-forward + pointer rewrite).
+    RegroupBlocksMoved => "regroup_blocks_moved",
+    /// Fresh contiguous group extents carved by the regrouper.
+    RegroupGroupsFormed => "regroup_groups_formed",
 }
 
 /// Fixed registry of relaxed atomic counters.

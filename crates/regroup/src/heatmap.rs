@@ -1,0 +1,123 @@
+//! Per-cylinder-group occupancy/traffic heatmap.
+//!
+//! The same per-CG index the regrouper's planner keys off
+//! ([`Cffs::cg_usage`] + the group index), joined with recent trace-ring
+//! disk events bucketed by cylinder group. `cffs-inspect heatmap` renders
+//! the result as a text grid and as JSON for plotting.
+
+use cffs_core::Cffs;
+use cffs_fslib::SECTORS_PER_BLOCK;
+use cffs_obs::json::Json;
+use cffs_obs::{obj, Event};
+
+/// One cylinder group's bucket: occupancy, grouping state, and traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CgHeat {
+    /// Cylinder group number.
+    pub cg: u32,
+    /// Data blocks the group tracks.
+    pub data_blocks: u32,
+    /// Data blocks allocated.
+    pub used_blocks: u32,
+    /// Group extents carved here.
+    pub extents: u32,
+    /// Live member blocks across those extents.
+    pub live_members: u32,
+    /// Reserved-but-unused slots across those extents.
+    pub slack: u32,
+    /// Trace-ring read requests landing here.
+    pub read_ios: u64,
+    /// Trace-ring write requests landing here.
+    pub write_ios: u64,
+    /// Sectors read by those requests.
+    pub read_sectors: u64,
+    /// Sectors written by those requests.
+    pub write_sectors: u64,
+}
+
+/// Build the heatmap from a mounted file system plus a window of trace
+/// events (normally `fs.obs().recent_events(n)`). Each `disk.read` /
+/// `disk.write` event is attributed to the cylinder group of its starting
+/// block; events outside any CG (superblock area) are dropped.
+pub fn build(fs: &Cffs, events: &[Event]) -> Vec<CgHeat> {
+    let sb = fs.superblock();
+    let mut heat: Vec<CgHeat> = fs
+        .cg_usage()
+        .into_iter()
+        .map(|u| CgHeat {
+            cg: u.cg,
+            data_blocks: u.data_blocks,
+            used_blocks: u.used_blocks,
+            ..CgHeat::default()
+        })
+        .collect();
+    for g in fs.group_index().iter() {
+        let h = &mut heat[g.cg as usize];
+        h.extents += 1;
+        h.live_members += g.live();
+        h.slack += g.slack();
+    }
+    for ev in events {
+        let (reads, writes) = match ev.tag {
+            "disk.read" => (true, false),
+            "disk.write" => (false, true),
+            _ => continue,
+        };
+        let Some(cg) = sb.block_cg(ev.a / SECTORS_PER_BLOCK) else { continue };
+        let h = &mut heat[cg as usize];
+        if reads {
+            h.read_ios += 1;
+            h.read_sectors += ev.b;
+        }
+        if writes {
+            h.write_ios += 1;
+            h.write_sectors += ev.b;
+        }
+    }
+    heat
+}
+
+/// Render the heatmap as a text grid, one row per cylinder group: an
+/// occupancy bar plus grouping and traffic figures.
+pub fn render(heat: &[CgHeat]) -> String {
+    const BAR: usize = 32;
+    let mut out = String::new();
+    out.push_str("cg   occupancy                         used/data   ext live slack     R-ios    W-ios\n");
+    for h in heat {
+        let frac = if h.data_blocks == 0 {
+            0.0
+        } else {
+            h.used_blocks as f64 / h.data_blocks as f64
+        };
+        let filled = (frac * BAR as f64).round() as usize;
+        let bar: String = (0..BAR).map(|i| if i < filled { '#' } else { '.' }).collect();
+        out.push_str(&format!(
+            "{:>3} |{}| {:>5}/{:<5} {:>4} {:>4} {:>5} {:>9} {:>8}\n",
+            h.cg, bar, h.used_blocks, h.data_blocks, h.extents, h.live_members, h.slack,
+            h.read_ios, h.write_ios,
+        ));
+    }
+    out
+}
+
+/// JSON rendering for plotting.
+pub fn to_json(heat: &[CgHeat]) -> Json {
+    Json::Arr(
+        heat.iter()
+            .map(|h| {
+                obj![
+                    ("cg", Json::Int(h.cg as i64)),
+                    ("data_blocks", Json::Int(h.data_blocks as i64)),
+                    ("used_blocks", Json::Int(h.used_blocks as i64)),
+                    ("extents", Json::Int(h.extents as i64)),
+                    ("live_members", Json::Int(h.live_members as i64)),
+                    ("slack", Json::Int(h.slack as i64)),
+                    ("read_ios", Json::Int(h.read_ios as i64)),
+                    ("write_ios", Json::Int(h.write_ios as i64)),
+                    ("read_sectors", Json::Int(h.read_sectors as i64)),
+                    ("write_sectors", Json::Int(h.write_sectors as i64)),
+                ]
+            })
+            .collect(),
+    )
+}

@@ -34,7 +34,9 @@ pub struct DevTreeParams {
     pub headers: usize,
     /// Mean source-file size in bytes (sizes vary ±50%).
     pub mean_size: usize,
-    /// RNG seed.
+    /// RNG seed. Sizes *and* file bodies derive from it — every body is a
+    /// pure function of `(seed, file tag)` (like `SmallFileParams::seed`),
+    /// so equal parameters give byte-identical trees and timelines.
     pub seed: u64,
 }
 
@@ -63,8 +65,11 @@ fn gen_size(rng: &mut StdRng, mean: usize) -> usize {
     rng.gen_range(lo..=hi)
 }
 
-fn file_body(seed: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|j| ((seed * 131 + j * 17) % 251) as u8).collect()
+/// Deterministic file body keyed by `(seed, tag)` — `tag` identifies the
+/// file within the tree, the run's seed varies the whole stream.
+fn file_body(seed: u64, tag: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect()
 }
 
 /// Run the whole suite. Returns one [`PhaseResult`] per phase:
@@ -90,7 +95,11 @@ pub fn run(
     results.push(measure(fs, "untar", nfiles, total_bytes, |fs| {
         path::mkdir_p(fs, "/src/include")?;
         for (h, &sz) in header_sizes.iter().enumerate() {
-            path::write_file(fs, &format!("/src/include/h{h:03}.h"), &file_body(9000 + h, sz))?;
+            path::write_file(
+                fs,
+                &format!("/src/include/h{h:03}.h"),
+                &file_body(params.seed, 9000 + h as u64, sz),
+            )?;
         }
         for (d, dir_sizes) in sizes.iter().enumerate() {
             path::mkdir_p(fs, &format!("/src/mod{d:03}"))?;
@@ -98,7 +107,7 @@ pub fn run(
                 path::write_file(
                     fs,
                     &format!("/src/mod{d:03}/{}", source_name(f)),
-                    &file_body(d * 1000 + f, sz),
+                    &file_body(params.seed, (d * 1000 + f) as u64, sz),
                 )?;
             }
         }
@@ -138,7 +147,7 @@ pub fn run(
             for (f, &sz) in dir_sizes.iter().enumerate() {
                 let src = path::read_file(fs, &format!("/src/mod{d:03}/{}", source_name(f)))?;
                 debug_assert_eq!(src.len(), sz);
-                let obj = file_body(50_000 + d * 1000 + f, sz * 3 / 2);
+                let obj = file_body(params.seed, (50_000 + d * 1000 + f) as u64, sz * 3 / 2);
                 linked += obj.len() as u64;
                 path::write_file(
                     fs,
@@ -147,7 +156,11 @@ pub fn run(
                 )?;
             }
             // "Link" the module.
-            path::write_file(fs, &format!("/src/mod{d:03}/module.a"), &file_body(70_000 + d, linked as usize / 2))?;
+            path::write_file(
+                fs,
+                &format!("/src/mod{d:03}/module.a"),
+                &file_body(params.seed, 70_000 + d as u64, linked as usize / 2),
+            )?;
         }
         Ok(())
     })?);
@@ -217,5 +230,23 @@ mod tests {
         let a = path::read_file(&mut fs, "/src/mod000/main0.c").unwrap();
         let b = path::read_file(&mut fs, "/copy/mod000/main0.c").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bodies_are_pure_in_seed_and_tag() {
+        assert_eq!(file_body(3, 17, 64), file_body(3, 17, 64));
+        assert_ne!(file_body(3, 17, 64), file_body(3, 18, 64));
+        assert_ne!(file_body(3, 17, 64), file_body(4, 17, 64), "seed changes the stream");
+    }
+
+    #[test]
+    fn suite_is_deterministic_and_seed_sensitive() {
+        let tree = |seed| {
+            let mut fs = ModelFs::new();
+            run(&mut fs, DevTreeParams { seed, ..DevTreeParams::small() }).unwrap();
+            path::read_file(&mut fs, "/src/mod000/main0.c").unwrap()
+        };
+        assert_eq!(tree(3), tree(3));
+        assert_ne!(tree(3), tree(4));
     }
 }

@@ -30,7 +30,10 @@ pub struct PostmarkParams {
     pub min_size: usize,
     /// Maximum file size in bytes.
     pub max_size: usize,
-    /// RNG seed.
+    /// RNG seed. Every payload is a pure function of `(seed, serial)`
+    /// (like `SmallFileParams::seed`), so two runs with equal parameters
+    /// are byte-identical end to end — same data, same block layout, same
+    /// disk requests, same trace timeline.
     pub seed: u64,
 }
 
@@ -61,6 +64,14 @@ impl PostmarkParams {
             seed: 7,
         }
     }
+}
+
+/// Deterministic payload: a fixed-seed PRNG stream keyed by
+/// `(seed, serial)`, so every file's bytes are reproducible without
+/// storing them.
+fn payload(seed: u64, serial: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ serial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect()
 }
 
 struct Uniform {
@@ -102,10 +113,11 @@ pub fn run(
             for _ in 0..params.nfiles {
                 let d = rng_ref.gen_range(0..params.ndirs);
                 let size = sizes.sample(rng_ref);
-                let name = format!("m{:08}", *serial_ref);
+                let s = *serial_ref;
                 *serial_ref += 1;
+                let name = format!("m{s:08}");
                 let ino = fs.create(dirs[d], &name)?;
-                fs.write(ino, 0, &vec![(*serial_ref % 251) as u8; size])?;
+                fs.write(ino, 0, &payload(params.seed, s, size))?;
                 created_bytes += size as u64;
                 pool_ref.push((d, name, size));
             }
@@ -128,10 +140,11 @@ pub fn run(
                 if rng_ref.gen_bool(0.5) || pool_ref.is_empty() {
                     let d = rng_ref.gen_range(0..params.ndirs);
                     let size = sizes.sample(rng_ref);
-                    let name = format!("m{:08}", *serial_ref);
+                    let s = *serial_ref;
                     *serial_ref += 1;
+                    let name = format!("m{s:08}");
                     let ino = fs.create(dirs[d], &name)?;
-                    fs.write(ino, 0, &vec![(*serial_ref % 251) as u8; size])?;
+                    fs.write(ino, 0, &payload(params.seed, s, size))?;
                     tx_bytes += size as u64;
                     pool_ref.push((d, name, size));
                 } else {
@@ -154,7 +167,9 @@ pub fn run(
                     let (d, name, size) = pool_ref[idx].clone();
                     let ino = fs.lookup(dirs[d], &name)?;
                     let add = rng_ref.gen_range(64..=1024);
-                    fs.write(ino, size as u64, &vec![7u8; add])?;
+                    let s = *serial_ref;
+                    *serial_ref += 1;
+                    fs.write(ino, size as u64, &payload(params.seed, s, add))?;
                     tx_bytes += add as u64;
                     pool_ref[idx].2 = size + add;
                 }
@@ -205,4 +220,12 @@ mod tests {
         };
         assert_eq!(run_once(), run_once());
     }
+
+    #[test]
+    fn payload_is_pure_in_seed_and_serial() {
+        assert_eq!(payload(7, 3, 64), payload(7, 3, 64));
+        assert_ne!(payload(7, 3, 64), payload(7, 4, 64));
+        assert_ne!(payload(7, 3, 64), payload(8, 3, 64), "seed changes the stream");
+    }
+
 }

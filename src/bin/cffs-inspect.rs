@@ -7,6 +7,8 @@
 //!   cffs-inspect trace  [--last N] <image>|--demo # trace events as JSONL
 //!   cffs-inspect timeline [--last N] <image>|--demo # span-resolved ops as JSONL
 //!   cffs-inspect histo  <image>|--demo            # histogram bucket tables
+//!   cffs-inspect heatmap [--json] <image>|--demo  # per-CG occupancy/traffic grid
+//!   cffs-inspect regroup [--apply] [--json] <image>|--demo # regrouping plan (dry-run by default)
 //!
 //! Prints the superblock, per-cylinder-group occupancy, the group
 //! descriptor table, the namespace tree annotated with each inode's
@@ -25,6 +27,14 @@
 //! to the span open, and `service_ns` = the request's simulated service
 //! time). `histo` renders every non-empty latency/size/seek/utilization
 //! histogram as a log2-bucket table with count, mean, and p50/p90/p99.
+//!
+//! `heatmap` folds the trace ring's disk requests into per-cylinder-group
+//! occupancy and traffic buckets — a text grid of where the image is full
+//! and hot (`--json` for the machine-readable form). `regroup` scores
+//! every directory's grouping quality and prints the relocation plan the
+//! online regrouping engine would execute; `--apply` executes it (and
+//! writes the image back in place when inspecting a saved image),
+//! finishing with an fsck report.
 
 use cffs::core::layout::{decode_ino, InoRef};
 use cffs::core::{fsck, Cffs, CffsConfig};
@@ -96,9 +106,17 @@ fn usage() -> ! {
          cffs-inspect stats <image>|--demo\n       \
          cffs-inspect trace [--last N] <image>|--demo\n       \
          cffs-inspect timeline [--last N] <image>|--demo\n       \
-         cffs-inspect histo <image>|--demo"
+         cffs-inspect histo <image>|--demo\n       \
+         cffs-inspect heatmap [--json] <image>|--demo\n       \
+         cffs-inspect regroup [--apply] [--json] <image>|--demo"
     );
     std::process::exit(2);
+}
+
+/// The image argument of a subcommand tail: `--demo` or the first
+/// non-flag argument.
+fn image_arg(args: &[String]) -> Option<&str> {
+    args.iter().map(String::as_str).find(|a| *a == "--demo" || !a.starts_with("--"))
 }
 
 fn disk_from(arg: Option<&str>) -> Disk {
@@ -262,6 +280,60 @@ fn histo_cmd(args: &[String]) {
     }
 }
 
+/// Per-cylinder-group occupancy and traffic, folded from the trace ring
+/// left behind by the cold namespace walk.
+fn heatmap_cmd(args: &[String]) {
+    let fs = mounted_walk(disk_from(image_arg(args)));
+    let events = fs.obs().recent_events(cffs_obs::DEFAULT_TRACE_CAPACITY);
+    let heat = cffs::regroup::heatmap::build(&fs, &events);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", cffs::regroup::heatmap::to_json(&heat).to_string_pretty());
+    } else {
+        print!("{}", cffs::regroup::heatmap::render(&heat));
+    }
+}
+
+/// Score every directory's grouping quality and print the relocation plan
+/// (dry-run); `--apply` executes it through the crash-safe protocol and
+/// writes a saved image back in place.
+fn regroup_cmd(args: &[String]) {
+    let apply = args.iter().any(|a| a == "--apply");
+    let json = args.iter().any(|a| a == "--json");
+    let image = image_arg(args);
+    let mut fs = Cffs::mount(disk_from(image), CffsConfig::cffs()).expect("mount");
+    let cfg = cffs::regroup::RegroupConfig::exhaustive();
+    let plan = cffs::regroup::plan(&mut fs, &cfg).expect("plan");
+    if json {
+        println!("{}", plan.to_json().to_string_pretty());
+    } else {
+        print!("{}", plan.render());
+    }
+    if !apply {
+        println!("(dry run; pass --apply to relocate)");
+        return;
+    }
+    let out = cffs::regroup::execute(&mut fs, &plan, &cfg).expect("execute");
+    fs.sync().expect("sync");
+    println!(
+        "applied: {} blocks moved into {} fresh extents across {} directories \
+         ({} stale skips, {} carve failures)",
+        out.blocks_moved, out.groups_formed, out.dirs_regrouped, out.skipped_stale, out.carve_failures
+    );
+    let mut img = fs.unmount().expect("unmount");
+    let report = fsck::fsck(&mut img, false).expect("fsck");
+    println!(
+        "fsck after regroup: {}",
+        if report.clean() { "clean" } else { "INCONSISTENT" }
+    );
+    for e in &report.errors {
+        println!("  error: {e}");
+    }
+    if let Some(p) = image.filter(|p| *p != "--demo") {
+        img.save_image(Path::new(p)).expect("save image");
+        println!("image updated in place: {p}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -269,6 +341,8 @@ fn main() {
         Some("trace") => return trace_cmd(&args[2..]),
         Some("timeline") => return timeline_cmd(&args[2..]),
         Some("histo") => return histo_cmd(&args[2..]),
+        Some("heatmap") => return heatmap_cmd(&args[2..]),
+        Some("regroup") => return regroup_cmd(&args[2..]),
         _ => {}
     }
     let disk = match args.get(1).map(String::as_str) {
