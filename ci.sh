@@ -25,6 +25,23 @@ BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     "$BENCH_TMP"/out/BENCH_*.json
 
+echo "== profiler smoke (flamegraph fold + smallfile FOLD artifact) =="
+# The fold must be non-empty, every line must be `stack weight`, and the
+# smallfile smoke above must have left a per-phase FOLD artifact behind.
+FOLD="$BENCH_TMP/fold.txt"
+cargo run --release --offline --bin cffs-inspect -- flamegraph --demo > "$FOLD"
+awk 'BEGIN { n = 0 }
+     !/^[^ ]+ [0-9]+$/ { print "malformed fold line: " $0; exit 1 }
+     { n += 1 }
+     END { if (n == 0) { print "empty fold"; exit 1 } }' "$FOLD"
+awk 'BEGIN { n = 0 }
+     !/^[^ ]+ [0-9]+$/ { print "malformed fold line: " $0; exit 1 }
+     { n += 1 }
+     END { if (n == 0) { print "empty fold"; exit 1 } }' \
+    "$BENCH_TMP/out/FOLD_SMALLFILE_SYNC.txt"
+cargo run --release --offline --bin cffs-inspect -- flamegraph --svg-ready --demo \
+    | grep -q '^<svg ' || { echo "flamegraph --svg-ready did not emit SVG"; exit 1; }
+
 echo "== bench perf gate (p90 latency + group-fetch utilization vs baselines) =="
 # Simulated time is deterministic, so unchanged code reproduces the
 # baselines exactly; the band absorbs small intentional shifts. Refresh

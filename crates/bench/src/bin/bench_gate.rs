@@ -10,6 +10,10 @@
 //!   `baseline * (1 + tol)`;
 //! * the `group_fetch_util_pct` histogram mean must not drop below
 //!   `baseline * (1 - tol)` (higher is better, so no upper bound);
+//! * the `time_attribution.service_pct` share must not drop below
+//!   `baseline * (1 - tol)` — the small-file story is "more of the
+//!   phase is mechanical service, less is queueing" and a falling
+//!   service share means that attribution regressed;
 //! * if both payloads carry a top-level `recovery_ratio`, the current one
 //!   must not drop below `baseline * (1 - tol)`.
 //!
@@ -119,6 +123,25 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
                 None => gate
                     .violations
                     .push(format!("{tag}: group_fetch_util_pct histogram disappeared")),
+            }
+        }
+        // Attribution floor: the share of a phase spent in mechanical
+        // disk service is the bandwidth-exploitation story (service up,
+        // queue+seek down). A drop below the band means time shifted
+        // back into queueing/idle — an attribution regression.
+        let service_pct = |row: &Json| {
+            row.get("time_attribution")
+                .and_then(|a| a.get("service_pct"))
+                .and_then(Json::as_f64)
+        };
+        if let Some(base_svc) = service_pct(base_row).filter(|&v| v > 0.0) {
+            match service_pct(cur_row) {
+                Some(cur_svc) => {
+                    gate.floor(&format!("{tag}: time_attribution service_pct"), cur_svc, base_svc)
+                }
+                None => gate
+                    .violations
+                    .push(format!("{tag}: time_attribution.service_pct disappeared")),
             }
         }
     }

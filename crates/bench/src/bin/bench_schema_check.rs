@@ -5,11 +5,47 @@
 //! Each file must parse with the in-tree JSON reader and carry the
 //! observability payload the analysis tooling relies on: a non-empty
 //! `rows` array whose rows each have a `counters` snapshot with a
-//! `histograms` member and a `latency_ns` summary, with per-op
-//! `p50_ns`/`p90_ns`/`p99_ns` present somewhere in the file. Exits
+//! `histograms` member, a `latency_ns` summary with per-op
+//! `p50_ns`/`p90_ns`/`p99_ns` present somewhere in the file, and a
+//! `time_attribution` object whose four `*_ns` buckets partition
+//! `total_ns` and whose percentages sum to 100 ± rounding. Exits
 //! nonzero naming the first violation.
 
 use cffs_obs::json::{parse, Json};
+
+/// Validate one row's `time_attribution` object: buckets must be a
+/// partition of `total_ns` and the four percentages must sum to ~100
+/// (exactly 0 for an empty window).
+fn check_attribution(i: usize, attr: &Json) -> Result<(), String> {
+    let field = |name: &str| -> Result<u64, String> {
+        attr.get(name)
+            .and_then(Json::as_u64)
+            .ok_or(format!("row {i}: time_attribution.{name} missing"))
+    };
+    let (op, queue, service, idle) =
+        (field("op_ns")?, field("queue_ns")?, field("service_ns")?, field("idle_ns")?);
+    let total = field("total_ns")?;
+    if op + queue + service + idle != total {
+        return Err(format!(
+            "row {i}: time_attribution buckets sum to {} != total_ns {total}",
+            op + queue + service + idle
+        ));
+    }
+    let mut pct_sum = 0.0;
+    for name in ["op_pct", "queue_pct", "service_pct", "idle_pct"] {
+        pct_sum += attr
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or(format!("row {i}: time_attribution.{name} missing"))?;
+    }
+    let expect = if total == 0 { 0.0 } else { 100.0 };
+    if (pct_sum - expect).abs() > 0.1 {
+        return Err(format!(
+            "row {i}: time_attribution percentages sum to {pct_sum}, want {expect} ± 0.1"
+        ));
+    }
+    Ok(())
+}
 
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
@@ -40,6 +76,10 @@ fn check(path: &str) -> Result<(), String> {
             }
             saw_percentiles = true;
         }
+        let attr = row
+            .get("time_attribution")
+            .ok_or(format!("row {i}: no \"time_attribution\""))?;
+        check_attribution(i, attr)?;
     }
     if !saw_percentiles {
         return Err("no row reported any per-op latency percentiles".into());

@@ -5,14 +5,17 @@
 //!                   [--dirs N] [--order roundrobin|dirmajor] [--seed N]
 
 use cffs_bench::experiments::smallfile;
-use cffs_bench::report::emit_bench;
+use cffs_bench::report::{emit_artifact, emit_bench};
 use cffs_fslib::MetadataMode;
 use cffs_workloads::smallfile::{Assignment, SmallFileParams};
 
 fn run_mode(mode: MetadataMode, params: SmallFileParams, bench: &str) {
-    let (text, json) = smallfile::report(mode, params);
+    let (text, json, fold) = smallfile::report_with_folds(mode, params);
     print!("{text}");
     emit_bench(bench, json);
+    // Collapsed-stack fold of the C-FFS run (phase;op;queue|service),
+    // renderable by any flamegraph tool.
+    emit_artifact(&format!("FOLD_{bench}.txt"), &fold.collapse());
 }
 
 fn main() {

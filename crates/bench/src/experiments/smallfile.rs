@@ -11,17 +11,74 @@ use crate::report::{header, phase_table, rows_json, speedup};
 use cffs::build;
 use cffs_fslib::MetadataMode;
 use cffs_obs::json::{Json, ToJson};
-use cffs_obs::obj;
+use cffs_obs::{obj, prof, SpanRecord};
 use cffs_workloads::smallfile::{self, SmallFileParams};
 use cffs_workloads::PhaseResult;
 
 /// Run the benchmark on all five file systems.
 pub fn run_all(mode: MetadataMode, params: SmallFileParams) -> Vec<PhaseResult> {
+    run_all_with_folds(mode, params).0
+}
+
+/// Run the benchmark on all five file systems and also collect a
+/// collapsed-stack fold of the C-FFS run: its span log is segmented by
+/// each phase's simulated-time window, so the fold reads
+/// `{phase};{op};disk_req/{queue,service}` with per-phase `idle` frames;
+/// setup and cold-boundary work between phases folds under
+/// `(unmeasured)`.
+pub fn run_all_with_folds(
+    mode: MetadataMode,
+    params: SmallFileParams,
+) -> (Vec<PhaseResult>, prof::Fold) {
     let mut all = Vec::new();
+    let mut fold = prof::Fold::default();
     for mut fs in build::all_five(mode) {
-        all.extend(smallfile::run(fs.as_mut(), params).expect("benchmark run"));
+        let obs = fs.obs();
+        let want_fold = fs.label() == "C-FFS";
+        if want_fold {
+            if let Some(o) = &obs {
+                o.enable_span_log();
+            }
+        }
+        let rows = smallfile::run(fs.as_mut(), params).expect("benchmark run");
+        if want_fold {
+            if let Some(log) = obs.as_ref().and_then(|o| o.span_log()) {
+                fold_phases(&mut fold, &log, &rows);
+            }
+        }
+        all.extend(rows);
     }
-    all
+    (all, fold)
+}
+
+/// Window the span log by each phase's `[start, start + elapsed)` and
+/// fold each window under the phase's name; records between phases
+/// (directory setup, cold boundaries) fold under `(unmeasured)` with no
+/// idle frame (their windows are gaps, not measured intervals).
+fn fold_phases(fold: &mut prof::Fold, log: &[SpanRecord], rows: &[PhaseResult]) {
+    let mut unmeasured: Vec<SpanRecord> = Vec::new();
+    'records: for &rec in log {
+        for r in rows {
+            let start = r.start_ns;
+            let end = start + r.elapsed.as_nanos();
+            if rec.t0_ns >= start && rec.t0_ns < end {
+                continue 'records;
+            }
+        }
+        unmeasured.push(rec);
+    }
+    for r in rows {
+        let start = r.start_ns;
+        let end = start + r.elapsed.as_nanos();
+        let recs: Vec<SpanRecord> = log
+            .iter()
+            .filter(|s| s.t0_ns >= start && s.t0_ns < end)
+            .copied()
+            .collect();
+        prof::fold_log_into(fold, &recs, &r.phase, r.elapsed.as_nanos());
+    }
+    let covered: u64 = unmeasured.iter().map(|s| s.dur_ns).sum();
+    prof::fold_log_into(fold, &unmeasured, "(unmeasured)", covered);
 }
 
 /// JSON payload for one metadata mode's rows.
@@ -45,7 +102,17 @@ pub fn rows_payload(mode: MetadataMode, params: SmallFileParams, rows: &[PhaseRe
 /// Run one metadata mode and render both the text report and the JSON
 /// payload from the same pass.
 pub fn report(mode: MetadataMode, params: SmallFileParams) -> (String, Json) {
-    let all = run_all(mode, params);
+    let (text, json, _) = report_with_folds(mode, params);
+    (text, json)
+}
+
+/// [`report`], plus the C-FFS run's collapsed-stack fold (for
+/// `FOLD_SMALLFILE_*.txt` artifacts).
+pub fn report_with_folds(
+    mode: MetadataMode,
+    params: SmallFileParams,
+) -> (String, Json, prof::Fold) {
+    let (all, fold) = run_all_with_folds(mode, params);
     let json = rows_payload(mode, params, &all);
     let mut out = header(&format!(
         "small-file benchmark: {} x {} B in {} dirs, metadata={:?}",
@@ -66,7 +133,7 @@ pub fn report(mode: MetadataMode, params: SmallFileParams) -> (String, Json) {
             new.disk_requests()
         ));
     }
-    (out, json)
+    (out, json, fold)
 }
 
 /// Render the report for one metadata mode.

@@ -48,11 +48,36 @@ pub fn rows_json(rows: &[PhaseResult]) -> Json {
 /// carries the simulated-time results *and* the observability counter
 /// snapshots, so runs are machine-comparable.
 pub fn write_bench(name: &str, payload: Json) -> std::io::Result<std::path::PathBuf> {
+    write_artifact(&format!("BENCH_{name}.json"), &(payload.to_string_pretty() + "\n"))
+}
+
+/// Write a named artifact into `BENCH_OUT_DIR` atomically: the content
+/// lands in `<name>.tmp` first and is renamed into place, so a crash
+/// mid-write can never leave a half-written file that poisons
+/// `bench_gate` baselines or fold consumers.
+pub fn write_artifact(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
     std::fs::create_dir_all(&dir)?;
-    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, payload.to_string_pretty() + "\n")?;
+    let path = std::path::Path::new(&dir).join(name);
+    let tmp = std::path::Path::new(&dir).join(format!("{name}.tmp"));
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
+}
+
+/// [`write_artifact`] with `emit_bench`'s hard-error policy: CI consumes
+/// these files, so a failed write refuses to claim success.
+pub fn emit_artifact(name: &str, content: &str) {
+    match write_artifact(name, content) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!(
+                "error: cannot write {name}: {e}\n\
+                 (point BENCH_OUT_DIR at a writable directory)"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Write and report on stdout. Failing to persist the BENCH artifact is a
@@ -83,6 +108,7 @@ mod tests {
         PhaseResult {
             fs: fs.into(),
             phase: phase.into(),
+            start_ns: 0,
             elapsed: SimDuration::from_secs_f64(secs),
             items: 100,
             bytes: 102_400,
@@ -123,6 +149,27 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("file exists");
         assert_eq!(body.trim(), "1");
         std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn write_bench_is_atomic_no_tmp_left_behind() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("cffs-bench-atomic-{}", std::process::id()));
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let path = write_bench("ATOMIC_TEST", Json::Int(7)).expect("write succeeds");
+        let fold = write_artifact("FOLD_TEST.txt", "run;idle 10\n").expect("write succeeds");
+        std::env::remove_var("BENCH_OUT_DIR");
+        assert_eq!(std::fs::read_to_string(&path).unwrap().trim(), "7");
+        assert_eq!(std::fs::read_to_string(&fold).unwrap(), "run;idle 10\n");
+        // The temp staging files were renamed away, not left to be
+        // mistaken for real artifacts.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

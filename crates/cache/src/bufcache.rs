@@ -3,7 +3,7 @@
 use cffs_disksim::driver::{Driver, IoReq};
 use cffs_fslib::vfs::CacheStats;
 use cffs_fslib::{FsResult, Ino, BLOCK_SIZE, SECTORS_PER_BLOCK};
-use cffs_obs::{Ctr, Obs};
+use cffs_obs::{Ctr, Obs, Sig};
 use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
 use std::sync::Arc;
@@ -357,6 +357,7 @@ impl BufferCache {
             let g = self.gfetches.remove(&id).expect("checked above");
             let pct = u64::from(g.used) * 100 / u64::from(g.fetched);
             self.obs.histos().group_fetch_util_pct.record(pct);
+            self.obs.signal_sample(Sig::GroupFetchUtil, pct as f64);
         }
     }
 
@@ -528,6 +529,7 @@ impl BufferCache {
                 b.dirty = false;
             }
         }
+        self.obs.signal_sample(Sig::DirtyBacklog, dirty.len() as f64);
         if dirty.is_empty() {
             return Ok(());
         }

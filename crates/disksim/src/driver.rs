@@ -17,7 +17,7 @@ use crate::stats::DiskStats;
 use crate::time::{SimDuration, SimTime};
 use crate::SECTOR_SIZE;
 use cffs_obs::json::{Json, ToJson};
-use cffs_obs::{obj, Ctr, Obs};
+use cffs_obs::{obj, Ctr, Obs, Sig};
 use std::sync::Arc;
 
 /// Request ordering policy.
@@ -205,6 +205,8 @@ impl Driver {
         let obs = self.disk.obs();
         obs.bump(Ctr::DriverBatches);
         obs.add(Ctr::DriverLogicalRequests, reqs.len() as u64);
+        obs.histos().driver_batch_reqs.record(reqs.len() as u64);
+        obs.signal_sample(Sig::QueueDepth, reqs.len() as f64);
 
         self.order(&mut reqs);
 

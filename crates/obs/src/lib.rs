@@ -17,6 +17,7 @@
 //! sees the whole path a request took.
 
 pub mod json;
+pub mod prof;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -145,6 +146,22 @@ counters! {
     RegroupBlocksMoved => "regroup_blocks_moved",
     /// Fresh contiguous group extents carved by the regrouper.
     RegroupGroupsFormed => "regroup_groups_formed",
+    /// Budgeted regroup passes fired by the signal autotrigger.
+    RegroupAutotriggers => "regroup_autotriggers",
+
+    // ---- time attribution (simulated-time profiler) ----
+    /// Span time left after queueing and disk service — in-memory op work.
+    AttrOpNs => "attr_op_ns",
+    /// Time disk requests inside spans waited behind earlier requests.
+    AttrQueueNs => "attr_queue_ns",
+    /// Mechanical disk service time, in-span and unattributed.
+    AttrServiceNs => "attr_service_ns",
+
+    // ---- health signals ----
+    /// Signal EWMA crossings below a configured floor.
+    SignalLowEvents => "signal_low_events",
+    /// Signal EWMA crossings above a configured ceiling.
+    SignalHighEvents => "signal_high_events",
 }
 
 /// Fixed registry of relaxed atomic counters.
@@ -445,6 +462,9 @@ pub struct Histos {
     /// Percent of each group fetch's blocks hit before leaving the cache,
     /// recorded once per fetch when its last block resolves.
     pub group_fetch_util_pct: Histogram,
+    /// Logical requests per driver batch (instantaneous queue depth at
+    /// each submit).
+    pub driver_batch_reqs: Histogram,
 }
 
 impl Histos {
@@ -455,6 +475,7 @@ impl Histos {
             disk_seek_cylinders: Histogram::new(),
             disk_req_service_ns: Histogram::new(),
             group_fetch_util_pct: Histogram::new(),
+            driver_batch_reqs: Histogram::new(),
         }
     }
 
@@ -473,6 +494,7 @@ impl Histos {
         out.push(("disk_seek_cylinders".to_string(), &self.disk_seek_cylinders));
         out.push(("disk_req_service_ns".to_string(), &self.disk_req_service_ns));
         out.push(("group_fetch_util_pct".to_string(), &self.group_fetch_util_pct));
+        out.push(("driver_batch_reqs".to_string(), &self.driver_batch_reqs));
         out
     }
 
@@ -486,6 +508,7 @@ impl Histos {
         out.push("disk_seek_cylinders".to_string());
         out.push("disk_req_service_ns".to_string());
         out.push("group_fetch_util_pct".to_string());
+        out.push("driver_batch_reqs".to_string());
         out
     }
 }
@@ -599,6 +622,18 @@ pub struct Obs {
     cur_op: AtomicUsize,
     /// Next span id to allocate (span ids start at 1; 0 means "none").
     next_span: AtomicU64,
+    /// Attribution accumulators for the currently open span: open time,
+    /// queue ns, service ns, and end time of the last disk request seen.
+    /// Valid only while `cur_span != 0`.
+    span_t0: AtomicU64,
+    span_q: AtomicU64,
+    span_svc: AtomicU64,
+    span_last_end: AtomicU64,
+    /// Optional unbounded log of every closed span (plus unattributed
+    /// disk requests), for full-run folds that outlive the trace ring.
+    span_log: Mutex<Option<Vec<SpanRecord>>>,
+    /// Health-signal EWMAs (see [`Sig`]).
+    signals: Mutex<[SignalState; Sig::COUNT]>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -624,6 +659,12 @@ impl Obs {
             cur_span: AtomicU64::new(0),
             cur_op: AtomicUsize::new(0),
             next_span: AtomicU64::new(1),
+            span_t0: AtomicU64::new(0),
+            span_q: AtomicU64::new(0),
+            span_svc: AtomicU64::new(0),
+            span_last_end: AtomicU64::new(0),
+            span_log: Mutex::new(None),
+            signals: Mutex::new(std::array::from_fn(|_| SignalState::default())),
         })
     }
 
@@ -651,10 +692,146 @@ impl Obs {
     /// time of a disk request).
     pub fn trace_io(&self, t_ns: u64, tag: &'static str, a: u64, b: u64, dur_ns: u64) {
         let (span, op) = self.current_span_fields();
+        if dur_ns > 0 && tag.starts_with("disk.") {
+            self.attribute_disk_request(span != 0, t_ns, dur_ns);
+        }
         self.trace
             .lock()
             .expect("trace ring poisoned")
             .record(Event { t_ns, tag, a, b, span, op, dur_ns });
+    }
+
+    /// Fold one serviced disk request into the attribution accounts.
+    /// In-span requests split into queue (gap since the later of span
+    /// open / previous request end) and service (the request's own
+    /// duration); requests outside any span count as pure service.
+    fn attribute_disk_request(&self, in_span: bool, t_ns: u64, dur_ns: u64) {
+        if in_span {
+            let prev_end = self.span_last_end.load(Ordering::Relaxed);
+            let gap = t_ns.saturating_sub(prev_end);
+            self.span_q.fetch_add(gap, Ordering::Relaxed);
+            self.span_svc.fetch_add(dur_ns, Ordering::Relaxed);
+            self.span_last_end
+                .fetch_max(t_ns.saturating_add(dur_ns), Ordering::Relaxed);
+        } else {
+            self.counters.add(Ctr::AttrServiceNs, dur_ns);
+            let mut log = self.span_log.lock().expect("span log poisoned");
+            if let Some(records) = log.as_mut() {
+                records.push(SpanRecord {
+                    op: None,
+                    t0_ns: t_ns,
+                    dur_ns,
+                    queue_ns: 0,
+                    service_ns: dur_ns,
+                    truncated: false,
+                });
+            }
+        }
+    }
+
+    /// Start collecting a full-run span log: from now on every closed
+    /// span (and every unattributed disk request) appends a
+    /// [`SpanRecord`]. Unbounded — meant for bounded benchmark runs, not
+    /// long-lived mounts.
+    pub fn enable_span_log(&self) {
+        let mut log = self.span_log.lock().expect("span log poisoned");
+        if log.is_none() {
+            *log = Some(Vec::new());
+        }
+    }
+
+    /// Copy of the span log collected so far (None when never enabled).
+    pub fn span_log(&self) -> Option<Vec<SpanRecord>> {
+        self.span_log.lock().expect("span log poisoned").clone()
+    }
+
+    /// Fold one raw sample into a signal's EWMA (`ewma += (v - ewma)/8`;
+    /// the first sample seeds the EWMA directly). Armed thresholds are
+    /// checked on every sample: a crossing bumps
+    /// `signal_low_events`/`signal_high_events` and drops a
+    /// `signal.<name>.low`/`.recovered`/`.high` event in the trace ring
+    /// (operands: EWMA and threshold in milli-units).
+    pub fn signal_sample(&self, sig: Sig, v: f64) {
+        let mut crossings: Vec<(&'static str, f64, f64, Ctr)> = Vec::new();
+        {
+            let mut sigs = self.signals.lock().expect("signals poisoned");
+            let s = &mut sigs[sig as usize];
+            if s.samples == 0 {
+                s.ewma = v;
+            } else {
+                s.ewma += (v - s.ewma) / SIGNAL_EWMA_SHIFT;
+            }
+            s.samples += 1;
+            if let Some(floor) = s.floor {
+                if !s.low && s.ewma < floor {
+                    s.low = true;
+                    crossings.push((sig.low_tag(), s.ewma, floor, Ctr::SignalLowEvents));
+                } else if s.low && s.ewma >= floor * SIGNAL_REARM {
+                    s.low = false;
+                    crossings.push((sig.high_tag(), s.ewma, floor, Ctr::SignalHighEvents));
+                }
+            }
+            if let Some(ceiling) = s.ceiling {
+                if !s.high && s.ewma > ceiling {
+                    s.high = true;
+                    crossings.push((sig.high_tag(), s.ewma, ceiling, Ctr::SignalHighEvents));
+                } else if s.high && s.ewma <= ceiling / SIGNAL_REARM {
+                    s.high = false;
+                    crossings.push((sig.low_tag(), s.ewma, ceiling, Ctr::SignalLowEvents));
+                }
+            }
+        }
+        // Trace outside the signals lock (trace_io takes the ring lock).
+        for (tag, ewma, threshold, ctr) in crossings {
+            self.counters.bump(ctr);
+            self.trace(self.clock_ns(), tag, milli(ewma), milli(threshold));
+        }
+    }
+
+    /// Smoothed view of one signal.
+    pub fn signal(&self, sig: Sig) -> SignalView {
+        let s = self.signals.lock().expect("signals poisoned")[sig as usize];
+        SignalView {
+            ewma: s.ewma,
+            samples: s.samples,
+            low: s.low,
+            high: s.high,
+        }
+    }
+
+    /// Arm a floor on a signal: once the EWMA drops below it, the signal
+    /// reports `low` (with a trace event) until it climbs back above
+    /// `floor * 1.02`.
+    pub fn set_signal_floor(&self, sig: Sig, floor: f64) {
+        self.signals.lock().expect("signals poisoned")[sig as usize].floor = Some(floor);
+    }
+
+    /// Arm a ceiling on a signal (symmetric to [`Obs::set_signal_floor`]).
+    pub fn set_signal_ceiling(&self, sig: Sig, ceiling: f64) {
+        self.signals.lock().expect("signals poisoned")[sig as usize].ceiling = Some(ceiling);
+    }
+
+    /// JSON view of every signal — EWMAs as milli-unit integers so the
+    /// rendering is deterministic across platforms.
+    pub fn signals_json(&self) -> Json {
+        let sigs = self.signals.lock().expect("signals poisoned");
+        Json::Obj(
+            Sig::ALL
+                .iter()
+                .map(|&sig| {
+                    let s = &sigs[sig as usize];
+                    (
+                        sig.name().to_string(),
+                        obj![
+                            ("ewma_milli", Json::Int(milli(s.ewma) as i64)),
+                            ("samples", Json::Int(s.samples as i64)),
+                            ("low", Json::Bool(s.low)),
+                            ("high", Json::Bool(s.high)),
+                        ],
+                    )
+                })
+                .collect(),
+        )
     }
 
     fn current_span_fields(&self) -> (u64, &'static str) {
@@ -704,9 +881,14 @@ impl Obs {
     pub fn span(self: &Arc<Obs>, op: OpKind) -> SpanGuard {
         let opened = if self.cur_span.load(Ordering::Relaxed) == 0 {
             let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+            let t0 = self.clock_ns();
             self.cur_op.store(op as usize, Ordering::Relaxed);
+            self.span_t0.store(t0, Ordering::Relaxed);
+            self.span_q.store(0, Ordering::Relaxed);
+            self.span_svc.store(0, Ordering::Relaxed);
+            self.span_last_end.store(t0, Ordering::Relaxed);
             self.cur_span.store(id, Ordering::Relaxed);
-            Some((SpanId(id), self.clock_ns()))
+            Some((SpanId(id), t0))
         } else {
             None
         };
@@ -781,6 +963,31 @@ impl Drop for SpanGuard {
         if let Some((SpanId(id), t0)) = self.opened {
             let latency = self.obs.clock_ns().saturating_sub(t0);
             self.obs.histos.op_ns(self.op).record(latency);
+            // Close the attribution accounts: whatever span time was not
+            // queueing or disk service is in-memory op work. Queue gaps
+            // can be computed against a clock that ran past the span's
+            // close (nested sync paths), so the residue saturates at 0 —
+            // the documented `op_ns >= queue_ns + service_ns` caveat.
+            let q = self.obs.span_q.load(Ordering::Relaxed);
+            let svc = self.obs.span_svc.load(Ordering::Relaxed);
+            self.obs.counters.add(Ctr::AttrQueueNs, q);
+            self.obs.counters.add(Ctr::AttrServiceNs, svc);
+            self.obs
+                .counters
+                .add(Ctr::AttrOpNs, latency.saturating_sub(q.saturating_add(svc)));
+            {
+                let mut log = self.obs.span_log.lock().expect("span log poisoned");
+                if let Some(records) = log.as_mut() {
+                    records.push(SpanRecord {
+                        op: Some(self.op),
+                        t0_ns: t0,
+                        dur_ns: latency,
+                        queue_ns: q,
+                        service_ns: svc,
+                        truncated: false,
+                    });
+                }
+            }
             // Emit while the span is still current so the event is
             // stamped with its own span/op, then close.
             self.obs.trace_io(t0, self.op.tag(), 0, 0, latency);
@@ -788,6 +995,122 @@ impl Drop for SpanGuard {
             self.obs.cur_span.store(0, Ordering::Relaxed);
         }
     }
+}
+
+/// One closed span — or one disk request that ran outside any span —
+/// as collected by the full-run span log ([`Obs::enable_span_log`]) or
+/// reconstructed from the trace ring ([`prof::spans_from_events`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Causing op, or `None` for disk activity outside any span (mount,
+    /// background writeback).
+    pub op: Option<OpKind>,
+    /// Simulated time the span opened.
+    pub t0_ns: u64,
+    /// Total span latency (equals `service_ns` for unattributed
+    /// requests).
+    pub dur_ns: u64,
+    /// Time this span's disk requests waited behind earlier requests.
+    pub queue_ns: u64,
+    /// Mechanical service time of this span's disk requests.
+    pub service_ns: u64,
+    /// True when ring wrap overwrote part of this span's history, so
+    /// `queue_ns`/`service_ns` (and for still-open spans `dur_ns`) are
+    /// lower bounds. Never set by the live span log.
+    pub truncated: bool,
+}
+
+macro_rules! signals {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal / $low:literal / $high:literal,)+) => {
+        /// Health signals tracked as windowed EWMAs on [`Obs`]. Layers
+        /// feed raw samples via [`Obs::signal_sample`]; policy code reads
+        /// the smoothed view via [`Obs::signal`] and arms thresholds
+        /// whose crossings land in the trace ring.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Sig {
+            $($(#[$doc])* $variant,)+
+        }
+
+        impl Sig {
+            /// Number of registered signals.
+            pub const COUNT: usize = [$($name),+].len();
+
+            /// All signals, in registry order.
+            pub const ALL: [Sig; Self::COUNT] = [$(Sig::$variant),+];
+
+            /// Stable external name.
+            pub fn name(self) -> &'static str {
+                match self { $(Sig::$variant => $name,)+ }
+            }
+
+            /// Trace tag emitted when the EWMA falls below the floor.
+            pub fn low_tag(self) -> &'static str {
+                match self { $(Sig::$variant => $low,)+ }
+            }
+
+            /// Trace tag emitted when the EWMA crosses back above the
+            /// rearm point (floor × 1.02) or above the ceiling.
+            pub fn high_tag(self) -> &'static str {
+                match self { $(Sig::$variant => $high,)+ }
+            }
+        }
+    };
+}
+
+signals! {
+    /// EWMA of per-fetch `group_fetch_util_pct` samples (percent).
+    GroupFetchUtil => "group_fetch_util_ewma"
+        / "signal.group_fetch_util.low"
+        / "signal.group_fetch_util.recovered",
+    /// EWMA of logical requests per driver batch (queue depth at submit).
+    QueueDepth => "driver_queue_depth_ewma"
+        / "signal.queue_depth.low"
+        / "signal.queue_depth.high",
+    /// EWMA of dirty blocks collected per sync sweep (writeback backlog).
+    DirtyBacklog => "cache_dirty_backlog_ewma"
+        / "signal.dirty_backlog.low"
+        / "signal.dirty_backlog.high",
+}
+
+/// EWMA smoothing factor: `ewma += (sample - ewma) / 8`. A power of two
+/// so the arithmetic is exact and platform-independent for the integer
+/// sample magnitudes the stack feeds in.
+const SIGNAL_EWMA_SHIFT: f64 = 8.0;
+
+/// Hysteresis: after a floor crossing, the signal re-arms only once the
+/// EWMA climbs back above `floor * SIGNAL_REARM`.
+const SIGNAL_REARM: f64 = 1.02;
+
+/// A signal value in milli-units, rounded — the integer form used for
+/// trace-event operands and JSON so output stays deterministic.
+fn milli(v: f64) -> u64 {
+    if v <= 0.0 { 0 } else { (v * 1000.0).round() as u64 }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SignalState {
+    ewma: f64,
+    samples: u64,
+    floor: Option<f64>,
+    ceiling: Option<f64>,
+    /// Currently below the floor (set on crossing, cleared on re-arm).
+    low: bool,
+    /// Currently above the ceiling.
+    high: bool,
+}
+
+/// Read-only view of one signal's smoothed state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalView {
+    /// Current EWMA value (0.0 before the first sample).
+    pub ewma: f64,
+    /// Samples folded in so far.
+    pub samples: u64,
+    /// True while the EWMA sits below the armed floor.
+    pub low: bool,
+    /// True while the EWMA sits above the armed ceiling.
+    pub high: bool,
 }
 
 /// Serializable copy of the whole counter and histogram registry at one
@@ -1167,6 +1490,49 @@ mod tests {
         let parsed = StatsSnapshot::from_json(&old).unwrap();
         assert!(parsed.histograms.is_empty());
         assert_eq!(parsed.get(Ctr::DiskRequests), 3);
+    }
+
+    #[test]
+    fn signal_ewma_crosses_floor_with_hysteresis() {
+        let obs = Obs::new();
+        obs.set_signal_floor(Sig::GroupFetchUtil, 80.0);
+        obs.signal_sample(Sig::GroupFetchUtil, 100.0);
+        let v = obs.signal(Sig::GroupFetchUtil);
+        assert_eq!(v.ewma, 100.0, "first sample seeds the EWMA");
+        assert!(!v.low);
+
+        // Decay: repeated zero-utilization fetches drag the EWMA down.
+        let mut crossed_at = None;
+        for i in 0..30 {
+            obs.signal_sample(Sig::GroupFetchUtil, 0.0);
+            if obs.signal(Sig::GroupFetchUtil).low && crossed_at.is_none() {
+                crossed_at = Some(i);
+            }
+        }
+        assert!(crossed_at.is_some(), "EWMA must eventually cross the floor");
+        assert_eq!(obs.get(Ctr::SignalLowEvents), 1, "one crossing, no re-fire");
+        let evs = obs.recent_events(100);
+        assert!(
+            evs.iter().any(|e| e.tag == "signal.group_fetch_util.low"),
+            "crossing must land in the trace ring"
+        );
+
+        // Recovery: good samples lift the EWMA past floor * 1.02.
+        for _ in 0..40 {
+            obs.signal_sample(Sig::GroupFetchUtil, 100.0);
+        }
+        let v = obs.signal(Sig::GroupFetchUtil);
+        assert!(!v.low, "re-armed after recovery");
+        assert_eq!(obs.get(Ctr::SignalHighEvents), 1);
+        assert!(obs
+            .recent_events(200)
+            .iter()
+            .any(|e| e.tag == "signal.group_fetch_util.recovered"));
+
+        // Deterministic serialization: milli-unit integers.
+        let j = obs.signals_json();
+        let util = j.get("group_fetch_util_ewma").unwrap();
+        assert!(util.get("ewma_milli").unwrap().as_u64().unwrap() > 80_000);
     }
 
     #[test]

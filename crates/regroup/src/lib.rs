@@ -49,7 +49,7 @@ use cffs_core::Cffs;
 use cffs_core::layout::INO_ROOT;
 use cffs_fslib::{FileKind, FileSystem, FsResult, Ino, BLOCK_SIZE};
 use cffs_obs::json::Json;
-use cffs_obs::obj;
+use cffs_obs::{obj, Ctr, Sig};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How eagerly a pass may touch cold data.
@@ -373,6 +373,66 @@ pub fn execute(fs: &mut Cffs, plan: &RegroupPlan, cfg: &RegroupConfig) -> FsResu
         out.dirs_regrouped += 1;
     }
     Ok(out)
+}
+
+/// Policy knobs for the signal-driven autotrigger
+/// ([`autotrigger`]) — the loop that turns `group_fetch_util_ewma`
+/// decay into budgeted regroup passes without explicit invocation.
+#[derive(Debug, Clone)]
+pub struct AutotriggerConfig {
+    /// Fire when the group-fetch-utilization EWMA sits below this
+    /// percentage.
+    pub util_floor_pct: f64,
+    /// Ignore the EWMA until it has folded in at least this many
+    /// fetches (a handful of samples says nothing about decay).
+    pub min_samples: u64,
+    /// Relocation budget handed to each fired pass.
+    pub budget_blocks: usize,
+    /// Mode for fired passes. Defaults to [`RegroupMode::IdleOnly`]: the
+    /// trigger runs inside live traffic, so it must not add read I/O.
+    pub mode: RegroupMode,
+}
+
+impl Default for AutotriggerConfig {
+    fn default() -> Self {
+        AutotriggerConfig {
+            util_floor_pct: 85.0,
+            min_samples: 8,
+            budget_blocks: 64,
+            mode: RegroupMode::IdleOnly,
+        }
+    }
+}
+
+/// Check the stack's health signals and, if group-fetch utilization has
+/// decayed below the configured floor, fire one budgeted regroup pass.
+///
+/// Call this from any convenient point in the serving loop (between
+/// requests, after a sync, on a timer tick). The floor is armed on the
+/// [`Sig::GroupFetchUtil`] signal, so each decay episode also leaves a
+/// `signal.group_fetch_util.low` event in the trace ring; every fired
+/// pass bumps `regroup_autotriggers` and drops a `regroup.autotrigger`
+/// event (operands: EWMA in milli-percent, blocks moved). Returns
+/// `None` when the signal is healthy or still warming up.
+pub fn autotrigger(fs: &mut Cffs, cfg: &AutotriggerConfig) -> FsResult<Option<RegroupOutcome>> {
+    let obs = fs.obs();
+    obs.set_signal_floor(Sig::GroupFetchUtil, cfg.util_floor_pct);
+    let v = obs.signal(Sig::GroupFetchUtil);
+    if v.samples < cfg.min_samples || !v.low {
+        return Ok(None);
+    }
+    let outcome = run(
+        fs,
+        &RegroupConfig { max_blocks: cfg.budget_blocks, mode: cfg.mode },
+    )?;
+    obs.bump(Ctr::RegroupAutotriggers);
+    obs.trace(
+        obs.clock_ns(),
+        "regroup.autotrigger",
+        (v.ewma * 1000.0).max(0.0).round() as u64,
+        outcome.blocks_moved as u64,
+    );
+    Ok(Some(outcome))
 }
 
 /// Plan and execute until the namespace scores clean or the budget runs

@@ -10,7 +10,7 @@
 use cffs_disksim::SimDuration;
 use cffs_fslib::{FileSystem, FsResult, IoStats};
 use cffs_obs::json::{Json, ToJson};
-use cffs_obs::{obj, StatsSnapshot};
+use cffs_obs::{obj, prof, StatsSnapshot};
 
 /// Result of one measured phase.
 #[derive(Debug, Clone)]
@@ -19,6 +19,9 @@ pub struct PhaseResult {
     pub fs: String,
     /// Phase name (e.g. `"create"`).
     pub phase: String,
+    /// Simulated time the phase started, nanoseconds (for windowing
+    /// span logs into per-phase folds).
+    pub start_ns: u64,
     /// Simulated elapsed time, including the final sync.
     pub elapsed: SimDuration,
     /// Work items completed (files, operations...).
@@ -48,6 +51,13 @@ impl ToJson for PhaseResult {
             // Per-op-kind p50/p90/p99 for the phase, from the snapshot
             // delta's latency histograms.
             m.push(("latency_ns".to_string(), snap.op_latency_summary()));
+            // Where the phase's simulated time went: op work vs disk
+            // queueing vs mechanical service vs idle, from the attr_*_ns
+            // counter deltas (ring-wrap-proof).
+            m.push((
+                "time_attribution".to_string(),
+                prof::Attribution::from_delta(snap).to_json(),
+            ));
         }
         j
     }
@@ -99,6 +109,7 @@ pub fn measure<F: FileSystem + ?Sized>(
     Ok(PhaseResult {
         fs: fs.label().to_string(),
         phase: phase.to_string(),
+        start_ns: t0.as_nanos(),
         elapsed,
         items,
         bytes,

@@ -9,6 +9,7 @@
 //!   cffs-inspect histo  <image>|--demo            # histogram bucket tables
 //!   cffs-inspect heatmap [--json] <image>|--demo  # per-CG occupancy/traffic grid
 //!   cffs-inspect regroup [--apply] [--json] <image>|--demo # regrouping plan (dry-run by default)
+//!   cffs-inspect flamegraph [--fold|--svg-ready] <image>|--demo # collapsed-stack profile
 //!
 //! Prints the superblock, per-cylinder-group occupancy, the group
 //! descriptor table, the namespace tree annotated with each inode's
@@ -35,6 +36,14 @@
 //! online regrouping engine would execute; `--apply` executes it (and
 //! writes the image back in place when inspecting a saved image),
 //! finishing with an fsck report.
+//!
+//! `flamegraph` folds the cold walk's trace ring into collapsed-stack
+//! format (`walk;{op};disk_req/{queue,service}` leaves weighted in
+//! simulated nanoseconds, with `idle` covering unattributed time) —
+//! pipeable to any flamegraph renderer. `--svg-ready` emits a
+//! self-contained SVG icicle chart instead. Total weight always equals
+//! the elapsed simulated time, and equal seeds give byte-identical
+//! output.
 
 use cffs::core::layout::{decode_ino, InoRef};
 use cffs::core::{fsck, Cffs, CffsConfig};
@@ -108,7 +117,8 @@ fn usage() -> ! {
          cffs-inspect timeline [--last N] <image>|--demo\n       \
          cffs-inspect histo <image>|--demo\n       \
          cffs-inspect heatmap [--json] <image>|--demo\n       \
-         cffs-inspect regroup [--apply] [--json] <image>|--demo"
+         cffs-inspect regroup [--apply] [--json] <image>|--demo\n       \
+         cffs-inspect flamegraph [--fold|--svg-ready] <image>|--demo"
     );
     std::process::exit(2);
 }
@@ -178,7 +188,13 @@ fn trace_cmd(args: &[String]) {
 fn timeline_cmd(args: &[String]) {
     let (last, image) = last_and_image(args, cffs_obs::DEFAULT_TRACE_CAPACITY);
     let fs = mounted_walk(disk_from(image));
-    let events = fs.obs().recent_events(last);
+    let obs = fs.obs();
+    let events = obs.recent_events(last);
+    // Ring-wrap bookkeeping: when the ring (or --last) dropped older
+    // events, spans whose open time predates the retained window are
+    // flagged `truncated` — their io lists may be missing requests.
+    let wrapped = obs.events_recorded() > events.len() as u64;
+    let window_start = if wrapped { events.first().map_or(0, |e| e.t_ns) } else { 0 };
 
     // One op span = one `op.*` close event plus every other event stamped
     // with its id. Spans are ids in allocation order, so BTreeMap keeps
@@ -234,6 +250,10 @@ fn timeline_cmd(args: &[String]) {
         // Spans whose close event was evicted from the ring keep their io
         // events but lose open time/latency; emit t_ns/dur_ns as null so
         // the record is visibly partial rather than silently wrong.
+        // `truncated` also covers closed spans that opened before the
+        // retained window (some of their io events were overwritten).
+        let truncated =
+            id != 0 && (rec.t_ns.is_none() || (wrapped && rec.t_ns.is_some_and(|t| t <= window_start)));
         let line = obj![
             ("span", Json::Int(id as i64)),
             ("op", Json::Str(rec.op.to_string())),
@@ -242,9 +262,31 @@ fn timeline_cmd(args: &[String]) {
                 "dur_ns",
                 if rec.t_ns.is_some() { Json::Int(rec.dur_ns as i64) } else { Json::Null }
             ),
+            ("truncated", Json::Bool(truncated)),
             ("io", Json::Arr(rec.io)),
         ];
         println!("{line}");
+    }
+}
+
+/// Collapsed-stack profile of the cold namespace walk. Default (and
+/// `--fold`) prints `stack weight` lines — the format every flamegraph
+/// renderer consumes; `--svg-ready` renders a self-contained SVG icicle
+/// chart. The fold's total weight equals the elapsed simulated
+/// nanoseconds: every ns lands in exactly one leaf (op self time, disk
+/// queue, disk service, `idle`, or `(evicted)` for time before the
+/// retained ring window).
+fn flamegraph_cmd(args: &[String]) {
+    let svg = args.iter().any(|a| a == "--svg-ready");
+    let fs = mounted_walk(disk_from(image_arg(args)));
+    let obs = fs.obs();
+    let events = obs.recent_events(cffs_obs::DEFAULT_TRACE_CAPACITY);
+    let fold =
+        cffs_obs::prof::fold_ring(&events, obs.events_recorded(), "walk", fs.now().as_nanos());
+    if svg {
+        print!("{}", fold.svg());
+    } else {
+        print!("{}", fold.collapse());
     }
 }
 
@@ -343,6 +385,7 @@ fn main() {
         Some("histo") => return histo_cmd(&args[2..]),
         Some("heatmap") => return heatmap_cmd(&args[2..]),
         Some("regroup") => return regroup_cmd(&args[2..]),
+        Some("flamegraph") => return flamegraph_cmd(&args[2..]),
         _ => {}
     }
     let disk = match args.get(1).map(String::as_str) {
