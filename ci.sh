@@ -12,16 +12,23 @@ cargo build --release --workspace --all-targets --offline
 echo "== test =="
 cargo test --workspace --offline -q
 
+echo "== test (release, 8 test threads: concurrency suite under real parallelism) =="
+cargo test --release --workspace --offline -q -- --test-threads=8
+
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== bench smoke (repro_smallfile + repro_aging_regroup, reduced scale) =="
+echo "== bench smoke (repro_smallfile + repro_aging_regroup + repro_concurrent, reduced scale) =="
 BENCH_TMP=$(mktemp -d)
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
     > /dev/null
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_aging_regroup > /dev/null
+# Reduced scale must match the checked-in BENCH_CONCURRENT baseline
+# invocation exactly (the scaling ratio is scale-sensitive).
+BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
+    --bin repro_concurrent -- --dirs 2 --files 12 --rounds 8 > /dev/null
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     "$BENCH_TMP"/out/BENCH_*.json
 
@@ -52,6 +59,11 @@ cargo run --release --offline -p cffs-bench --bin bench_gate -- \
 cargo run --release --offline -p cffs-bench --bin bench_gate -- \
     "$BENCH_TMP/out/BENCH_AGING_REGROUP.json" \
     crates/bench/baselines/BENCH_AGING_REGROUP.json --tolerance-pct 25
+# Concurrent scaling: relative band vs baseline plus the absolute
+# >= 2.5x acceptance floor enforced inside bench_gate.
+cargo run --release --offline -p cffs-bench --bin bench_gate -- \
+    "$BENCH_TMP/out/BENCH_CONCURRENT.json" \
+    crates/bench/baselines/BENCH_CONCURRENT.json --tolerance-pct 25
 rm -rf "$BENCH_TMP"
 
 echo "== ci.sh: all green =="

@@ -49,7 +49,7 @@ fn bench_scheduler() {
                     .collect();
                 (drv, reqs)
             },
-            |(mut drv, reqs)| black_box(drv.submit_batch(reqs).len()),
+            |(drv, reqs)| black_box(drv.submit_batch(reqs).len()),
         );
     }
 }

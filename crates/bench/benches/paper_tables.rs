@@ -47,11 +47,10 @@ fn main() {
     });
     bench("paper/e10_dirsize_point", 200, || {
         // One population point of the E10 sweep.
-        let mut fs = cffs::build::on_disk(
+        let fs = cffs::build::on_disk(
             cffs_disksim::models::tiny_test_disk(),
             cffs_core::CffsConfig::cffs(),
         );
-        use cffs::prelude::*;
         let root = fs.root();
         let dir = fs.mkdir(root, "d").unwrap();
         for i in 0..100 {

@@ -15,7 +15,13 @@
 //!   phase is mechanical service, less is queueing" and a falling
 //!   service share means that attribution regressed;
 //! * if both payloads carry a top-level `recovery_ratio`, the current one
-//!   must not drop below `baseline * (1 - tol)`.
+//!   must not drop below `baseline * (1 - tol)`;
+//! * if both payloads carry a top-level `scaling_ratio` (E14, concurrent
+//!   scaling), the current one must not drop below `baseline * (1 - tol)`
+//!   **and** must clear the absolute acceptance bar of 2.5× — the
+//!   4-thread aggregate must genuinely outrun the 1-thread baseline, not
+//!   merely track a degraded baseline; `aggregate_ops_per_sec` gets the
+//!   same relative floor.
 //!
 //! The simulated timeline is deterministic, so unchanged code reproduces
 //! the baseline exactly; the band absorbs small intentional shifts.
@@ -150,6 +156,27 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
         current.get("recovery_ratio").and_then(Json::as_f64),
     ) {
         gate.floor("recovery_ratio", cur_r, base_r);
+    }
+    // Concurrent-scaling floors (E14). The relative band catches drift;
+    // the absolute bar is the acceptance criterion itself, so a baseline
+    // that decayed across refreshes can never quietly ratify sub-2.5×.
+    if let (Some(base_s), Some(cur_s)) = (
+        baseline.get("scaling_ratio").and_then(Json::as_f64),
+        current.get("scaling_ratio").and_then(Json::as_f64),
+    ) {
+        gate.floor("scaling_ratio", cur_s, base_s);
+        const MIN_SCALING: f64 = 2.5;
+        if cur_s < MIN_SCALING {
+            gate.violations.push(format!(
+                "scaling_ratio: {cur_s:.2} below the absolute acceptance floor {MIN_SCALING:.1}"
+            ));
+        }
+    }
+    if let (Some(base_a), Some(cur_a)) = (
+        baseline.get("aggregate_ops_per_sec").and_then(Json::as_f64),
+        current.get("aggregate_ops_per_sec").and_then(Json::as_f64),
+    ) {
+        gate.floor("aggregate_ops_per_sec", cur_a, base_a);
     }
 }
 

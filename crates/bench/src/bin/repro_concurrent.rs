@@ -1,0 +1,29 @@
+//! E14 (extra): concurrent scaling on disjoint cylinder groups.
+//! Usage: repro_concurrent [--seed N] [--dirs N] [--files N] [--rounds N]
+//!
+//! Runs the multi-threaded client workload at 1, 2 and 4 threads over
+//! fresh C-FFS instances and reports aggregate ops/s in simulated time.
+//! The BENCH payload records the scaling ratio (acceptance: the 4-thread
+//! aggregate must be >= 2.5x the 1-thread figure, with group-fetch
+//! utilization unchanged and every image fsck-clean).
+
+use cffs_bench::experiments::concurrent;
+use cffs_bench::report::emit_bench;
+
+fn arg(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{name} needs a number")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg(&args, "--seed").unwrap_or(1997);
+    let dirs = arg(&args, "--dirs").unwrap_or(4) as usize;
+    let files = arg(&args, "--files").unwrap_or(24) as usize;
+    let rounds = arg(&args, "--rounds").unwrap_or(20) as usize;
+    let (text, json) = concurrent::report(seed, dirs, files, rounds);
+    print!("{text}");
+    emit_bench("CONCURRENT", json);
+}

@@ -118,8 +118,7 @@ pub fn report() -> (String, Json) {
     for pf in [0u32, 8, 32] {
         let mut cfg = CffsConfig::cffs().with_mode(MetadataMode::Delayed);
         cfg.prefetch_blocks = pf;
-        let mut fs = build::on_disk(models::seagate_st31200(), cfg);
-        use cffs_fslib::FileSystem;
+        let fs = build::on_disk(models::seagate_st31200(), cfg);
         let f = fs.create(fs.root(), "big").expect("create");
         fs.write(f, 0, &vec![5u8; 8 << 20]).expect("write");
         fs.drop_caches().expect("drop");

@@ -13,7 +13,7 @@ use crate::report::{header, rows_json};
 use cffs::build;
 use cffs_core::CffsConfig;
 use cffs_disksim::models;
-use cffs_fslib::{FileSystem, MetadataMode};
+use cffs_fslib::MetadataMode;
 use cffs_obs::json::{Json, ToJson};
 use cffs_obs::obj;
 use cffs_workloads::aging::{age, AgingParams};

@@ -13,7 +13,7 @@ use cffs_core::CffsConfig;
 use cffs_disksim::models;
 use cffs_ffs::{mkfs as ffs_mkfs, FfsOptions, MkfsParams};
 use cffs_disksim::Disk;
-use cffs_fslib::{FileSystem, BLOCK_SIZE};
+use cffs_fslib::BLOCK_SIZE;
 use cffs_obs::json::{Json, ToJson};
 use cffs_obs::{obj, StatsSnapshot};
 
@@ -23,7 +23,7 @@ pub const POPULATIONS: [usize; 4] = [10, 100, 1000, 10_000];
 /// Bytes of directory data per entry at population `n`, plus the stack's
 /// counter snapshot for the population run.
 fn dir_bytes_per_entry(cfg: CffsConfig, n: usize) -> (f64, StatsSnapshot) {
-    let mut fs = build::on_disk(models::seagate_st31200(), cfg);
+    let fs = build::on_disk(models::seagate_st31200(), cfg);
     let root = fs.root();
     let dir = fs.mkdir(root, "d").expect("mkdir");
     for i in 0..n {
@@ -66,7 +66,7 @@ pub fn report() -> (String, Json) {
     .expect("mkfs");
     let sb = ffs.superblock().clone();
     let itable_blocks = sb.itable_blocks as u64 * sb.cg_count as u64;
-    let mut cffs = build::on_disk(models::seagate_st31200(), CffsConfig::cffs());
+    let cffs = build::on_disk(models::seagate_st31200(), CffsConfig::cffs());
     let st = cffs.statfs().expect("statfs");
     out.push_str(&format!(
         "\nstatic preallocation [Forin94]:\n\

@@ -16,11 +16,13 @@
 //! | [`ablation`] | E11 (extra) | design-choice sweeps: group size, read threshold, scheduler, cache size, access order, prefetch |
 //! | [`postmark`] | E12 (extra) | PostMark-style server workload |
 //! | [`aging_regroup`] | E13 (extra) | online regrouping after adversarial aging |
+//! | [`concurrent`] | E14 (extra) | multi-threaded scaling on disjoint cylinder groups |
 
 pub mod ablation;
 pub mod aging;
 pub mod aging_regroup;
 pub mod apps;
+pub mod concurrent;
 pub mod dirsize;
 pub mod diskreqs;
 pub mod fig2;

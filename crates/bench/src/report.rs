@@ -51,15 +51,29 @@ pub fn write_bench(name: &str, payload: Json) -> std::io::Result<std::path::Path
     write_artifact(&format!("BENCH_{name}.json"), &(payload.to_string_pretty() + "\n"))
 }
 
+/// Monotonic disambiguator for staging-file names within this process.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Write a named artifact into `BENCH_OUT_DIR` atomically: the content
-/// lands in `<name>.tmp` first and is renamed into place, so a crash
+/// lands in a staging file first and is renamed into place, so a crash
 /// mid-write can never leave a half-written file that poisons
 /// `bench_gate` baselines or fold consumers.
+///
+/// The staging name is `<name>.<pid>.<seq>.tmp` — unique per process
+/// *and* per call. A fixed `<name>.tmp` races when two writers emit the
+/// same artifact concurrently (parallel CI shards into a shared
+/// `BENCH_OUT_DIR`, or threaded tests): writer A's rename can steal
+/// writer B's half-written staging file, publishing a torn artifact.
+/// With unique staging names each writer renames only bytes it wrote
+/// completely; the final rename still serializes on the kernel, so the
+/// artifact is always one writer's intact content.
 pub fn write_artifact(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
     std::fs::create_dir_all(&dir)?;
     let path = std::path::Path::new(&dir).join(name);
-    let tmp = std::path::Path::new(&dir).join(format!("{name}.tmp"));
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = std::path::Path::new(&dir)
+        .join(format!("{name}.{}.{seq}.tmp", std::process::id()));
     std::fs::write(&tmp, content)?;
     std::fs::rename(&tmp, &path)?;
     Ok(path)
@@ -169,6 +183,48 @@ mod tests {
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_of_same_artifact_never_tear() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("cffs-bench-race-{}", std::process::id()));
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        // Two payloads, same artifact name, distinguishable and large
+        // enough that a stolen half-written staging file would show as a
+        // mixed or truncated body.
+        let a = "A".repeat(64 * 1024) + "\n";
+        let b = "B".repeat(64 * 1024) + "\n";
+        std::thread::scope(|s| {
+            let ha = s.spawn(|| {
+                for _ in 0..50 {
+                    write_artifact("RACE_TEST.json", &a).expect("writer A");
+                }
+            });
+            let hb = s.spawn(|| {
+                for _ in 0..50 {
+                    write_artifact("RACE_TEST.json", &b).expect("writer B");
+                }
+            });
+            ha.join().unwrap();
+            hb.join().unwrap();
+        });
+        std::env::remove_var("BENCH_OUT_DIR");
+        // Last-writer-wins is fine; a torn mix of both writers is not.
+        let body = std::fs::read_to_string(dir.join("RACE_TEST.json")).unwrap();
+        assert!(
+            body == a || body == b,
+            "artifact must be exactly one writer's content (got {} bytes, first byte {:?})",
+            body.len(),
+            body.as_bytes().first(),
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files renamed away: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,4 +1,17 @@
 //! The buffer cache implementation. See the crate docs for the design.
+//!
+//! # Concurrency
+//!
+//! The cache is sharded: physical blocks map to independently locked
+//! shards (by cylinder group when [`BufferCache::shard_by_cg`] is
+//! configured, a single shard otherwise), so threads working disjoint
+//! CGs never contend on buffer state. The logical (file, offset) index
+//! is a separate authoritative map guarded by its own lock; per-buffer
+//! back-pointers only validate it. Lock order: shard locks in ascending
+//! shard index, then the logical map, then the group-fetch tally —
+//! never the reverse. A lookup that starts from a logical identity
+//! takes the logical lock, *releases it*, then takes the owning shard
+//! lock and re-validates, so staleness can only manifest as a miss.
 
 use cffs_disksim::driver::{Driver, IoReq};
 use cffs_fslib::vfs::CacheStats;
@@ -6,7 +19,8 @@ use cffs_fslib::{FsResult, Ino, BLOCK_SIZE, SECTORS_PER_BLOCK};
 use cffs_obs::{Ctr, Obs, Sig};
 use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Buffer-cache configuration.
 #[derive(Debug, Clone, Copy)]
@@ -60,79 +74,122 @@ struct GroupFetch {
     used: u32,
 }
 
-/// The dual-indexed buffer cache.
+/// Physical-block → shard mapping: blocks of one cylinder group always
+/// land in one shard, so per-CG workloads lock exactly one shard.
+#[derive(Debug, Clone, Copy)]
+struct ShardMap {
+    cg_blocks: u64,
+    nshards: usize,
+}
+
+/// One independently locked cache shard: buffer pool, physical index
+/// and LRU clock. Logical identities live in the cache-wide map; each
+/// buffer's `logical` field is a back-pointer used for validation.
 #[derive(Debug)]
-pub struct BufferCache {
-    config: CacheConfig,
+struct CacheCore {
+    nbufs: usize,
+    flush_watermark_pct: u8,
     bufs: Vec<Option<Buf>>,
     free_slots: Vec<usize>,
     phys: HashMap<u64, usize>,
-    logical: HashMap<(Ino, u64), usize>,
     /// Lazy min-heap of (stamp, slot) for LRU eviction.
     lru: BinaryHeap<Reverse<(u64, usize)>>,
     tick: u64,
     stats: CacheStats,
-    /// Shared observability handle. Starts as a private instance; the
-    /// file-system layer rebinds it to the disk's handle via [`set_obs`]
-    /// so the whole stack reports into one [`StatsSnapshot`].
-    ///
-    /// [`set_obs`]: BufferCache::set_obs
-    /// [`StatsSnapshot`]: cffs_obs::StatsSnapshot
-    obs: Arc<Obs>,
-    /// In-flight group-fetch utilization accounting, fetch id → tally.
-    /// An entry is dropped (and its utilization histogram sample
-    /// recorded) once all of its blocks resolved as used or wasted.
-    gfetches: HashMap<u32, GroupFetch>,
-    next_gfetch: u32,
 }
 
-impl BufferCache {
-    /// Create an empty cache.
-    pub fn new(config: CacheConfig) -> Self {
-        assert!(config.nbufs >= 8, "cache must hold at least 8 buffers");
-        BufferCache {
-            config,
+/// Shared context threaded into shard operations: everything a shard
+/// may need *while its own lock is held* (the driver and the two
+/// cache-wide side tables that sit below shards in the lock order).
+struct Ctx<'a> {
+    obs: &'a Arc<Obs>,
+    driver: &'a Driver,
+    logical: &'a Mutex<HashMap<(Ino, u64), u64>>,
+    gfetches: &'a Mutex<HashMap<u32, GroupFetch>>,
+}
+
+/// Remove the authoritative logical entry for `id` if it still names
+/// `blkno` (it may have been rebound to a newer block meanwhile).
+fn unbind_entry(ctx: &Ctx, id: (Ino, u64), blkno: u64) {
+    let mut lm = ctx.obs.lock_timed(ctx.logical, Ctr::LockWaitNsCache);
+    if lm.get(&id) == Some(&blkno) {
+        lm.remove(&id);
+    }
+}
+
+/// A group-fetched buffer left the cache without ever being hit.
+fn gfetch_wasted(ctx: &Ctx, id: u32) {
+    ctx.obs.bump(Ctr::GroupFetchBlocksWasted);
+    gfetch_resolve(ctx, id, false);
+}
+
+/// One block of fetch `id` resolved; once all have, record the
+/// fetch's utilization (percent of blocks used) and retire it.
+fn gfetch_resolve(ctx: &Ctx, id: u32, used: bool) {
+    let mut tallies = ctx.obs.lock_timed(ctx.gfetches, Ctr::LockWaitNsCache);
+    let Some(g) = tallies.get_mut(&id) else { return };
+    g.resolved += 1;
+    if used {
+        g.used += 1;
+    }
+    if g.resolved == g.fetched {
+        let g = tallies.remove(&id).expect("checked above");
+        drop(tallies);
+        let pct = u64::from(g.used) * 100 / u64::from(g.fetched);
+        ctx.obs.histos().group_fetch_util_pct.record(pct);
+        ctx.obs.signal_sample(Sig::GroupFetchUtil, pct as f64);
+    }
+}
+
+/// Write a collected dirty set back as one sorted, coalesced batch.
+/// Physically adjacent dirty blocks — grouped small files — merge into
+/// single scatter/gather writes here.
+fn flush_batch(ctx: &Ctx, mut dirty: Vec<(u64, Vec<u8>)>) {
+    ctx.obs.signal_sample(Sig::DirtyBacklog, dirty.len() as f64);
+    if dirty.is_empty() {
+        return;
+    }
+    dirty.sort_by_key(|(blk, _)| *blk);
+    ctx.obs.add(Ctr::CacheWritebacks, dirty.len() as u64);
+    ctx.obs.add(Ctr::CacheDelayedFlushes, dirty.len() as u64);
+    // Count physically contiguous runs of 2+ blocks: each becomes one
+    // scatter/gather write at the driver instead of N single writes.
+    let mut run_len = 1u64;
+    for w in dirty.windows(2) {
+        if w[1].0 == w[0].0 + 1 {
+            run_len += 1;
+        } else {
+            if run_len > 1 {
+                ctx.obs.bump(Ctr::CacheCoalescedRuns);
+            }
+            run_len = 1;
+        }
+    }
+    if run_len > 1 {
+        ctx.obs.bump(Ctr::CacheCoalescedRuns);
+    }
+    let reqs = dirty
+        .into_iter()
+        .map(|(blk, data)| IoReq::write(blk * SECTORS_PER_BLOCK, data))
+        .collect();
+    ctx.driver.submit_batch(reqs);
+}
+
+impl CacheCore {
+    fn new(nbufs: usize, flush_watermark_pct: u8) -> Self {
+        CacheCore {
+            nbufs,
+            flush_watermark_pct,
             bufs: Vec::new(),
             free_slots: Vec::new(),
             phys: HashMap::new(),
-            logical: HashMap::new(),
             lru: BinaryHeap::new(),
             tick: 0,
             stats: CacheStats::default(),
-            obs: Obs::new(),
-            gfetches: HashMap::new(),
-            next_gfetch: 0,
         }
     }
 
-    /// Cumulative statistics.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
-    }
-
-    /// Rebind the observability handle (normally to `driver.obs()`, so
-    /// cache counters land in the same registry as the disk's).
-    pub fn set_obs(&mut self, obs: Arc<Obs>) {
-        self.obs = obs;
-    }
-
-    /// The observability handle this cache reports into.
-    pub fn obs(&self) -> Arc<Obs> {
-        Arc::clone(&self.obs)
-    }
-
-    /// Reset statistics.
-    pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
-    }
-
-    /// Number of resident buffers.
-    pub fn resident(&self) -> usize {
-        self.phys.len()
-    }
-
-    /// Number of dirty buffers.
-    pub fn dirty_count(&self) -> usize {
+    fn dirty_count(&self) -> usize {
         self.bufs.iter().flatten().filter(|b| b.dirty).count()
     }
 
@@ -149,21 +206,36 @@ impl BufferCache {
         self.phys.get(&blkno).copied()
     }
 
-    /// Allocate a slot, evicting the LRU buffer if the cache is full.
-    fn alloc_slot(&mut self, driver: &mut Driver) -> usize {
+    /// Collect this shard's dirty buffers (marking them clean) for a
+    /// batch write-back.
+    fn take_dirty(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let mut dirty = Vec::new();
+        for b in self.bufs.iter_mut().flatten() {
+            if b.dirty {
+                dirty.push((b.blkno, b.data.clone()));
+                b.dirty = false;
+            }
+        }
+        self.stats.writebacks += dirty.len() as u64;
+        dirty
+    }
+
+    /// Allocate a slot, evicting the LRU buffer if the shard is full.
+    fn alloc_slot(&mut self, ctx: &Ctx) -> usize {
         if let Some(s) = self.free_slots.pop() {
             return s;
         }
-        if self.bufs.len() < self.config.nbufs {
+        if self.bufs.len() < self.nbufs {
             self.bufs.push(None);
             return self.bufs.len() - 1;
         }
         // Update-daemon behaviour: under dirty pressure, flush everything
         // as one sorted, coalesced batch instead of dribbling single-block
         // write-backs out of the eviction path.
-        let pct = self.config.flush_watermark_pct as usize;
-        if pct < 100 && self.dirty_count() * 100 >= self.config.nbufs * pct {
-            self.sync(driver).expect("cache flush cannot fail");
+        let pct = self.flush_watermark_pct as usize;
+        if pct < 100 && self.dirty_count() * 100 >= self.nbufs * pct {
+            let dirty = self.take_dirty();
+            flush_batch(ctx, dirty);
         }
         // Evict the true LRU (clean or dirty; dirty gets written back).
         loop {
@@ -175,73 +247,305 @@ impl BufferCache {
             let b = self.bufs[slot].take().expect("checked above");
             self.phys.remove(&b.blkno);
             if let Some(id) = b.logical {
-                self.logical.remove(&id);
+                unbind_entry(ctx, id, b.blkno);
             }
             if let Some(id) = b.gfetch {
-                self.gfetch_wasted(id);
+                gfetch_wasted(ctx, id);
             }
             if b.dirty {
-                driver.write(b.blkno * SECTORS_PER_BLOCK, &b.data);
+                ctx.driver.write(b.blkno * SECTORS_PER_BLOCK, &b.data);
                 self.stats.writebacks += 1;
-                self.obs.bump(Ctr::CacheWritebacks);
-                self.obs.bump(Ctr::CacheDelayedFlushes);
+                ctx.obs.bump(Ctr::CacheWritebacks);
+                ctx.obs.bump(Ctr::CacheDelayedFlushes);
             }
             self.stats.evictions += 1;
-            self.obs.bump(Ctr::CacheEvictions);
+            ctx.obs.bump(Ctr::CacheEvictions);
             return slot;
         }
     }
 
     fn install(&mut self, slot: usize, buf: Buf) {
         let blkno = buf.blkno;
-        let logical = buf.logical;
         self.bufs[slot] = Some(buf);
         self.phys.insert(blkno, slot);
-        if let Some(id) = logical {
-            self.logical.insert(id, slot);
-        }
         self.touch(slot);
+    }
+
+    /// Core miss/hit path: return the slot for `blkno`, reading from disk
+    /// on a miss when `read` is set (otherwise installing a zero buffer).
+    fn get_slot(&mut self, ctx: &Ctx, blkno: u64, read: bool) -> FsResult<usize> {
+        self.stats.lookups += 1;
+        ctx.obs.bump(Ctr::CacheLookups);
+        if let Some(slot) = self.slot_of(blkno) {
+            self.stats.phys_hits += 1;
+            ctx.obs.bump(Ctr::CachePhysHits);
+            self.touch(slot);
+            self.gfetch_used(ctx, slot);
+            return Ok(slot);
+        }
+        ctx.obs.bump(Ctr::CacheMisses);
+        let mut data = vec![0u8; BLOCK_SIZE];
+        if read {
+            ctx.driver.read(blkno * SECTORS_PER_BLOCK, &mut data);
+        }
+        let slot = self.alloc_slot(ctx);
+        self.install(
+            slot,
+            Buf { blkno, logical: None, data, dirty: false, meta: false, stamp: 0, gfetch: None },
+        );
+        Ok(slot)
+    }
+
+    /// A group-fetched buffer was hit for the first time: the speculation
+    /// paid off. No-op for buffers that did not arrive via group fetch or
+    /// were already counted.
+    fn gfetch_used(&mut self, ctx: &Ctx, slot: usize) {
+        let Some(b) = self.bufs[slot].as_mut() else { return };
+        let Some(id) = b.gfetch.take() else { return };
+        ctx.obs.bump(Ctr::GroupFetchBlocksUsed);
+        gfetch_resolve(ctx, id, true);
+    }
+
+    /// Bind (or rebind) a resident buffer's logical identity, keeping the
+    /// authoritative cache-wide map in step. Counts a back-bind when the
+    /// buffer arrived identity-less from a group read.
+    fn bind_slot(&mut self, ctx: &Ctx, slot: usize, ino: Ino, lbn: u64) {
+        // Claiming a group-fetched buffer (back-binding) is a use.
+        self.gfetch_used(ctx, slot);
+        let b = self.bufs[slot].as_mut().expect("resident");
+        let blkno = b.blkno;
+        match b.logical {
+            Some(id) if id == (ino, lbn) => {}
+            old => {
+                if old.is_none() {
+                    self.stats.backbinds += 1;
+                    ctx.obs.bump(Ctr::CacheBackbinds);
+                }
+                b.logical = Some((ino, lbn));
+                let mut lm = ctx.obs.lock_timed(ctx.logical, Ctr::LockWaitNsCache);
+                if let Some(oldid) = old {
+                    if lm.get(&oldid) == Some(&blkno) {
+                        lm.remove(&oldid);
+                    }
+                }
+                lm.insert((ino, lbn), blkno);
+            }
+        }
+    }
+
+    /// Forget a resident block (invalidate) without any write-back.
+    fn invalidate(&mut self, ctx: &Ctx, blkno: u64) {
+        if let Some(slot) = self.phys.remove(&blkno) {
+            if let Some(b) = self.bufs[slot].take() {
+                if let Some(id) = b.logical {
+                    unbind_entry(ctx, id, b.blkno);
+                }
+                if let Some(id) = b.gfetch {
+                    gfetch_wasted(ctx, id);
+                }
+            }
+            self.free_slots.push(slot);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bufs.clear();
+        self.free_slots.clear();
+        self.phys.clear();
+        self.lru.clear();
+    }
+}
+
+/// The dual-indexed, sharded buffer cache. All operations take `&self`;
+/// the handle is `Send + Sync` and shared freely across threads.
+#[derive(Debug)]
+pub struct BufferCache {
+    config: CacheConfig,
+    map: Option<ShardMap>,
+    shards: Vec<Mutex<CacheCore>>,
+    /// Authoritative logical index: (ino, lbn) → physical block. The
+    /// owning shard's buffer back-pointer validates each entry.
+    logical: Mutex<HashMap<(Ino, u64), u64>>,
+    /// In-flight group-fetch utilization accounting, fetch id → tally.
+    /// An entry is dropped (and its utilization histogram sample
+    /// recorded) once all of its blocks resolved as used or wasted.
+    gfetches: Mutex<HashMap<u32, GroupFetch>>,
+    next_gfetch: AtomicU32,
+    /// Counters not attributable to one shard (logical-index misses,
+    /// whole-cache group-read tallies).
+    misc: Mutex<CacheStats>,
+    /// Shared observability handle. Starts as a private instance; the
+    /// file-system layer rebinds it to the disk's handle via [`set_obs`]
+    /// so the whole stack reports into one [`StatsSnapshot`].
+    ///
+    /// [`set_obs`]: BufferCache::set_obs
+    /// [`StatsSnapshot`]: cffs_obs::StatsSnapshot
+    obs: Arc<Obs>,
+}
+
+impl BufferCache {
+    /// Create an empty cache (one shard until [`shard_by_cg`] says
+    /// otherwise).
+    ///
+    /// [`shard_by_cg`]: BufferCache::shard_by_cg
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.nbufs >= 8, "cache must hold at least 8 buffers");
+        BufferCache {
+            config,
+            map: None,
+            shards: vec![Mutex::new(CacheCore::new(config.nbufs, config.flush_watermark_pct))],
+            logical: Mutex::new(HashMap::new()),
+            gfetches: Mutex::new(HashMap::new()),
+            next_gfetch: AtomicU32::new(0),
+            misc: Mutex::new(CacheStats::default()),
+            obs: Obs::new(),
+        }
+    }
+
+    /// Split the cache into per-cylinder-group shards: block `b` belongs
+    /// to CG `b / cg_blocks`, and CGs are distributed round-robin over
+    /// `nshards` locks (capped so every shard keeps at least 8 buffers).
+    /// Capacity divides evenly across shards. Must be called while the
+    /// cache is empty — the file-system layer does it at mount, before
+    /// the handle is shared.
+    pub fn shard_by_cg(&mut self, cg_blocks: u64, nshards: usize) {
+        assert!(cg_blocks >= 1, "cylinder group size must be positive");
+        assert_eq!(self.resident(), 0, "cannot reshard a populated cache");
+        let n = nshards.clamp(1, self.config.nbufs / 8);
+        self.map = if n > 1 { Some(ShardMap { cg_blocks, nshards: n }) } else { None };
+        let per_shard = self.config.nbufs / n;
+        self.shards = (0..n)
+            .map(|_| Mutex::new(CacheCore::new(per_shard, self.config.flush_watermark_pct)))
+            .collect();
+    }
+
+    /// Number of shards the cache is split into.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, blkno: u64) -> usize {
+        match self.map {
+            Some(m) => ((blkno / m.cg_blocks) as usize) % m.nshards,
+            None => 0,
+        }
+    }
+
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, CacheCore> {
+        self.obs.lock_timed(&self.shards[idx], Ctr::LockWaitNsCache)
+    }
+
+    fn ctx<'a>(&'a self, driver: &'a Driver) -> Ctx<'a> {
+        Ctx { obs: &self.obs, driver, logical: &self.logical, gfetches: &self.gfetches }
+    }
+
+    /// Cumulative statistics (summed over shards).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = *self.obs.lock_timed(&self.misc, Ctr::LockWaitNsCache);
+        for shard in &self.shards {
+            let s = self.obs.lock_timed(shard, Ctr::LockWaitNsCache).stats;
+            total.lookups += s.lookups;
+            total.phys_hits += s.phys_hits;
+            total.logical_hits += s.logical_hits;
+            total.backbinds += s.backbinds;
+            total.evictions += s.evictions;
+            total.writebacks += s.writebacks;
+            total.sync_writes += s.sync_writes;
+            total.group_reads += s.group_reads;
+            total.group_read_blocks += s.group_read_blocks;
+        }
+        total
+    }
+
+    /// Rebind the observability handle (normally to `driver.obs()`, so
+    /// cache counters land in the same registry as the disk's).
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// The observability handle this cache reports into.
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            self.obs.lock_timed(shard, Ctr::LockWaitNsCache).stats = CacheStats::default();
+        }
+        *self.obs.lock_timed(&self.misc, Ctr::LockWaitNsCache) = CacheStats::default();
+    }
+
+    /// Number of resident buffers.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| self.obs.lock_timed(s, Ctr::LockWaitNsCache).phys.len()).sum()
+    }
+
+    /// Number of dirty buffers.
+    pub fn dirty_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| self.obs.lock_timed(s, Ctr::LockWaitNsCache).dirty_count())
+            .sum()
     }
 
     /// Is the block resident (for tests and group-read planning)?
     pub fn contains(&self, blkno: u64) -> bool {
-        self.phys.contains_key(&blkno)
+        self.lock_shard(self.shard_of(blkno)).phys.contains_key(&blkno)
     }
 
     /// Look a block up by logical identity without touching the disk.
     /// Returns the physical block number on a hit — the caller skips the
     /// bmap translation entirely, which is the point of the second index.
-    pub fn lookup_logical(&mut self, ino: Ino, lbn: u64) -> Option<u64> {
-        self.stats.lookups += 1;
+    pub fn lookup_logical(&self, ino: Ino, lbn: u64) -> Option<u64> {
         self.obs.bump(Ctr::CacheLookups);
-        if let Some(&slot) = self.logical.get(&(ino, lbn)) {
-            self.stats.logical_hits += 1;
-            self.obs.bump(Ctr::CacheLogicalHits);
-            self.touch(slot);
-            self.bufs[slot].as_ref().map(|b| b.blkno)
-        } else {
-            None
+        // Read the authoritative map, release it, then validate against
+        // the owning shard (never hold logical → shard; see lock order).
+        let blk = {
+            let lm = self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache);
+            lm.get(&(ino, lbn)).copied()
+        };
+        let Some(blk) = blk else {
+            self.obs.lock_timed(&self.misc, Ctr::LockWaitNsCache).lookups += 1;
+            return None;
+        };
+        let mut core = self.lock_shard(self.shard_of(blk));
+        core.stats.lookups += 1;
+        match core.slot_of(blk) {
+            Some(slot)
+                if core.bufs[slot].as_ref().is_some_and(|b| b.logical == Some((ino, lbn))) =>
+            {
+                core.stats.logical_hits += 1;
+                self.obs.bump(Ctr::CacheLogicalHits);
+                core.touch(slot);
+                Some(blk)
+            }
+            _ => None, // entry went stale between the two locks
         }
     }
 
-    /// Read a block through the cache, returning a borrow of its contents.
-    pub fn read_block(&mut self, driver: &mut Driver, blkno: u64) -> FsResult<&[u8]> {
-        let slot = self.get_slot(driver, blkno, true)?;
-        Ok(&self.bufs[slot].as_ref().expect("resident").data)
+    /// Read a block through the cache, returning a copy of its contents.
+    pub fn read_block(&self, driver: &Driver, blkno: u64) -> FsResult<Vec<u8>> {
+        let ctx = self.ctx(driver);
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        let slot = core.get_slot(&ctx, blkno, true)?;
+        Ok(core.bufs[slot].as_ref().expect("resident").data.clone())
     }
 
     /// Read a block and bind it to a logical identity in one step (the
     /// common file-read path: bmap said `(ino, lbn)` lives at `blkno`).
     pub fn read_block_bound(
-        &mut self,
-        driver: &mut Driver,
+        &self,
+        driver: &Driver,
         blkno: u64,
         ino: Ino,
         lbn: u64,
-    ) -> FsResult<&[u8]> {
-        let slot = self.get_slot(driver, blkno, true)?;
-        self.bind_slot(slot, ino, lbn);
-        Ok(&self.bufs[slot].as_ref().expect("resident").data)
+    ) -> FsResult<Vec<u8>> {
+        let ctx = self.ctx(driver);
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        let slot = core.get_slot(&ctx, blkno, true)?;
+        core.bind_slot(&ctx, slot, ino, lbn);
+        Ok(core.bufs[slot].as_ref().expect("resident").data.clone())
     }
 
     /// Mutate a block in place. `read_first` controls whether a cache miss
@@ -249,15 +553,17 @@ impl BufferCache {
     /// caller will overwrite the whole block). The buffer is left dirty;
     /// durability is the caller's policy decision.
     pub fn modify_block<R>(
-        &mut self,
-        driver: &mut Driver,
+        &self,
+        driver: &Driver,
         blkno: u64,
         meta: bool,
         read_first: bool,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> FsResult<R> {
-        let slot = self.get_slot(driver, blkno, read_first)?;
-        let b = self.bufs[slot].as_mut().expect("resident");
+        let ctx = self.ctx(driver);
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        let slot = core.get_slot(&ctx, blkno, read_first)?;
+        let b = core.bufs[slot].as_mut().expect("resident");
         b.dirty = true;
         b.meta = meta;
         Ok(f(&mut b.data))
@@ -265,17 +571,19 @@ impl BufferCache {
 
     /// Mutate a block and bind its logical identity (file-write path).
     pub fn modify_block_bound<R>(
-        &mut self,
-        driver: &mut Driver,
+        &self,
+        driver: &Driver,
         blkno: u64,
         ino: Ino,
         lbn: u64,
         read_first: bool,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> FsResult<R> {
-        let slot = self.get_slot(driver, blkno, read_first)?;
-        self.bind_slot(slot, ino, lbn);
-        let b = self.bufs[slot].as_mut().expect("resident");
+        let ctx = self.ctx(driver);
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        let slot = core.get_slot(&ctx, blkno, read_first)?;
+        core.bind_slot(&ctx, slot, ino, lbn);
+        let b = core.bufs[slot].as_mut().expect("resident");
         b.dirty = true;
         Ok(f(&mut b.data))
     }
@@ -283,13 +591,14 @@ impl BufferCache {
     /// If `blkno` is dirty, write it to disk *now* and mark it clean. This
     /// is the synchronous-metadata primitive: the conventional create path
     /// calls it on the inode block before the directory block, and so on.
-    pub fn flush_block_sync(&mut self, driver: &mut Driver, blkno: u64) -> FsResult<()> {
-        if let Some(slot) = self.slot_of(blkno) {
-            let b = self.bufs[slot].as_mut().expect("resident");
+    pub fn flush_block_sync(&self, driver: &Driver, blkno: u64) -> FsResult<()> {
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        if let Some(slot) = core.slot_of(blkno) {
+            let b = core.bufs[slot].as_mut().expect("resident");
             if b.dirty {
                 driver.write(blkno * SECTORS_PER_BLOCK, &b.data);
                 b.dirty = false;
-                self.stats.sync_writes += 1;
+                core.stats.sync_writes += 1;
                 self.obs.bump(Ctr::CacheSyncFlushes);
             }
         }
@@ -302,20 +611,16 @@ impl BufferCache {
     /// updates both atomically (the disk guarantees sector atomicity).
     ///
     /// The rest of the block stays dirty if it was dirty before.
-    pub fn flush_sector_sync(
-        &mut self,
-        driver: &mut Driver,
-        blkno: u64,
-        offset: usize,
-    ) -> FsResult<()> {
+    pub fn flush_sector_sync(&self, driver: &Driver, blkno: u64, offset: usize) -> FsResult<()> {
         let sector_in_block = offset / cffs_disksim::SECTOR_SIZE;
-        if let Some(slot) = self.slot_of(blkno) {
-            let b = self.bufs[slot].as_ref().expect("resident");
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        if let Some(slot) = core.slot_of(blkno) {
+            let b = core.bufs[slot].as_ref().expect("resident");
             let lo = sector_in_block * cffs_disksim::SECTOR_SIZE;
             let hi = lo + cffs_disksim::SECTOR_SIZE;
             let sector = b.data[lo..hi].to_vec();
             driver.write(blkno * SECTORS_PER_BLOCK + sector_in_block as u64, &sector);
-            self.stats.sync_writes += 1;
+            core.stats.sync_writes += 1;
             self.obs.bump(Ctr::CacheSyncFlushes);
         }
         Ok(())
@@ -323,61 +628,11 @@ impl BufferCache {
 
     /// Bind (or rebind) the logical identity of a resident block. Counts a
     /// back-bind when the buffer arrived identity-less from a group read.
-    pub fn bind_logical(&mut self, blkno: u64, ino: Ino, lbn: u64) {
-        if let Some(slot) = self.slot_of(blkno) {
-            self.bind_slot(slot, ino, lbn);
-        }
-    }
-
-    /// A group-fetched buffer was hit for the first time: the speculation
-    /// paid off. No-op for buffers that did not arrive via group fetch or
-    /// were already counted.
-    fn gfetch_used(&mut self, slot: usize) {
-        let Some(b) = self.bufs[slot].as_mut() else { return };
-        let Some(id) = b.gfetch.take() else { return };
-        self.obs.bump(Ctr::GroupFetchBlocksUsed);
-        self.gfetch_resolve(id, true);
-    }
-
-    /// A group-fetched buffer left the cache without ever being hit.
-    fn gfetch_wasted(&mut self, id: u32) {
-        self.obs.bump(Ctr::GroupFetchBlocksWasted);
-        self.gfetch_resolve(id, false);
-    }
-
-    /// One block of fetch `id` resolved; once all have, record the
-    /// fetch's utilization (percent of blocks used) and retire it.
-    fn gfetch_resolve(&mut self, id: u32, used: bool) {
-        let Some(g) = self.gfetches.get_mut(&id) else { return };
-        g.resolved += 1;
-        if used {
-            g.used += 1;
-        }
-        if g.resolved == g.fetched {
-            let g = self.gfetches.remove(&id).expect("checked above");
-            let pct = u64::from(g.used) * 100 / u64::from(g.fetched);
-            self.obs.histos().group_fetch_util_pct.record(pct);
-            self.obs.signal_sample(Sig::GroupFetchUtil, pct as f64);
-        }
-    }
-
-    fn bind_slot(&mut self, slot: usize, ino: Ino, lbn: u64) {
-        // Claiming a group-fetched buffer (back-binding) is a use.
-        self.gfetch_used(slot);
-        let b = self.bufs[slot].as_mut().expect("resident");
-        match b.logical {
-            Some(id) if id == (ino, lbn) => {}
-            old => {
-                if old.is_none() {
-                    self.stats.backbinds += 1;
-                    self.obs.bump(Ctr::CacheBackbinds);
-                }
-                if let Some(oldid) = old {
-                    self.logical.remove(&oldid);
-                }
-                b.logical = Some((ino, lbn));
-                self.logical.insert((ino, lbn), slot);
-            }
+    pub fn bind_logical(&self, driver: &Driver, blkno: u64, ino: Ino, lbn: u64) {
+        let ctx = self.ctx(driver);
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        if let Some(slot) = core.slot_of(blkno) {
+            core.bind_slot(&ctx, slot, ino, lbn);
         }
     }
 
@@ -386,23 +641,35 @@ impl BufferCache {
     /// externalization). Physical buffers stay resident; only the logical
     /// index entries go, so a future holder of the same number can never
     /// hit another file's stale bindings.
-    pub fn purge_ino(&mut self, ino: Ino) {
-        let keys: Vec<(Ino, u64)> =
-            self.logical.keys().filter(|(i, _)| *i == ino).copied().collect();
-        for k in keys {
-            if let Some(slot) = self.logical.remove(&k) {
-                if let Some(b) = self.bufs[slot].as_mut() {
-                    b.logical = None;
+    pub fn purge_ino(&self, ino: Ino) {
+        let entries: Vec<((Ino, u64), u64)> = {
+            let mut lm = self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache);
+            let keys: Vec<(Ino, u64)> = lm.keys().filter(|(i, _)| *i == ino).copied().collect();
+            keys.into_iter().map(|k| (k, lm.remove(&k).expect("collected above"))).collect()
+        };
+        for (id, blk) in entries {
+            let mut core = self.lock_shard(self.shard_of(blk));
+            if let Some(slot) = core.slot_of(blk) {
+                if let Some(b) = core.bufs[slot].as_mut() {
+                    if b.logical == Some(id) {
+                        b.logical = None;
+                    }
                 }
             }
         }
     }
 
     /// Drop the logical identity for `(ino, lbn)` (file truncate/delete).
-    pub fn unbind_logical(&mut self, ino: Ino, lbn: u64) {
-        if let Some(slot) = self.logical.remove(&(ino, lbn)) {
-            if let Some(b) = self.bufs[slot].as_mut() {
-                b.logical = None;
+    pub fn unbind_logical(&self, ino: Ino, lbn: u64) {
+        let blk = self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache).remove(&(ino, lbn));
+        if let Some(blk) = blk {
+            let mut core = self.lock_shard(self.shard_of(blk));
+            if let Some(slot) = core.slot_of(blk) {
+                if let Some(b) = core.bufs[slot].as_mut() {
+                    if b.logical == Some((ino, lbn)) {
+                        b.logical = None;
+                    }
+                }
             }
         }
     }
@@ -417,35 +684,68 @@ impl BufferCache {
     /// instead). A group-fetched buffer that gets relocated counts as
     /// used: the speculative fetch delivered exactly the block the
     /// regrouper needed.
-    pub fn relocate_phys(&mut self, old: u64, new: u64) -> bool {
-        if old == new || !self.phys.contains_key(&old) {
+    pub fn relocate_phys(&self, driver: &Driver, old: u64, new: u64) -> bool {
+        if old == new {
             return false;
         }
-        self.invalidate_block(new);
-        let slot = self.phys.remove(&old).expect("checked resident");
-        self.gfetch_used(slot);
-        let b = self.bufs[slot].as_mut().expect("resident");
+        let ctx = self.ctx(driver);
+        let (so, sn) = (self.shard_of(old), self.shard_of(new));
+        if so == sn {
+            let mut core = self.lock_shard(so);
+            if !core.phys.contains_key(&old) {
+                return false;
+            }
+            core.invalidate(&ctx, new);
+            let slot = core.phys.remove(&old).expect("checked resident");
+            core.gfetch_used(&ctx, slot);
+            let b = core.bufs[slot].as_mut().expect("resident");
+            b.blkno = new;
+            b.dirty = true;
+            let id = b.logical;
+            core.phys.insert(new, slot);
+            core.touch(slot);
+            if let Some(id) = id {
+                let mut lm = self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache);
+                if lm.get(&id) == Some(&old) {
+                    lm.insert(id, new);
+                }
+            }
+            return true;
+        }
+        // Cross-shard re-homing: take both shard locks in ascending
+        // index order, lift the buffer out of the old shard and install
+        // it into the new one.
+        let (lo, hi) = (so.min(sn), so.max(sn));
+        let mut g_lo = self.lock_shard(lo);
+        let mut g_hi = self.lock_shard(hi);
+        let (src, dst): (&mut CacheCore, &mut CacheCore) =
+            if so == lo { (&mut g_lo, &mut g_hi) } else { (&mut g_hi, &mut g_lo) };
+        let Some(slot) = src.phys.remove(&old) else { return false };
+        src.gfetch_used(&ctx, slot);
+        let mut b = src.bufs[slot].take().expect("resident");
+        src.free_slots.push(slot);
+        dst.invalidate(&ctx, new);
         b.blkno = new;
         b.dirty = true;
-        self.phys.insert(new, slot);
-        self.touch(slot);
+        b.stamp = 0;
+        let id = b.logical;
+        let dslot = dst.alloc_slot(&ctx);
+        dst.install(dslot, b);
+        if let Some(id) = id {
+            let mut lm = self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache);
+            if lm.get(&id) == Some(&old) {
+                lm.insert(id, new);
+            }
+        }
         true
     }
 
     /// Forget a block entirely (its disk space was freed). Dirty contents
     /// are discarded — writing a freed block back would be a bug.
-    pub fn invalidate_block(&mut self, blkno: u64) {
-        if let Some(slot) = self.phys.remove(&blkno) {
-            if let Some(b) = self.bufs[slot].take() {
-                if let Some(id) = b.logical {
-                    self.logical.remove(&id);
-                }
-                if let Some(id) = b.gfetch {
-                    self.gfetch_wasted(id);
-                }
-            }
-            self.free_slots.push(slot);
-        }
+    pub fn invalidate_block(&self, driver: &Driver, blkno: u64) {
+        let ctx = self.ctx(driver);
+        let mut core = self.lock_shard(self.shard_of(blkno));
+        core.invalidate(&ctx, blkno);
     }
 
     /// Fetch a set of contiguous block runs as *one* batch of scatter/gather
@@ -453,11 +753,8 @@ impl BufferCache {
     /// Blocks already resident are skipped (never clobber a dirty buffer).
     /// Newly inserted blocks carry no logical identity; files claim them
     /// later via back-binding.
-    pub fn read_group(
-        &mut self,
-        driver: &mut Driver,
-        runs: &[(u64, usize)],
-    ) -> FsResult<()> {
+    pub fn read_group(&self, driver: &Driver, runs: &[(u64, usize)]) -> FsResult<()> {
+        let ctx = self.ctx(driver);
         let mut reqs: Vec<IoReq> = Vec::new();
         for &(start, n) in runs {
             // Split each run at resident blocks.
@@ -480,26 +777,35 @@ impl BufferCache {
             return Ok(());
         }
         let done = driver.submit_batch(reqs);
-        self.stats.group_reads += 1;
+        self.obs.lock_timed(&self.misc, Ctr::LockWaitNsCache).group_reads += 1;
         self.obs.bump(Ctr::CacheGroupReads);
-        let fetch_id = self.next_gfetch;
-        self.next_gfetch += 1;
+        let fetch_id = self.next_gfetch.fetch_add(1, Ordering::Relaxed);
         // Register the tally before installing: with a tiny cache,
         // installing later blocks of the fetch can evict earlier ones,
         // and their "wasted" resolution must find the entry.
         let fetched: u32 = done.iter().map(|r| (r.data.len() / BLOCK_SIZE) as u32).sum();
-        self.gfetches
+        self.obs
+            .lock_timed(&self.gfetches, Ctr::LockWaitNsCache)
             .insert(fetch_id, GroupFetch { fetched, resolved: 0, used: 0 });
         // Install every fetched block, identity-less. Block numbers come
         // from the requests themselves — the scheduler may have serviced
         // them in any order.
+        let mut installed = 0u64;
         for req in done {
             let base = req.lba / SECTORS_PER_BLOCK;
             let nblocks = req.data.len() / BLOCK_SIZE;
             for i in 0..nblocks {
                 let blk = base + i as u64;
-                let slot = self.alloc_slot(driver);
-                self.install(
+                let mut core = self.lock_shard(self.shard_of(blk));
+                if core.phys.contains_key(&blk) {
+                    // A concurrent installer beat us to this block; the
+                    // speculative copy is dropped, which is a waste.
+                    drop(core);
+                    gfetch_wasted(&ctx, fetch_id);
+                    continue;
+                }
+                let slot = core.alloc_slot(&ctx);
+                core.install(
                     slot,
                     Buf {
                         blkno: blk,
@@ -511,114 +817,66 @@ impl BufferCache {
                         gfetch: Some(fetch_id),
                     },
                 );
-                self.stats.group_read_blocks += 1;
+                installed += 1;
                 self.obs.bump(Ctr::CacheGroupReadBlocks);
             }
         }
+        self.obs.lock_timed(&self.misc, Ctr::LockWaitNsCache).group_read_blocks += installed;
         Ok(())
     }
 
     /// Write back every dirty buffer as one scheduled, coalesced batch.
     /// Physically adjacent dirty blocks — grouped small files — merge into
     /// single scatter/gather writes here.
-    pub fn sync(&mut self, driver: &mut Driver) -> FsResult<()> {
+    pub fn sync(&self, driver: &Driver) -> FsResult<()> {
+        let ctx = self.ctx(driver);
         let mut dirty: Vec<(u64, Vec<u8>)> = Vec::new();
-        for b in self.bufs.iter_mut().flatten() {
-            if b.dirty {
-                dirty.push((b.blkno, b.data.clone()));
-                b.dirty = false;
-            }
+        for shard in &self.shards {
+            let mut core = self.obs.lock_timed(shard, Ctr::LockWaitNsCache);
+            dirty.append(&mut core.take_dirty());
         }
-        self.obs.signal_sample(Sig::DirtyBacklog, dirty.len() as f64);
-        if dirty.is_empty() {
-            return Ok(());
-        }
-        dirty.sort_by_key(|(blk, _)| *blk);
-        self.stats.writebacks += dirty.len() as u64;
-        self.obs.add(Ctr::CacheWritebacks, dirty.len() as u64);
-        self.obs.add(Ctr::CacheDelayedFlushes, dirty.len() as u64);
-        // Count physically contiguous runs of 2+ blocks: each becomes one
-        // scatter/gather write at the driver instead of N single writes.
-        let mut run_len = 1u64;
-        for w in dirty.windows(2) {
-            if w[1].0 == w[0].0 + 1 {
-                run_len += 1;
-            } else {
-                if run_len > 1 {
-                    self.obs.bump(Ctr::CacheCoalescedRuns);
-                }
-                run_len = 1;
-            }
-        }
-        if run_len > 1 {
-            self.obs.bump(Ctr::CacheCoalescedRuns);
-        }
-        let reqs = dirty
-            .into_iter()
-            .map(|(blk, data)| IoReq::write(blk * SECTORS_PER_BLOCK, data))
-            .collect();
-        driver.submit_batch(reqs);
+        flush_batch(&ctx, dirty);
         Ok(())
     }
 
     /// Sync, then drop *all* buffers: the cold-cache boundary between
     /// benchmark phases (the moral equivalent of unmount + mount).
-    pub fn drop_all(&mut self, driver: &mut Driver) -> FsResult<()> {
+    pub fn drop_all(&self, driver: &Driver) -> FsResult<()> {
         self.sync(driver)?;
-        // Every still-untouched group-fetched buffer leaves the cache
-        // here: resolve them as wasted so in-flight fetch tallies settle
-        // (this is what makes `used + wasted == fetched` hold at every
-        // cold-cache boundary).
-        let pending: Vec<u32> =
-            self.bufs.iter().flatten().filter_map(|b| b.gfetch).collect();
-        for id in pending {
-            self.gfetch_wasted(id);
+        let ctx = self.ctx(driver);
+        for shard in &self.shards {
+            let mut core = self.obs.lock_timed(shard, Ctr::LockWaitNsCache);
+            // Every still-untouched group-fetched buffer leaves the cache
+            // here: resolve them as wasted so in-flight fetch tallies settle
+            // (this is what makes `used + wasted == fetched` hold at every
+            // cold-cache boundary).
+            let pending: Vec<u32> = core.bufs.iter().flatten().filter_map(|b| b.gfetch).collect();
+            for id in pending {
+                gfetch_wasted(&ctx, id);
+            }
+            // One hit-rate sample per shard per cold boundary: uneven
+            // shard rates are the signature of a skewed workload.
+            let hits = core.stats.phys_hits + core.stats.logical_hits;
+            if let Some(pct) = (hits * 100).checked_div(core.stats.lookups) {
+                self.obs.histos().cache_shard_hit_pct.record(pct);
+            }
+            core.clear();
         }
-        self.bufs.clear();
-        self.free_slots.clear();
-        self.phys.clear();
-        self.logical.clear();
-        self.lru.clear();
+        self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache).clear();
         Ok(())
     }
 
     /// Discard every buffer *without* writing dirty data — simulates a
     /// crash. The disk image is left exactly as the write history produced
     /// it; fsck gets to pick up the pieces.
-    pub fn crash(&mut self) {
-        self.bufs.clear();
-        self.free_slots.clear();
-        self.phys.clear();
-        self.logical.clear();
-        self.lru.clear();
+    pub fn crash(&self) {
+        for shard in &self.shards {
+            self.obs.lock_timed(shard, Ctr::LockWaitNsCache).clear();
+        }
+        self.obs.lock_timed(&self.logical, Ctr::LockWaitNsCache).clear();
         // A crash is not an eviction: abandon in-flight utilization
         // accounting rather than charging the lost buffers as "wasted".
-        self.gfetches.clear();
-    }
-
-    /// Core miss/hit path: return the slot for `blkno`, reading from disk
-    /// on a miss when `read` is set (otherwise installing a zero buffer).
-    fn get_slot(&mut self, driver: &mut Driver, blkno: u64, read: bool) -> FsResult<usize> {
-        self.stats.lookups += 1;
-        self.obs.bump(Ctr::CacheLookups);
-        if let Some(slot) = self.slot_of(blkno) {
-            self.stats.phys_hits += 1;
-            self.obs.bump(Ctr::CachePhysHits);
-            self.touch(slot);
-            self.gfetch_used(slot);
-            return Ok(slot);
-        }
-        self.obs.bump(Ctr::CacheMisses);
-        let mut data = vec![0u8; BLOCK_SIZE];
-        if read {
-            driver.read(blkno * SECTORS_PER_BLOCK, &mut data);
-        }
-        let slot = self.alloc_slot(driver);
-        self.install(
-            slot,
-            Buf { blkno, logical: None, data, dirty: false, meta: false, stamp: 0, gfetch: None },
-        );
-        Ok(slot)
+        self.obs.lock_timed(&self.gfetches, Ctr::LockWaitNsCache).clear();
     }
 }
 
@@ -637,60 +895,60 @@ mod tests {
 
     #[test]
     fn read_miss_then_hit() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        drv.disk_mut().raw_write(100 * SECTORS_PER_BLOCK, &[7u8; BLOCK_SIZE]);
-        let d = c.read_block(&mut drv, 100).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        drv.with_disk_mut(|d| d.raw_write(100 * SECTORS_PER_BLOCK, &[7u8; BLOCK_SIZE]));
+        let d = c.read_block(&drv, 100).unwrap();
         assert!(d.iter().all(|&b| b == 7));
         let before = drv.disk_stats().reads;
-        let _ = c.read_block(&mut drv, 100).unwrap();
+        let _ = c.read_block(&drv, 100).unwrap();
         assert_eq!(drv.disk_stats().reads, before, "second read must not hit the disk");
         assert_eq!(c.stats().phys_hits, 1);
     }
 
     #[test]
     fn modify_without_read_first_skips_disk() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        c.modify_block(&mut drv, 50, false, false, |d| d.fill(9)).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        c.modify_block(&drv, 50, false, false, |d| d.fill(9)).unwrap();
         assert_eq!(drv.disk_stats().reads, 0);
         assert_eq!(c.dirty_count(), 1);
-        c.sync(&mut drv).unwrap();
+        c.sync(&drv).unwrap();
         assert_eq!(c.dirty_count(), 0);
         let mut back = vec![0u8; BLOCK_SIZE];
-        drv.disk_mut().raw_read(50 * SECTORS_PER_BLOCK, &mut back);
+        drv.with_disk(|d| d.raw_read(50 * SECTORS_PER_BLOCK, &mut back));
         assert!(back.iter().all(|&b| b == 9));
     }
 
     #[test]
     fn sync_coalesces_adjacent_dirty_blocks() {
-        let mut drv = driver();
-        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        let drv = driver();
+        let c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
         // A 16-block "group" of dirty buffers plus a loner far away.
         for blk in 1000..1016 {
-            c.modify_block(&mut drv, blk, false, false, |d| d.fill(1)).unwrap();
+            c.modify_block(&drv, blk, false, false, |d| d.fill(1)).unwrap();
         }
-        c.modify_block(&mut drv, 50_000, false, false, |d| d.fill(2)).unwrap();
-        c.sync(&mut drv).unwrap();
+        c.modify_block(&drv, 50_000, false, false, |d| d.fill(2)).unwrap();
+        c.sync(&drv).unwrap();
         assert_eq!(drv.stats().physical_requests, 2, "16 adjacent + 1 = 2 phys writes");
         assert_eq!(drv.stats().coalesced, 15);
     }
 
     #[test]
     fn sync_counts_coalesced_runs_in_shared_obs() {
-        let mut drv = driver();
+        let drv = driver();
         let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
         c.set_obs(drv.obs());
         // Two contiguous runs (4 and 2 blocks) plus two isolated loners.
         for blk in 1000..1004u64 {
-            c.modify_block(&mut drv, blk, false, false, |d| d.fill(1)).unwrap();
+            c.modify_block(&drv, blk, false, false, |d| d.fill(1)).unwrap();
         }
         for blk in 2000..2002u64 {
-            c.modify_block(&mut drv, blk, false, false, |d| d.fill(2)).unwrap();
+            c.modify_block(&drv, blk, false, false, |d| d.fill(2)).unwrap();
         }
-        c.modify_block(&mut drv, 5000, false, false, |d| d.fill(3)).unwrap();
-        c.modify_block(&mut drv, 60_000, false, false, |d| d.fill(4)).unwrap();
-        c.sync(&mut drv).unwrap();
+        c.modify_block(&drv, 5000, false, false, |d| d.fill(3)).unwrap();
+        c.modify_block(&drv, 60_000, false, false, |d| d.fill(4)).unwrap();
+        c.sync(&drv).unwrap();
         let obs = drv.obs();
         assert_eq!(obs.get(Ctr::CacheWritebacks), 8);
         assert_eq!(obs.get(Ctr::CacheCoalescedRuns), 2, "two runs of >= 2 blocks");
@@ -707,72 +965,72 @@ mod tests {
         // Regression guard for the classic off-by-one: a contiguous run that
         // ends at the *last* element of the sorted dirty list must still be
         // counted (the loop only closes runs on a discontinuity).
-        let mut drv = driver();
+        let drv = driver();
         let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
         c.set_obs(drv.obs());
-        c.modify_block(&mut drv, 10, false, false, |d| d.fill(9)).unwrap();
+        c.modify_block(&drv, 10, false, false, |d| d.fill(9)).unwrap();
         for blk in 100..103u64 {
-            c.modify_block(&mut drv, blk, false, false, |d| d.fill(9)).unwrap();
+            c.modify_block(&drv, blk, false, false, |d| d.fill(9)).unwrap();
         }
-        c.sync(&mut drv).unwrap();
+        c.sync(&drv).unwrap();
         let obs = drv.obs();
         assert_eq!(obs.get(Ctr::CacheCoalescedRuns), 1, "tail run [100..103) counts");
         assert_eq!(obs.get(Ctr::DriverPhysicalRequests), 2);
 
         // And a pair at the *head* of the list, loner at the tail.
-        let mut drv = driver();
+        let drv = driver();
         let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
         c.set_obs(drv.obs());
-        c.modify_block(&mut drv, 20, false, false, |d| d.fill(9)).unwrap();
-        c.modify_block(&mut drv, 21, false, false, |d| d.fill(9)).unwrap();
-        c.modify_block(&mut drv, 900, false, false, |d| d.fill(9)).unwrap();
-        c.sync(&mut drv).unwrap();
+        c.modify_block(&drv, 20, false, false, |d| d.fill(9)).unwrap();
+        c.modify_block(&drv, 21, false, false, |d| d.fill(9)).unwrap();
+        c.modify_block(&drv, 900, false, false, |d| d.fill(9)).unwrap();
+        c.sync(&drv).unwrap();
         assert_eq!(drv.obs().get(Ctr::CacheCoalescedRuns), 1, "head run [20..22) counts");
         assert_eq!(drv.obs().get(Ctr::DriverPhysicalRequests), 2);
     }
 
     #[test]
     fn flush_block_sync_writes_once() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        c.modify_block(&mut drv, 10, true, false, |d| d.fill(3)).unwrap();
-        c.flush_block_sync(&mut drv, 10).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        c.modify_block(&drv, 10, true, false, |d| d.fill(3)).unwrap();
+        c.flush_block_sync(&drv, 10).unwrap();
         assert_eq!(c.stats().sync_writes, 1);
         assert_eq!(drv.disk_stats().writes, 1);
         // Clean now: second flush is a no-op.
-        c.flush_block_sync(&mut drv, 10).unwrap();
+        c.flush_block_sync(&drv, 10).unwrap();
         assert_eq!(drv.disk_stats().writes, 1);
-        c.sync(&mut drv).unwrap();
+        c.sync(&drv).unwrap();
         assert_eq!(drv.disk_stats().writes, 1, "already clean");
     }
 
     #[test]
     fn flush_sector_sync_writes_single_sector() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        c.modify_block(&mut drv, 20, true, false, |d| d.fill(0xAB)).unwrap();
-        c.flush_sector_sync(&mut drv, 20, 1024).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        c.modify_block(&drv, 20, true, false, |d| d.fill(0xAB)).unwrap();
+        c.flush_sector_sync(&drv, 20, 1024).unwrap();
         assert_eq!(drv.disk_stats().sectors_written, 1);
         let mut sec = vec![0u8; 512];
-        drv.disk_mut().raw_read(20 * SECTORS_PER_BLOCK + 2, &mut sec);
+        drv.with_disk(|d| d.raw_read(20 * SECTORS_PER_BLOCK + 2, &mut sec));
         assert!(sec.iter().all(|&b| b == 0xAB));
         // Neighboring sector not written.
-        drv.disk_mut().raw_read(20 * SECTORS_PER_BLOCK, &mut sec);
+        drv.with_disk(|d| d.raw_read(20 * SECTORS_PER_BLOCK, &mut sec));
         assert!(sec.iter().all(|&b| b == 0));
     }
 
     #[test]
     fn lru_eviction_writes_dirty_victim() {
-        let mut drv = driver();
-        let mut c = small_cache(); // 8 buffers
-        c.modify_block(&mut drv, 0, false, false, |d| d.fill(0xEE)).unwrap();
+        let drv = driver();
+        let c = small_cache(); // 8 buffers
+        c.modify_block(&drv, 0, false, false, |d| d.fill(0xEE)).unwrap();
         for blk in 1..9 {
-            let _ = c.read_block(&mut drv, blk).unwrap();
+            let _ = c.read_block(&drv, blk).unwrap();
         }
         // Block 0 (LRU, dirty) must have been evicted and written back.
         assert!(!c.contains(0));
         let mut back = vec![0u8; BLOCK_SIZE];
-        drv.disk_mut().raw_read(0, &mut back);
+        drv.with_disk(|d| d.raw_read(0, &mut back));
         assert!(back.iter().all(|&b| b == 0xEE));
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.stats().writebacks, 1);
@@ -780,18 +1038,18 @@ mod tests {
 
     #[test]
     fn group_read_is_one_physical_request() {
-        let mut drv = driver();
-        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        let drv = driver();
+        let c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
         for blk in 200..216u64 {
-            drv.disk_mut().raw_write(blk * SECTORS_PER_BLOCK, &vec![blk as u8; BLOCK_SIZE]);
+            drv.with_disk_mut(|d| d.raw_write(blk * SECTORS_PER_BLOCK, &vec![blk as u8; BLOCK_SIZE]));
         }
-        c.read_group(&mut drv, &[(200, 16)]).unwrap();
+        c.read_group(&drv, &[(200, 16)]).unwrap();
         assert_eq!(drv.disk_stats().reads, 1);
         assert_eq!(c.stats().group_reads, 1);
         assert_eq!(c.stats().group_read_blocks, 16);
         // All 16 now hit without further I/O.
         for blk in 200..216 {
-            let d = c.read_block(&mut drv, blk).unwrap();
+            let d = c.read_block(&drv, blk).unwrap();
             assert_eq!(d[0], blk as u8);
         }
         assert_eq!(drv.disk_stats().reads, 1);
@@ -799,12 +1057,12 @@ mod tests {
 
     #[test]
     fn group_read_skips_resident_dirty_blocks() {
-        let mut drv = driver();
-        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
-        c.modify_block(&mut drv, 205, false, false, |d| d.fill(0x77)).unwrap();
-        c.read_group(&mut drv, &[(200, 16)]).unwrap();
+        let drv = driver();
+        let c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.modify_block(&drv, 205, false, false, |d| d.fill(0x77)).unwrap();
+        c.read_group(&drv, &[(200, 16)]).unwrap();
         // The dirty buffer must survive untouched.
-        let d = c.read_block(&mut drv, 205).unwrap();
+        let d = c.read_block(&drv, 205).unwrap();
         assert!(d.iter().all(|&b| b == 0x77));
         // Two physical reads: [200..205) and [206..216).
         assert_eq!(drv.disk_stats().reads, 2);
@@ -812,43 +1070,43 @@ mod tests {
 
     #[test]
     fn backbinding_after_group_read() {
-        let mut drv = driver();
-        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
-        c.read_group(&mut drv, &[(300, 4)]).unwrap();
+        let drv = driver();
+        let c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.read_group(&drv, &[(300, 4)]).unwrap();
         assert_eq!(c.stats().backbinds, 0);
         // File 42 claims block 301 as its lbn 0.
-        let _ = c.read_block_bound(&mut drv, 301, 42, 0).unwrap();
+        let _ = c.read_block_bound(&drv, 301, 42, 0).unwrap();
         assert_eq!(c.stats().backbinds, 1);
         assert_eq!(c.lookup_logical(42, 0), Some(301));
         // Rebinding the same identity is not another back-bind.
-        let _ = c.read_block_bound(&mut drv, 301, 42, 0).unwrap();
+        let _ = c.read_block_bound(&drv, 301, 42, 0).unwrap();
         assert_eq!(c.stats().backbinds, 1);
     }
 
     #[test]
     fn group_fetch_utilization_used_plus_wasted_equals_fetched() {
         use cffs_obs::Ctr;
-        let mut drv = driver();
-        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
-        c.read_group(&mut drv, &[(200, 16)]).unwrap();
+        let drv = driver();
+        let c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.read_group(&drv, &[(200, 16)]).unwrap();
         let obs = c.obs();
         assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 0);
         // Hit 5 of the 16: two via physical reads, three via back-binding.
         for blk in 200..202 {
-            let _ = c.read_block(&mut drv, blk).unwrap();
+            let _ = c.read_block(&drv, blk).unwrap();
         }
         for (i, blk) in (202..205).enumerate() {
-            let _ = c.read_block_bound(&mut drv, blk, 9, i as u64).unwrap();
+            let _ = c.read_block_bound(&drv, blk, 9, i as u64).unwrap();
         }
         // Re-hitting a block must not double-count.
-        let _ = c.read_block(&mut drv, 200).unwrap();
+        let _ = c.read_block(&drv, 200).unwrap();
         assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 5);
         assert_eq!(obs.get(Ctr::GroupFetchBlocksWasted), 0);
         // Fetch still unresolved: no utilization sample yet.
         assert_eq!(obs.histos().group_fetch_util_pct.snapshot().count(), 0);
         // Cold boundary resolves the remaining 11 as wasted and settles
         // the fetch: used + wasted == blocks fetched.
-        c.drop_all(&mut drv).unwrap();
+        c.drop_all(&drv).unwrap();
         assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 5);
         assert_eq!(obs.get(Ctr::GroupFetchBlocksWasted), 11);
         assert_eq!(
@@ -863,13 +1121,13 @@ mod tests {
     #[test]
     fn group_fetch_eviction_counts_untouched_blocks_as_wasted() {
         use cffs_obs::Ctr;
-        let mut drv = driver();
+        let drv = driver();
         // 8-buffer cache, 8-block fetch: reading 8 other blocks evicts
         // the whole untouched fetch.
-        let mut c = small_cache();
-        c.read_group(&mut drv, &[(100, 8)]).unwrap();
+        let c = small_cache();
+        c.read_group(&drv, &[(100, 8)]).unwrap();
         for blk in 500..508 {
-            let _ = c.read_block(&mut drv, blk).unwrap();
+            let _ = c.read_block(&drv, blk).unwrap();
         }
         let obs = c.obs();
         assert_eq!(obs.get(Ctr::GroupFetchBlocksUsed), 0);
@@ -881,10 +1139,10 @@ mod tests {
 
     #[test]
     fn logical_lookup_miss_and_unbind() {
-        let mut drv = driver();
-        let mut c = small_cache();
+        let drv = driver();
+        let c = small_cache();
         assert_eq!(c.lookup_logical(1, 0), None);
-        let _ = c.read_block_bound(&mut drv, 77, 1, 0).unwrap();
+        let _ = c.read_block_bound(&drv, 77, 1, 0).unwrap();
         assert_eq!(c.lookup_logical(1, 0), Some(77));
         c.unbind_logical(1, 0);
         assert_eq!(c.lookup_logical(1, 0), None);
@@ -894,79 +1152,130 @@ mod tests {
 
     #[test]
     fn invalidate_discards_dirty_data() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        c.modify_block(&mut drv, 33, false, false, |d| d.fill(5)).unwrap();
-        c.invalidate_block(33);
-        c.sync(&mut drv).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        c.modify_block(&drv, 33, false, false, |d| d.fill(5)).unwrap();
+        c.invalidate_block(&drv, 33);
+        c.sync(&drv).unwrap();
         assert_eq!(drv.disk_stats().writes, 0, "freed block must not be written");
     }
 
     #[test]
     fn crash_loses_unsynced_writes() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        c.modify_block(&mut drv, 11, false, false, |d| d.fill(1)).unwrap();
-        c.flush_block_sync(&mut drv, 11).unwrap();
-        c.modify_block(&mut drv, 12, false, false, |d| d.fill(2)).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        c.modify_block(&drv, 11, false, false, |d| d.fill(1)).unwrap();
+        c.flush_block_sync(&drv, 11).unwrap();
+        c.modify_block(&drv, 12, false, false, |d| d.fill(2)).unwrap();
         c.crash();
         let mut b = vec![0u8; BLOCK_SIZE];
-        drv.disk_mut().raw_read(11 * SECTORS_PER_BLOCK, &mut b);
+        drv.with_disk(|d| d.raw_read(11 * SECTORS_PER_BLOCK, &mut b));
         assert!(b.iter().all(|&x| x == 1), "synced write survives the crash");
-        drv.disk_mut().raw_read(12 * SECTORS_PER_BLOCK, &mut b);
+        drv.with_disk(|d| d.raw_read(12 * SECTORS_PER_BLOCK, &mut b));
         assert!(b.iter().all(|&x| x == 0), "delayed write is lost");
     }
 
     #[test]
     fn drop_all_flushes_then_empties() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        c.modify_block(&mut drv, 9, false, false, |d| d.fill(4)).unwrap();
-        c.drop_all(&mut drv).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        c.modify_block(&drv, 9, false, false, |d| d.fill(4)).unwrap();
+        c.drop_all(&drv).unwrap();
         assert_eq!(c.resident(), 0);
         let mut b = vec![0u8; BLOCK_SIZE];
-        drv.disk_mut().raw_read(9 * SECTORS_PER_BLOCK, &mut b);
+        drv.with_disk(|d| d.raw_read(9 * SECTORS_PER_BLOCK, &mut b));
         assert!(b.iter().all(|&x| x == 4));
     }
 
     #[test]
     fn rebind_moves_identity() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        let _ = c.read_block_bound(&mut drv, 60, 5, 0).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        let _ = c.read_block_bound(&drv, 60, 5, 0).unwrap();
         // The file's block moved (e.g. degrouping relocated it) — same
         // identity now maps to block 61.
-        let _ = c.read_block_bound(&mut drv, 61, 5, 0).unwrap();
+        let _ = c.read_block_bound(&drv, 61, 5, 0).unwrap();
         assert_eq!(c.lookup_logical(5, 0), Some(61));
     }
 
     #[test]
     fn relocate_phys_rehomes_resident_buffer() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        drv.disk_mut().raw_write(70 * SECTORS_PER_BLOCK, &[0xAB; BLOCK_SIZE]);
-        let _ = c.read_block(&mut drv, 70).unwrap();
-        assert!(c.relocate_phys(70, 71));
+        let drv = driver();
+        let c = small_cache();
+        drv.with_disk_mut(|d| d.raw_write(70 * SECTORS_PER_BLOCK, &[0xAB; BLOCK_SIZE]));
+        let _ = c.read_block(&drv, 70).unwrap();
+        assert!(c.relocate_phys(&drv, 70, 71));
         // The buffer answers under its new address, dirty, with the old
         // contents; the old address is gone from the index.
         assert!(!c.contains(70));
         assert!(c.contains(71));
-        assert_eq!(c.read_block(&mut drv, 71).unwrap()[0], 0xAB);
-        c.flush_block_sync(&mut drv, 71).unwrap();
+        assert_eq!(c.read_block(&drv, 71).unwrap()[0], 0xAB);
+        c.flush_block_sync(&drv, 71).unwrap();
         let mut out = [0u8; BLOCK_SIZE];
-        drv.disk_mut().raw_read(71 * SECTORS_PER_BLOCK, &mut out);
+        drv.with_disk(|d| d.raw_read(71 * SECTORS_PER_BLOCK, &mut out));
         assert_eq!(out[0], 0xAB);
     }
 
     #[test]
     fn relocate_phys_misses_cold_blocks() {
-        let mut drv = driver();
-        let mut c = small_cache();
-        assert!(!c.relocate_phys(80, 81));
-        let _ = c.read_block(&mut drv, 80).unwrap();
+        let drv = driver();
+        let c = small_cache();
+        assert!(!c.relocate_phys(&drv, 80, 81));
+        let _ = c.read_block(&drv, 80).unwrap();
         // Relocating onto itself is a no-op.
-        assert!(!c.relocate_phys(80, 80));
+        assert!(!c.relocate_phys(&drv, 80, 80));
         assert!(c.contains(80));
+    }
+
+    #[test]
+    fn sharded_cache_keeps_cg_blocks_in_one_shard() {
+        let drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.shard_by_cg(16, 4);
+        assert_eq!(c.nshards(), 4);
+        // Blocks 0..16 (CG 0) and 16..32 (CG 1) land in different shards;
+        // contents stay transparent either way.
+        for blk in 0..32u64 {
+            c.modify_block(&drv, blk, false, false, |d| d.fill(blk as u8)).unwrap();
+        }
+        assert_eq!(c.resident(), 32);
+        assert_eq!(c.dirty_count(), 32);
+        c.sync(&drv).unwrap();
+        assert_eq!(c.dirty_count(), 0);
+        for blk in 0..32u64 {
+            assert_eq!(c.read_block(&drv, blk).unwrap()[0], blk as u8);
+        }
+        assert_eq!(c.stats().writebacks, 32);
+    }
+
+    #[test]
+    fn sharded_relocate_crosses_shards() {
+        let drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.shard_by_cg(16, 4);
+        let _ = c.read_block_bound(&drv, 3, 9, 0).unwrap();
+        // Block 3 (CG 0, shard 0) relocates to block 20 (CG 1, shard 1).
+        assert!(c.relocate_phys(&drv, 3, 20));
+        assert!(!c.contains(3));
+        assert!(c.contains(20));
+        assert_eq!(c.lookup_logical(9, 0), Some(20), "identity follows the move");
+        assert_eq!(c.dirty_count(), 1, "re-homed buffer is dirty");
+    }
+
+    #[test]
+    fn sharded_drop_all_samples_per_shard_hit_rates() {
+        let drv = driver();
+        let mut c = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 100 });
+        c.shard_by_cg(16, 2);
+        // Shard of CG 0: one miss then three hits; shard of CG 1: one miss.
+        for _ in 0..4 {
+            let _ = c.read_block(&drv, 1).unwrap();
+        }
+        let _ = c.read_block(&drv, 17).unwrap();
+        c.drop_all(&drv).unwrap();
+        let snap = c.obs().histos().cache_shard_hit_pct.snapshot();
+        assert_eq!(snap.count(), 2, "one sample per shard that saw lookups");
+        assert_eq!(snap.sum, 75, "75% + 0%");
     }
 }
 
@@ -975,6 +1284,7 @@ mod proptests {
     use super::*;
     use cffs_disksim::{models, Disk, DriverConfig};
     use proptest::prelude::*;
+    use proptest::TestCaseError;
     use std::collections::HashMap;
 
     #[derive(Debug, Clone)]
@@ -1005,6 +1315,87 @@ mod proptests {
         ]
     }
 
+    /// Run the transparency model against a cache (sharded or not).
+    fn check_transparent(
+        cache: &BufferCache,
+        drv: &Driver,
+        ops: Vec<CacheOp>,
+    ) -> Result<(), TestCaseError> {
+        // model: block -> expected fill byte (0 = never written).
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        // writes not yet durable (to emulate Invalidate discarding them)
+        let mut dirty: HashMap<u64, u8> = HashMap::new();
+        let mut durable: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Read(b) => {
+                    let data = cache.read_block(drv, b).unwrap();
+                    let want = *model.get(&b).unwrap_or(&0);
+                    prop_assert!(
+                        data.iter().all(|&x| x == want),
+                        "block {} read {} want {}", b, data[0], want
+                    );
+                }
+                CacheOp::Write(b, v) => {
+                    cache.modify_block(drv, b, false, false, |d| d.fill(v)).unwrap();
+                    model.insert(b, v);
+                    dirty.insert(b, v);
+                }
+                CacheOp::WriteBound(b, ino, lbn, v) => {
+                    cache
+                        .modify_block_bound(drv, b, ino, lbn, false, |d| d.fill(v))
+                        .unwrap();
+                    model.insert(b, v);
+                    dirty.insert(b, v);
+                }
+                CacheOp::FlushSync(b) => {
+                    cache.flush_block_sync(drv, b).unwrap();
+                    if let Some(v) = dirty.remove(&b) {
+                        durable.insert(b, v);
+                    }
+                }
+                CacheOp::Sync => {
+                    cache.sync(drv).unwrap();
+                    durable.extend(dirty.drain());
+                }
+                CacheOp::DropAll => {
+                    cache.drop_all(drv).unwrap();
+                    durable.extend(dirty.drain());
+                }
+                CacheOp::Invalidate(b) => {
+                    cache.invalidate_block(drv, b);
+                    // Contract: dirty contents are discarded; the block
+                    // reverts to its last durable contents.
+                    dirty.remove(&b);
+                    match durable.get(&b) {
+                        Some(&v) => { model.insert(b, v); }
+                        None => { model.remove(&b); }
+                    }
+                }
+                CacheOp::GroupRead(start, n) => {
+                    cache.read_group(drv, &[(start, n as usize)]).unwrap();
+                }
+                CacheOp::PurgeIno(ino) => cache.purge_ino(ino),
+            }
+            // NOTE: eviction may write dirty blocks back at any time,
+            // which only *adds* durability; the model above tracks the
+            // weakest guarantee, so reads are still exact.
+            for (&b, &v) in dirty.iter() {
+                if !cache.contains(b) {
+                    // Evicted dirty block became durable.
+                    durable.insert(b, v);
+                }
+            }
+            dirty.retain(|&b, _| cache.contains(b));
+        }
+        // Final check: everything the model believes in reads back.
+        for (&b, &v) in &model {
+            let data = cache.read_block(drv, b).unwrap();
+            prop_assert!(data.iter().all(|&x| x == v), "final block {}", b);
+        }
+        Ok(())
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -1014,102 +1405,41 @@ mod proptests {
         /// contract, so the model drops those writes too.)
         #[test]
         fn cache_is_transparent(ops in prop::collection::vec(arb_op(), 1..120)) {
-            let mut drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
-            let mut cache = BufferCache::new(CacheConfig { nbufs: 16, flush_watermark_pct: 50 });
-            // model: block -> expected fill byte (0 = never written).
-            let mut model: HashMap<u64, u8> = HashMap::new();
-            // writes not yet durable (to emulate Invalidate discarding them)
-            let mut dirty: HashMap<u64, u8> = HashMap::new();
-            let mut durable: HashMap<u64, u8> = HashMap::new();
-            for op in ops {
-                match op {
-                    CacheOp::Read(b) => {
-                        let data = cache.read_block(&mut drv, b).unwrap();
-                        let want = *model.get(&b).unwrap_or(&0);
-                        prop_assert!(
-                            data.iter().all(|&x| x == want),
-                            "block {} read {} want {}", b, data[0], want
-                        );
-                    }
-                    CacheOp::Write(b, v) => {
-                        cache.modify_block(&mut drv, b, false, false, |d| d.fill(v)).unwrap();
-                        model.insert(b, v);
-                        dirty.insert(b, v);
-                    }
-                    CacheOp::WriteBound(b, ino, lbn, v) => {
-                        cache
-                            .modify_block_bound(&mut drv, b, ino, lbn, false, |d| d.fill(v))
-                            .unwrap();
-                        model.insert(b, v);
-                        dirty.insert(b, v);
-                    }
-                    CacheOp::FlushSync(b) => {
-                        cache.flush_block_sync(&mut drv, b).unwrap();
-                        if let Some(v) = dirty.remove(&b) {
-                            durable.insert(b, v);
-                        }
-                    }
-                    CacheOp::Sync => {
-                        cache.sync(&mut drv).unwrap();
-                        durable.extend(dirty.drain());
-                    }
-                    CacheOp::DropAll => {
-                        cache.drop_all(&mut drv).unwrap();
-                        durable.extend(dirty.drain());
-                    }
-                    CacheOp::Invalidate(b) => {
-                        cache.invalidate_block(b);
-                        // Contract: dirty contents are discarded; the block
-                        // reverts to its last durable contents.
-                        dirty.remove(&b);
-                        match durable.get(&b) {
-                            Some(&v) => { model.insert(b, v); }
-                            None => { model.remove(&b); }
-                        }
-                    }
-                    CacheOp::GroupRead(start, n) => {
-                        cache.read_group(&mut drv, &[(start, n as usize)]).unwrap();
-                    }
-                    CacheOp::PurgeIno(ino) => cache.purge_ino(ino),
-                }
-                // NOTE: eviction may write dirty blocks back at any time,
-                // which only *adds* durability; the model above tracks the
-                // weakest guarantee, so reads are still exact.
-                for (&b, &v) in dirty.iter() {
-                    if !cache.contains(b) {
-                        // Evicted dirty block became durable.
-                        durable.insert(b, v);
-                    }
-                }
-                dirty.retain(|&b, _| cache.contains(b));
-            }
-            // Final check: everything the model believes in reads back.
-            for (&b, &v) in &model {
-                let data = cache.read_block(&mut drv, b).unwrap();
-                prop_assert!(data.iter().all(|&x| x == v), "final block {}", b);
-            }
+            let drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
+            let cache = BufferCache::new(CacheConfig { nbufs: 16, flush_watermark_pct: 50 });
+            check_transparent(&cache, &drv, ops)?;
+        }
+
+        /// Same transparency contract with the cache split into four
+        /// CG-keyed shards (the multi-threaded mount configuration).
+        #[test]
+        fn sharded_cache_is_transparent(ops in prop::collection::vec(arb_op(), 1..120)) {
+            let drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
+            let mut cache = BufferCache::new(CacheConfig { nbufs: 64, flush_watermark_pct: 50 });
+            cache.shard_by_cg(16, 4);
+            check_transparent(&cache, &drv, ops)?;
         }
 
         /// The logical index never lies: a hit always names a resident
         /// buffer whose physical number round-trips.
         #[test]
         fn dual_index_consistent(ops in prop::collection::vec(arb_op(), 1..100)) {
-            let mut drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
-            let mut cache = BufferCache::new(CacheConfig { nbufs: 12, flush_watermark_pct: 100 });
+            let drv = Driver::new(Disk::new(models::tiny_test_disk()), DriverConfig::default());
+            let cache = BufferCache::new(CacheConfig { nbufs: 12, flush_watermark_pct: 100 });
             let mut bound: HashMap<(u64, u64), u64> = HashMap::new();
             for op in ops {
                 match op {
                     CacheOp::WriteBound(b, ino, lbn, v) => {
                         cache
-                            .modify_block_bound(&mut drv, b, ino, lbn, false, |d| d.fill(v))
+                            .modify_block_bound(&drv, b, ino, lbn, false, |d| d.fill(v))
                             .unwrap();
                         bound.insert((ino, lbn), b);
                     }
                     CacheOp::Read(b) => {
-                        let _ = cache.read_block(&mut drv, b).unwrap();
+                        let _ = cache.read_block(&drv, b).unwrap();
                     }
                     CacheOp::Invalidate(b) => {
-                        cache.invalidate_block(b);
+                        cache.invalidate_block(&drv, b);
                         bound.retain(|_, &mut blk| blk != b);
                     }
                     CacheOp::PurgeIno(ino) => {

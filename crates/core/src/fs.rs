@@ -53,7 +53,8 @@ use cffs_fslib::{
 };
 use cffs_obs::{Ctr, Obs, OpKind, SpanGuard};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration of a C-FFS mount.
 #[derive(Debug, Clone)]
@@ -160,38 +161,100 @@ pub struct CgUsage {
     pub used_blocks: u32,
 }
 
-/// A mounted C-FFS.
+/// Number of operation stripes: public entry points serialize per-inode
+/// on a hashed stripe, so operations on distinct files interleave while
+/// two racing mutations of one directory stay ordered.
+const OP_STRIPES: usize = 64;
+
+/// External-inode-file state: the only superblock fields that change
+/// after mkfs, so they live behind their own lock while the geometry
+/// stays immutable.
 #[derive(Debug)]
+struct ExMeta {
+    exfile: Inode,
+    exfile_slots: u32,
+    expool: SlotPool,
+}
+
+/// One cylinder group's in-core header plus its dirty flag — the
+/// allocation shard. Each CG locks independently, so allocators working
+/// in different groups never contend.
+#[derive(Debug)]
+struct CgSlot {
+    hdr: CgHeader,
+    dirty: bool,
+}
+
+/// Namespace knowledge, leaf-locked (nothing else is acquired while it
+/// is held): child inode -> naming directory, and last logical block
+/// read per inode for sequential-read detection.
+#[derive(Debug)]
+struct NsState {
+    parent_of: HashMap<Ino, Ino>,
+    last_read: HashMap<Ino, u64>,
+}
+
+/// A mounted C-FFS.
+///
+/// ## Concurrency model
+///
+/// `Cffs` is `Send + Sync`: every operation takes `&self` and state is
+/// sharded behind interior mutability. The lock hierarchy (acquire
+/// strictly downward, see DESIGN.md §10):
+///
+/// 1. op stripes (per-inode hash, ascending when two are needed)
+/// 2. `meta` (external inode file)
+/// 3. `groups` (group index)
+/// 4. `cg_state[i]` (per-CG header + bitmap; persist callbacks from
+///    `groups` lock these, never the reverse)
+/// 5. buffer-cache shards, then the driver queue
+///
+/// `ns` is leaf-scoped: taken and released with no other lock acquired
+/// inside. Contention on any of these surfaces in the
+/// `lock_wait_ns_*` counters.
 pub struct Cffs {
     drv: Driver,
     cache: BufferCache,
-    sb: Superblock,
-    cgs: Vec<CgHeader>,
-    cg_dirty: Vec<bool>,
-    groups: GroupIndex,
-    expool: SlotPool,
-    /// Namespace knowledge: child inode -> directory that names it. A pure
-    /// cache of what the kernel learns during lookups; rebuilt lazily after
-    /// remount.
-    parent_of: HashMap<Ino, Ino>,
+    obs: Arc<Obs>,
+    /// Immutable geometry snapshot. Its `exfile`/`exfile_slots` fields
+    /// are stale after mount; the live copies are in `meta` and merged
+    /// back by [`Cffs::superblock`] and `sync`.
+    geo: Superblock,
+    meta: Mutex<ExMeta>,
+    cg_state: Vec<Mutex<CgSlot>>,
+    groups: Mutex<GroupIndex>,
+    ns: Mutex<NsState>,
     /// Rotor for spreading new directories across cylinder groups (the
-    /// FFS policy; C-FFS keeps it, per the paper's "what is not different"
-    /// discussion of allocation).
-    dir_rotor: u32,
-    /// Last logical block read per inode, for sequential-read detection
-    /// (prefetching extension).
-    last_read: HashMap<Ino, u64>,
-    /// Per-mount generation counter for freshly embedded inodes (wraps in
-    /// 1..=0x7FFF; 15 bits travel in the inode number as a stale-handle
-    /// guard).
-    gen_counter: u16,
+    /// FFS policy; C-FFS keeps it, per the paper's "what is not
+    /// different" discussion of allocation).
+    dir_rotor: AtomicU32,
+    /// Per-mount generation counter for freshly embedded inodes (wraps
+    /// in 1..=0x7FFF; 15 bits travel in the inode number as a
+    /// stale-handle guard).
+    gen_counter: AtomicU32,
+    op_stripes: Vec<Mutex<()>>,
     cfg: CffsConfig,
 }
+
+impl std::fmt::Debug for Cffs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cffs")
+            .field("label", &self.cfg.label)
+            .field("cg_count", &self.geo.cg_count)
+            .finish_non_exhaustive()
+    }
+}
+
+// The whole point: one mount, many worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Cffs>();
+};
 
 impl Cffs {
     /// Mount an existing C-FFS from `disk`.
     pub fn mount(disk: Disk, cfg: CffsConfig) -> FsResult<Cffs> {
-        let mut drv = Driver::new(disk, DriverConfig { scheduler: cfg.scheduler });
+        let drv = Driver::new(disk, DriverConfig { scheduler: cfg.scheduler });
         let mut buf = vec![0u8; BLOCK_SIZE];
         drv.read(SB_BLOCK * cffs_fslib::SECTORS_PER_BLOCK, &mut buf);
         let sb = Superblock::read_from(&buf)?;
@@ -203,35 +266,90 @@ impl Cffs {
         let groups = GroupIndex::build(&sb, &cgs);
         // One Obs handle for the whole stack: the disk owns it, the
         // driver delegates to it, and the cache is rebound onto it here.
+        let obs = drv.obs();
         let mut cache = BufferCache::new(cfg.cache);
-        cache.set_obs(drv.obs());
-        let mut fs = Cffs {
+        cache.set_obs(obs.clone());
+        // Shard the cache on the cylinder-group stride so threads working
+        // in disjoint CGs take disjoint shard locks.
+        cache.shard_by_cg(sb.cg_size as u64, (sb.cg_count as usize).min(16));
+        let meta = ExMeta {
+            exfile: sb.exfile.clone(),
+            exfile_slots: sb.exfile_slots,
+            expool: SlotPool::new(0, []),
+        };
+        let cg_state = cgs
+            .into_iter()
+            .map(|hdr| Mutex::new(CgSlot { hdr, dirty: false }))
+            .collect();
+        let fs = Cffs {
             drv,
             cache,
-            sb,
-            cg_dirty: vec![false; cgs.len()],
-            cgs,
-            groups,
-            expool: SlotPool::new(0, []),
-            parent_of: HashMap::new(),
-            dir_rotor: 0,
-            last_read: HashMap::new(),
-            gen_counter: 0,
+            obs,
+            geo: sb,
+            meta: Mutex::new(meta),
+            cg_state,
+            groups: Mutex::new(groups),
+            ns: Mutex::new(NsState { parent_of: HashMap::new(), last_read: HashMap::new() }),
+            dir_rotor: AtomicU32::new(0),
+            gen_counter: AtomicU32::new(0),
+            op_stripes: (0..OP_STRIPES).map(|_| Mutex::new(())).collect(),
             cfg,
         };
         fs.scan_exfile()?;
         Ok(fs)
     }
 
+    // ----- locking ------------------------------------------------------
+
+    /// The operation stripe an inode hashes to.
+    fn stripe(ino: Ino) -> usize {
+        ((ino ^ (ino >> 17)).wrapping_mul(0x9E37_79B9) % OP_STRIPES as u64) as usize
+    }
+
+    /// Serialize with other operations on the same inode. Contention is
+    /// charged to `lock_wait_ns_alloc` (the FS-core bucket).
+    fn op_lock(&self, ino: Ino) -> MutexGuard<'_, ()> {
+        self.obs.lock_timed(&self.op_stripes[Self::stripe(ino)], Ctr::LockWaitNsAlloc)
+    }
+
+    /// Acquire the stripes of two inodes in ascending order (one guard
+    /// when they collide) — the deadlock-free shape for `rename`/`link`.
+    fn op_lock2(&self, a: Ino, b: Ino) -> (MutexGuard<'_, ()>, Option<MutexGuard<'_, ()>>) {
+        let (sa, sb) = (Self::stripe(a), Self::stripe(b));
+        if sa == sb {
+            return (self.op_lock(a), None);
+        }
+        let (lo, hi) = if sa < sb { (sa, sb) } else { (sb, sa) };
+        let g1 = self.obs.lock_timed(&self.op_stripes[lo], Ctr::LockWaitNsAlloc);
+        let g2 = self.obs.lock_timed(&self.op_stripes[hi], Ctr::LockWaitNsAlloc);
+        (g1, Some(g2))
+    }
+
+    fn lock_meta(&self) -> MutexGuard<'_, ExMeta> {
+        self.obs.lock_timed(&self.meta, Ctr::LockWaitNsAlloc)
+    }
+
+    fn lock_cg(&self, cg: u32) -> MutexGuard<'_, CgSlot> {
+        self.obs.lock_timed(&self.cg_state[cg as usize], Ctr::LockWaitNsAlloc)
+    }
+
+    fn lock_groups(&self) -> MutexGuard<'_, GroupIndex> {
+        self.obs.lock_timed(&self.groups, Ctr::LockWaitNsAlloc)
+    }
+
+    fn lock_ns(&self) -> MutexGuard<'_, NsState> {
+        self.obs.lock_timed(&self.ns, Ctr::LockWaitNsAlloc)
+    }
+
     /// Sync everything and hand the disk back.
-    pub fn unmount(mut self) -> FsResult<Disk> {
+    pub fn unmount(self) -> FsResult<Disk> {
         self.sync()?;
         Ok(self.drv.into_disk())
     }
 
     /// Snapshot the disk as a crash would leave it (dirty cache excluded).
     pub fn crash_image(&self) -> Disk {
-        self.drv.disk().clone_image()
+        self.drv.with_disk(|d| d.clone_image())
     }
 
     /// Snapshot the disk as a crash *during its most recent write* would
@@ -239,17 +357,24 @@ impl Cffs {
     /// landed. `None` if nothing was ever written. Sector atomicity is
     /// preserved — the guarantee embedded inodes are built on.
     pub fn crash_image_torn(&self, keep_sectors: usize) -> Option<Disk> {
-        self.drv.disk().clone_image_torn(keep_sectors)
+        self.drv.with_disk(|d| d.clone_image_torn(keep_sectors))
     }
 
-    /// The mounted superblock.
-    pub fn superblock(&self) -> &Superblock {
-        &self.sb
+    /// A point-in-time snapshot of the mounted superblock: the immutable
+    /// geometry merged with the current external-inode-file state.
+    pub fn superblock(&self) -> Superblock {
+        let mut sb = self.geo.clone();
+        let m = self.lock_meta();
+        sb.exfile = m.exfile.clone();
+        sb.exfile_slots = m.exfile_slots;
+        sb
     }
 
-    /// The in-core group index (benchmarks, tests).
-    pub fn group_index(&self) -> &GroupIndex {
-        &self.groups
+    /// The in-core group index (benchmarks, tests). Holds the group lock
+    /// for the guard's lifetime — keep it short and take no FS locks
+    /// above it (see the hierarchy on [`Cffs`]).
+    pub fn group_index(&self) -> MutexGuard<'_, GroupIndex> {
+        self.lock_groups()
     }
 
     /// The active configuration.
@@ -260,25 +385,25 @@ impl Cffs {
     /// The stack-wide observability handle (counters + event trace) shared
     /// by the disk, driver, cache, and this file-system layer.
     pub fn obs(&self) -> Arc<Obs> {
-        self.drv.obs()
+        self.obs.clone()
     }
 
     /// The physical block currently cached for `(ino, lbn)`, if resident —
     /// a layout probe for tests and tooling (a preceding `read` at that
     /// offset binds the identity).
-    pub fn cache_block_of(&mut self, ino: Ino, lbn: u64) -> Option<u64> {
+    pub fn cache_block_of(&self, ino: Ino, lbn: u64) -> Option<u64> {
         self.cache.lookup_logical(ino, lbn)
     }
 
     /// Enable/disable per-request disk trace recording (access-pattern
     /// analysis; off by default).
-    pub fn set_disk_trace(&mut self, on: bool) {
-        self.drv.disk_mut().set_trace(on);
+    pub fn set_disk_trace(&self, on: bool) {
+        self.drv.with_disk_mut(|d| d.set_trace(on));
     }
 
     /// The recorded disk trace (empty when recording is off).
-    pub fn disk_trace(&self) -> &[cffs_disksim::TraceEntry] {
-        self.drv.disk().trace()
+    pub fn disk_trace(&self) -> Vec<cffs_disksim::TraceEntry> {
+        self.drv.with_disk(|d| d.trace().to_vec())
     }
 
     /// Application-directed grouping across directories — the richer form
@@ -287,7 +412,8 @@ impl Cffs {
     /// [Kaashoek96]): relocate the blocks of each small file in `files`
     /// into group extents anchored at `anchor_dir`, so one group fetch
     /// serves the whole document.
-    pub fn group_files(&mut self, anchor_dir: Ino, files: &[Ino]) -> FsResult<()> {
+    pub fn group_files(&self, anchor_dir: Ino, files: &[Ino]) -> FsResult<()> {
+        let _op = self.op_lock(anchor_dir);
         let _span = self.op_span(OpKind::GroupFiles);
         if !self.cfg.group {
             return Ok(());
@@ -310,19 +436,22 @@ impl Cffs {
     /// Per-cylinder-group occupancy snapshot: the regrouper's and
     /// heatmap's view of how full each CG's data area is.
     pub fn cg_usage(&self) -> Vec<CgUsage> {
-        self.cgs
-            .iter()
-            .map(|hdr| CgUsage {
-                cg: hdr.cg,
-                data_blocks: hdr.block_bitmap.len() as u32,
-                used_blocks: hdr.block_bitmap.used() as u32,
+        (0..self.geo.cg_count)
+            .map(|cg| {
+                let s = self.lock_cg(cg);
+                CgUsage {
+                    cg: s.hdr.cg,
+                    data_blocks: s.hdr.block_bitmap.len() as u32,
+                    used_blocks: s.hdr.block_bitmap.used() as u32,
+                }
             })
             .collect()
     }
 
     /// The mapped `(lbn, physical block)` pairs of a file — the planner's
     /// input for relocation decisions. Holes are skipped.
-    pub fn file_block_map(&mut self, ino: Ino) -> FsResult<Vec<(u64, u64)>> {
+    pub fn file_block_map(&self, ino: Ino) -> FsResult<Vec<(u64, u64)>> {
+        let _op = self.op_lock(ino);
         let mut inode = self.read_inode(ino)?;
         let nblocks = inode.size.div_ceil(BLOCK_SIZE as u64);
         let mut out = Vec::with_capacity(nblocks as usize);
@@ -347,23 +476,23 @@ impl Cffs {
     /// relocated in; an extent left empty is reclaimed under space
     /// pressure (and dissolved by fsck after a crash). Returns the group
     /// key, or `None` when grouping is off or no contiguous run exists.
-    pub fn carve_group_for(&mut self, dir: Ino) -> FsResult<Option<(u32, u32)>> {
+    pub fn carve_group_for(&self, dir: Ino) -> FsResult<Option<(u32, u32)>> {
         if !self.cfg.group {
             return Ok(None);
         }
         let dnode = self.require_dir(dir)?;
         let near = self.dir_home(dir, &dnode);
         self.charge(self.cpu_model().alloc_op);
-        let sb = self.sb.clone();
-        let n = self.cgs.len() as u32;
+        let n = self.geo.cg_count;
         let near = near.min(n - 1);
         let nslots = self.cfg.group_blocks;
         for d in 0..n {
-            let cg = ((near + d) % n) as usize;
-            let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
-            if let Some(key) = groups.carve_empty(&sb, &mut cgs[cg], dir, nslots)? {
-                dirty[cg] = true;
-                self.obs().bump(Ctr::RegroupGroupsFormed);
+            let cg = (near + d) % n;
+            let mut groups = self.lock_groups();
+            let mut s = self.lock_cg(cg);
+            if let Some(key) = groups.carve_empty(&self.geo, &mut s.hdr, dir, nslots)? {
+                s.dirty = true;
+                self.obs.bump(Ctr::RegroupGroupsFormed);
                 return Ok(Some(key));
             }
         }
@@ -372,16 +501,15 @@ impl Cffs {
 
     /// Claim the next free member slot of group `key` (lowest slot first,
     /// so consecutive claims produce a physically contiguous run).
-    pub fn group_claim_slot(&mut self, key: (u32, u32)) -> Option<u64> {
-        let sb = self.sb.clone();
-        let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
-        groups.alloc_slot_in(
+    pub fn group_claim_slot(&self, key: (u32, u32)) -> Option<u64> {
+        self.lock_groups().alloc_slot_in(
             key,
             |c, i, d, _| {
-                cgs[c as usize].groups[i as usize] = Some(*d);
-                dirty[c as usize] = true;
+                let mut s = self.lock_cg(c);
+                s.hdr.groups[i as usize] = Some(*d);
+                s.dirty = true;
             },
-            &sb,
+            &self.geo,
         )
     }
 
@@ -396,7 +524,12 @@ impl Cffs {
     /// copied through the cache.
     ///
     /// [`BufferCache::relocate_phys`]: cffs_cache::BufferCache::relocate_phys
-    pub fn relocate_copy_forward(&mut self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
+    pub fn relocate_copy_forward(&self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
+        let _op = self.op_lock(ino);
+        self.relocate_copy_forward_inner(ino, lbn, to)
+    }
+
+    fn relocate_copy_forward_inner(&self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
         let mut inode = self.read_inode(ino)?;
         let from = self
             .bmap(ino, &mut inode, lbn, None)?
@@ -404,14 +537,14 @@ impl Cffs {
         if from == to {
             return Ok(());
         }
-        if !self.cache.relocate_phys(from, to) {
-            let contents = self.fetch_block(from, ino, lbn)?.to_vec();
-            self.cache.modify_block(&mut self.drv, to, false, false, |d| {
+        if !self.cache.relocate_phys(&self.drv, from, to) {
+            let contents = self.fetch_block(from, ino, lbn)?;
+            self.cache.modify_block(&self.drv, to, false, false, |d| {
                 d.copy_from_slice(&contents)
             })?;
             self.charge(self.cpu_model().copy_cost(BLOCK_SIZE));
         }
-        self.cache.flush_block_sync(&mut self.drv, to)
+        self.cache.flush_block_sync(&self.drv, to)
     }
 
     /// Step 2 of the protocol: **pointer rewrite, then free**. The block
@@ -423,7 +556,12 @@ impl Cffs {
     /// the new pointer with the copied contents already durable from step
     /// 1 — fsck-clean and byte-identical either way. Callers must run
     /// step 1 first and commit immediately after.
-    pub fn relocate_commit(&mut self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
+    pub fn relocate_commit(&self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
+        let _op = self.op_lock(ino);
+        self.relocate_commit_inner(ino, lbn, to)
+    }
+
+    fn relocate_commit_inner(&self, ino: Ino, lbn: u64, to: u64) -> FsResult<()> {
         let mut inode = self.read_inode(ino)?;
         let from = self
             .bmap(ino, &mut inode, lbn, None)?
@@ -436,8 +574,8 @@ impl Cffs {
         self.flush_map_location(&inode, ino, lbn)?;
         self.cache.unbind_logical(ino, lbn);
         self.free_block_any(from);
-        self.cache.bind_logical(to, ino, lbn);
-        self.obs().bump(Ctr::RegroupBlocksMoved);
+        self.cache.bind_logical(&self.drv, to, ino, lbn);
+        self.obs.bump(Ctr::RegroupBlocksMoved);
         Ok(())
     }
 
@@ -446,16 +584,18 @@ impl Cffs {
     /// the block is unmapped, already inside the target extent, or the
     /// group is full.
     pub fn relocate_block_into(
-        &mut self,
+        &self,
         ino: Ino,
         lbn: u64,
         group: (u32, u32),
     ) -> FsResult<Option<u64>> {
+        let _op = self.op_lock(ino);
         let mut inode = self.read_inode(ino)?;
         let Some(from) = self.bmap(ino, &mut inode, lbn, None)? else {
             return Ok(None);
         };
-        if let Some(g) = self.groups.get(group.0, group.1) {
+        let g = self.lock_groups().get(group.0, group.1).copied();
+        if let Some(g) = g {
             if from >= g.start && from < g.start + g.nslots as u64 {
                 return Ok(None);
             }
@@ -463,40 +603,40 @@ impl Cffs {
         let Some(to) = self.group_claim_slot(group) else {
             return Ok(None);
         };
-        self.relocate_copy_forward(ino, lbn, to)?;
-        self.relocate_commit(ino, lbn, to)?;
+        self.relocate_copy_forward_inner(ino, lbn, to)?;
+        self.relocate_commit_inner(ino, lbn, to)?;
         Ok(Some(to))
     }
 
     /// Force the on-disk location of `lbn`'s block pointer durable,
     /// whatever the metadata mode: the inode's sector/block for direct
     /// pointers, the (already dirty) indirect block otherwise.
-    fn flush_map_location(&mut self, inode: &Inode, ino: Ino, lbn: u64) -> FsResult<()> {
+    fn flush_map_location(&self, inode: &Inode, ino: Ino, lbn: u64) -> FsResult<()> {
         if (lbn as usize) < NDIRECT {
             return match decode_ino(ino) {
                 InoRef::External(slot) => {
                     let (blk, _) = self.exfile_locate(slot)?;
-                    self.cache.flush_block_sync(&mut self.drv, blk)
+                    self.cache.flush_block_sync(&self.drv, blk)
                 }
                 InoRef::Embedded { blk, off, .. } => {
-                    self.cache.flush_sector_sync(&mut self.drv, blk, off)
+                    self.cache.flush_sector_sync(&self.drv, blk, off)
                 }
             };
         }
         let l1 = lbn as usize - NDIRECT;
         if l1 < PTRS_PER_BLOCK {
-            return self.cache.flush_block_sync(&mut self.drv, inode.indirect as u64);
+            return self.cache.flush_block_sync(&self.drv, inode.indirect as u64);
         }
         let l2 = l1 - PTRS_PER_BLOCK;
         let dind = inode.dindirect as u64;
         let mid = {
-            let data = self.cache.read_block(&mut self.drv, dind)?;
-            cffs_fslib::codec::get_u32(data, (l2 / PTRS_PER_BLOCK) * 4)
+            let data = self.cache.read_block(&self.drv, dind)?;
+            cffs_fslib::codec::get_u32(&data, (l2 / PTRS_PER_BLOCK) * 4)
         };
-        self.cache.flush_block_sync(&mut self.drv, mid as u64)
+        self.cache.flush_block_sync(&self.drv, mid as u64)
     }
 
-    fn charge(&mut self, d: SimDuration) {
+    fn charge(&self, d: SimDuration) {
         self.drv.advance(d);
     }
 
@@ -509,80 +649,89 @@ impl Cffs {
     }
 
     /// Next generation stamp for a freshly embedded inode.
-    fn next_gen(&mut self) -> u16 {
-        self.gen_counter = (self.gen_counter % 0x7FFF) + 1;
-        self.gen_counter
+    fn next_gen(&self) -> u16 {
+        let prev = self
+            .gen_counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |g| Some((g % 0x7FFF) + 1))
+            .expect("fetch_update closure always returns Some");
+        ((prev % 0x7FFF) + 1) as u16
     }
 
     /// Rebuild the external-inode free pool by scanning the file.
-    fn scan_exfile(&mut self) -> FsResult<()> {
-        let slots = self.sb.exfile_slots;
+    fn scan_exfile(&self) -> FsResult<()> {
+        let slots = self.lock_meta().exfile_slots;
         let mut free = Vec::new();
         for slot in 0..slots {
             let (blk, off) = self.exfile_locate(slot)?;
-            let data = self.cache.read_block(&mut self.drv, blk)?;
-            if Inode::read_from(data, off).is_none() {
+            let data = self.cache.read_block(&self.drv, blk)?;
+            if Inode::read_from(&data, off).is_none() {
                 free.push(slot);
             }
         }
-        self.expool = SlotPool::new(slots, free);
+        self.lock_meta().expool = SlotPool::new(slots, free);
         Ok(())
     }
 
     /// Physical location of external slot `slot`.
-    fn exfile_locate(&mut self, slot: u32) -> FsResult<(u64, usize)> {
-        if slot >= self.sb.exfile_slots {
-            return Err(FsError::StaleHandle);
-        }
+    fn exfile_locate(&self, slot: u32) -> FsResult<(u64, usize)> {
+        let mut exinode = {
+            let m = self.lock_meta();
+            if slot >= m.exfile_slots {
+                return Err(FsError::StaleHandle);
+            }
+            m.exfile.clone()
+        };
         let lbn = exfile::slot_lbn(slot);
-        let mut exinode = self.sb.exfile.clone();
         let blk = self
             .bmap(INO_ROOT, &mut exinode, lbn, None)?
             .ok_or_else(|| FsError::Corrupt("hole in external inode file".into()))?;
         Ok((blk, exfile::slot_off(slot)))
     }
 
-    /// Allocate an external inode slot, growing the file if needed.
-    fn alloc_external_slot(&mut self) -> FsResult<u32> {
+    /// Allocate an external inode slot, growing the file if needed. The
+    /// meta lock is held across the growth so two racing allocators
+    /// cannot both extend the file.
+    fn alloc_external_slot(&self) -> FsResult<u32> {
         self.charge(self.cpu_model().alloc_op);
-        if let Some(s) = self.expool.take() {
+        let mut m = self.lock_meta();
+        if let Some(s) = m.expool.take() {
             return Ok(s);
         }
         // Grow by one block. The external file's blocks never participate
         // in grouping and never move.
-        let mut exinode = self.sb.exfile.clone();
+        let mut exinode = m.exfile.clone();
         let lbn = exinode.size / BLOCK_SIZE as u64;
         let blk = self
             .bmap(INO_ROOT, &mut exinode, lbn, Some(AllocCtx::Plain { near: 0 }))?
             .ok_or(FsError::NoSpace)?;
-        self.cache.modify_block(&mut self.drv, blk, true, false, |d| d.fill(0))?;
+        self.cache.modify_block(&self.drv, blk, true, false, |d| d.fill(0))?;
         exinode.size += BLOCK_SIZE as u64;
-        self.sb.exfile = exinode;
-        let range = self.expool.grow();
-        self.sb.exfile_slots = range.end;
-        Ok(self.expool.take().expect("just grew"))
+        m.exfile = exinode;
+        let range = m.expool.grow();
+        m.exfile_slots = range.end;
+        Ok(m.expool.take().expect("just grew"))
     }
 
     // ----- inode access -------------------------------------------------
 
-    fn read_inode(&mut self, ino: Ino) -> FsResult<Inode> {
+    fn read_inode(&self, ino: Ino) -> FsResult<Inode> {
         self.charge(self.cpu_model().block_op);
         match decode_ino(ino) {
             InoRef::External(slot) => {
                 self.obs().bump(Ctr::FsExternalInodeOps);
                 let (blk, off) = self.exfile_locate(slot)?;
-                let data = self.cache.read_block(&mut self.drv, blk)?;
-                Inode::read_from(data, off).ok_or(FsError::StaleHandle)
+                let data = self.cache.read_block(&self.drv, blk)?;
+                Inode::read_from(&data, off).ok_or(FsError::StaleHandle)
             }
             InoRef::Embedded { blk, off, gen } => {
                 self.obs().bump(Ctr::FsEmbeddedInodeOps);
                 self.fetch_group_for(blk)?;
-                let data = self.cache.read_block(&mut self.drv, blk)?;
-                let entry = dirent::entry_at(data, off)?;
+                let data = self.cache.read_block(&self.drv, blk)?;
+                let entry = dirent::entry_at(&data, off)?;
                 let EntryLoc::Embedded(img) = entry.loc else {
                     return Err(FsError::StaleHandle);
                 };
-                let inode = Inode::read_from(data, img).ok_or(FsError::StaleHandle)?;
+                let inode = Inode::read_from(&data, img).ok_or(FsError::StaleHandle)?;
                 // Generation guard: a recycled entry location cannot
                 // satisfy a stale handle.
                 if (inode.generation & GEN_MASK as u32) as u16 != gen {
@@ -596,7 +745,7 @@ impl Cffs {
     /// Write an inode image back. `durable` applies the synchronous policy:
     /// a single *sector* write for embedded inodes, a block write for
     /// external ones.
-    fn write_inode(&mut self, ino: Ino, inode: &Inode, durable: bool) -> FsResult<()> {
+    fn write_inode(&self, ino: Ino, inode: &Inode, durable: bool) -> FsResult<()> {
         self.charge(self.cpu_model().block_op);
         let sync = durable && self.cfg.metadata_mode == MetadataMode::Synchronous;
         if durable {
@@ -611,16 +760,16 @@ impl Cffs {
                 self.obs().bump(Ctr::FsExternalInodeOps);
                 let (blk, off) = self.exfile_locate(slot)?;
                 self.cache
-                    .modify_block(&mut self.drv, blk, true, true, |d| inode.write_to(d, off))?;
+                    .modify_block(&self.drv, blk, true, true, |d| inode.write_to(d, off))?;
                 if sync {
-                    self.cache.flush_block_sync(&mut self.drv, blk)?;
+                    self.cache.flush_block_sync(&self.drv, blk)?;
                 }
             }
             InoRef::Embedded { blk, off, gen } => {
                 self.obs().bump(Ctr::FsEmbeddedInodeOps);
                 let img = {
-                    let data = self.cache.read_block(&mut self.drv, blk)?;
-                    let entry = dirent::entry_at(data, off)?;
+                    let data = self.cache.read_block(&self.drv, blk)?;
+                    let entry = dirent::entry_at(&data, off)?;
                     if entry.gen != gen {
                         return Err(FsError::StaleHandle);
                     }
@@ -630,9 +779,9 @@ impl Cffs {
                     }
                 };
                 self.cache
-                    .modify_block(&mut self.drv, blk, true, true, |d| inode.write_to(d, img))?;
+                    .modify_block(&self.drv, blk, true, true, |d| inode.write_to(d, img))?;
                 if sync {
-                    self.cache.flush_sector_sync(&mut self.drv, blk, off)?;
+                    self.cache.flush_sector_sync(&self.drv, blk, off)?;
                 }
             }
         }
@@ -640,47 +789,44 @@ impl Cffs {
     }
 
     /// Clear an external inode slot and return it to the pool.
-    fn free_external_slot(&mut self, slot: u32, durable: bool) -> FsResult<()> {
+    fn free_external_slot(&self, slot: u32, durable: bool) -> FsResult<()> {
         let (blk, off) = self.exfile_locate(slot)?;
         self.cache
-            .modify_block(&mut self.drv, blk, true, true, |d| Inode::clear_slot(d, off))?;
+            .modify_block(&self.drv, blk, true, true, |d| Inode::clear_slot(d, off))?;
         if durable && self.cfg.metadata_mode == MetadataMode::Synchronous {
-            self.cache.flush_block_sync(&mut self.drv, blk)?;
+            self.cache.flush_block_sync(&self.drv, blk)?;
         }
-        self.expool.put(slot);
+        self.lock_meta().expool.put(slot);
         Ok(())
     }
 
     // ----- block allocation -----------------------------------------------
 
-    fn mark_cg_dirty(&mut self, cg: u32) {
-        self.cg_dirty[cg as usize] = true;
-    }
-
     /// Plain (ungrouped) allocation: probe cylinder groups from `near`,
     /// honoring a previous-block hint; reclaim group slack as a last
-    /// resort.
-    fn alloc_plain(&mut self, near: u32, hint: Option<u64>) -> FsResult<u64> {
+    /// resort. Each CG is locked only while probed, so allocators with
+    /// different homes proceed in parallel.
+    fn alloc_plain(&self, near: u32, hint: Option<u64>) -> FsResult<u64> {
         self.charge(self.cpu_model().alloc_op);
         for pass in 0..2 {
-            let n = self.cgs.len() as u32;
+            let n = self.geo.cg_count;
             let near = near.min(n - 1);
             for d in 0..n {
                 let cg = (near + d) % n;
-                let hdr = &mut self.cgs[cg as usize];
-                if hdr.block_bitmap.free() == 0 {
+                let mut s = self.lock_cg(cg);
+                if s.hdr.block_bitmap.free() == 0 {
                     continue;
                 }
-                let data_start = self.sb.cg_data_start(cg);
+                let data_start = self.geo.cg_data_start(cg);
                 let hint_idx = match hint {
-                    Some(h) if self.sb.block_cg(h) == Some(cg) && h + 1 >= data_start => {
-                        ((h + 1 - data_start) as usize) % hdr.block_bitmap.len()
+                    Some(h) if self.geo.block_cg(h) == Some(cg) && h + 1 >= data_start => {
+                        ((h + 1 - data_start) as usize) % s.hdr.block_bitmap.len()
                     }
                     _ => 0,
                 };
-                if let Some(idx) = hdr.block_bitmap.find_free(hint_idx) {
-                    hdr.block_bitmap.set(idx);
-                    self.cg_dirty[cg as usize] = true;
+                if let Some(idx) = s.hdr.block_bitmap.find_free(hint_idx) {
+                    s.hdr.block_bitmap.set(idx);
+                    s.dirty = true;
                     return Ok(data_start + idx as u64);
                 }
             }
@@ -694,22 +840,22 @@ impl Cffs {
 
     /// Trim trailing unused group slots everywhere, returning their blocks
     /// to the free pool.
-    fn reclaim_slack(&mut self) {
-        let sb = self.sb.clone();
-        for cg in 0..self.cgs.len() as u32 {
-            let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
-            let released = groups.trim_slack(&sb, cg, |c, i, d| {
-                cgs[c as usize].groups[i as usize] = d.copied();
-                dirty[c as usize] = true;
+    fn reclaim_slack(&self) {
+        for cg in 0..self.geo.cg_count {
+            let released = self.lock_groups().trim_slack(&self.geo, cg, |c, i, d| {
+                let mut s = self.lock_cg(c);
+                s.hdr.groups[i as usize] = d.copied();
+                s.dirty = true;
             });
             for (start, len) in released {
-                let data_start = sb.cg_data_start(cg);
-                self.cgs[cg as usize]
-                    .block_bitmap
-                    .clear_run((start - data_start) as usize, len);
-                self.cg_dirty[cg as usize] = true;
+                let data_start = self.geo.cg_data_start(cg);
+                {
+                    let mut s = self.lock_cg(cg);
+                    s.hdr.block_bitmap.clear_run((start - data_start) as usize, len);
+                    s.dirty = true;
+                }
                 for b in start..start + len as u64 {
-                    self.cache.invalidate_block(b);
+                    self.cache.invalidate_block(&self.drv, b);
                 }
             }
         }
@@ -717,32 +863,33 @@ impl Cffs {
 
     /// Grouped allocation for a small file (or directory block) of `dir`.
     /// Falls back to `None` when no slot or extent is available.
-    fn alloc_grouped(&mut self, dir: Ino, near: u32) -> FsResult<Option<u64>> {
+    fn alloc_grouped(&self, dir: Ino, near: u32) -> FsResult<Option<u64>> {
         self.charge(self.cpu_model().alloc_op);
-        let sb = self.sb.clone();
         {
-            let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
+            let mut groups = self.lock_groups();
             if let Some((blk, _)) = groups.alloc_slot(
                 dir,
                 None,
                 |c, i, d, _| {
-                    cgs[c as usize].groups[i as usize] = Some(*d);
-                    dirty[c as usize] = true;
+                    let mut s = self.lock_cg(c);
+                    s.hdr.groups[i as usize] = Some(*d);
+                    s.dirty = true;
                 },
-                &sb,
+                &self.geo,
             ) {
                 return Ok(Some(blk));
             }
         }
         // Carve a fresh extent, probing from the home group outward.
-        let n = self.cgs.len() as u32;
+        let n = self.geo.cg_count;
         let near = near.min(n - 1);
         let nslots = self.cfg.group_blocks;
         for d in 0..n {
-            let cg = ((near + d) % n) as usize;
-            let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
-            if let Some((blk, _)) = groups.carve(&sb, &mut cgs[cg], dir, nslots)? {
-                dirty[cg] = true;
+            let cg = (near + d) % n;
+            let mut groups = self.lock_groups();
+            let mut s = self.lock_cg(cg);
+            if let Some((blk, _)) = groups.carve(&self.geo, &mut s.hdr, dir, nslots)? {
+                s.dirty = true;
                 return Ok(Some(blk));
             }
         }
@@ -753,7 +900,7 @@ impl Cffs {
     /// when grouping is on, the file has a directory context, and the
     /// block lies inside the small-file range (`lbn < group_blocks` —
     /// blocks past the group size always take the plain clustered path).
-    fn alloc_for(&mut self, ctx: AllocCtx, lbn: u64, hint: Option<u64>) -> FsResult<u64> {
+    fn alloc_for(&self, ctx: AllocCtx, lbn: u64, hint: Option<u64>) -> FsResult<u64> {
         match ctx {
             AllocCtx::Grouped { dir, near }
                 if self.cfg.group && lbn < self.cfg.group_blocks as u64 =>
@@ -771,54 +918,51 @@ impl Cffs {
 
     /// Free a block wherever it lives: a group slot (possibly dissolving
     /// the group) or the plain bitmap.
-    fn free_block_any(&mut self, blk: u64) {
+    fn free_block_any(&self, blk: u64) {
         self.charge(self.cpu_model().alloc_op);
-        let sb = self.sb.clone();
-        let outcome = {
-            let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
-            groups.free_slot(&sb, blk, |c, i, d| {
-                cgs[c as usize].groups[i as usize] = d.copied();
-                dirty[c as usize] = true;
-            })
-        };
+        let outcome = self.lock_groups().free_slot(&self.geo, blk, |c, i, d| {
+            let mut s = self.lock_cg(c);
+            s.hdr.groups[i as usize] = d.copied();
+            s.dirty = true;
+        });
         match outcome {
             Some(FreeOutcome::SlotFreed) => {
                 // The extent stays reserved; only the member bit changed.
             }
             Some(FreeOutcome::Dissolved { start, nslots }) => {
-                self.obs().bump(Ctr::FsGroupDissolves);
-                let cg = sb.block_cg(start).expect("group extent inside a CG");
-                let data_start = sb.cg_data_start(cg);
-                self.cgs[cg as usize]
-                    .block_bitmap
-                    .clear_run((start - data_start) as usize, nslots as usize);
-                self.mark_cg_dirty(cg);
+                self.obs.bump(Ctr::FsGroupDissolves);
+                let cg = self.geo.block_cg(start).expect("group extent inside a CG");
+                let data_start = self.geo.cg_data_start(cg);
+                let mut s = self.lock_cg(cg);
+                s.hdr.block_bitmap.clear_run((start - data_start) as usize, nslots as usize);
+                s.dirty = true;
             }
             None => {
-                let cg = sb.block_cg(blk).expect("freeing a block outside all CGs");
-                let data_start = sb.cg_data_start(cg);
+                let cg = self.geo.block_cg(blk).expect("freeing a block outside all CGs");
+                let data_start = self.geo.cg_data_start(cg);
+                let mut s = self.lock_cg(cg);
                 assert!(
-                    self.cgs[cg as usize].block_bitmap.clear((blk - data_start) as usize),
+                    s.hdr.block_bitmap.clear((blk - data_start) as usize),
                     "double free of block {blk}"
                 );
-                self.mark_cg_dirty(cg);
+                s.dirty = true;
             }
         }
-        self.cache.invalidate_block(blk);
+        self.cache.invalidate_block(&self.drv, blk);
     }
 
     /// The cylinder group a directory's storage is anchored to: the one
     /// assigned at `mkdir` (stored in the inode's flags, FFS-style
     /// spreading), falling back to the directory's first data block.
-    fn dir_home(&mut self, dir: Ino, dinode: &Inode) -> u32 {
+    fn dir_home(&self, dir: Ino, dinode: &Inode) -> u32 {
         if dinode.flags != 0 {
-            return (dinode.flags - 1).min(self.sb.cg_count - 1);
+            return (dinode.flags - 1).min(self.geo.cg_count - 1);
         }
         if dinode.direct[0] != NO_BLOCK {
-            return self.sb.block_cg(dinode.direct[0] as u64).unwrap_or(0);
+            return self.geo.block_cg(dinode.direct[0] as u64).unwrap_or(0);
         }
         match decode_ino(dir) {
-            InoRef::Embedded { blk, .. } => self.sb.block_cg(blk).unwrap_or(0),
+            InoRef::Embedded { blk, .. } => self.geo.block_cg(blk).unwrap_or(0),
             InoRef::External(_) => 0,
         }
     }
@@ -826,25 +970,30 @@ impl Cffs {
     /// Pick the cylinder group for a new directory: FFS spreads
     /// directories, preferring emptier groups (round-robin rotor biased by
     /// free space).
-    fn pick_dir_cg(&mut self) -> u32 {
-        let n = self.cgs.len() as u32;
+    fn pick_dir_cg(&self) -> u32 {
+        let n = self.geo.cg_count;
+        let rotor = self.dir_rotor.load(Ordering::Relaxed) % n;
         for probe in 0..n {
-            let cg = (self.dir_rotor + probe) % n;
-            let hdr = &self.cgs[cg as usize];
-            // "Above-average free" in spirit: at least a quarter free.
-            if hdr.block_bitmap.free() * 4 >= hdr.block_bitmap.len() {
-                self.dir_rotor = (cg + 1) % n;
+            let cg = (rotor + probe) % n;
+            let ok = {
+                let s = self.lock_cg(cg);
+                // "Above-average free" in spirit: at least a quarter free.
+                s.hdr.block_bitmap.free() * 4 >= s.hdr.block_bitmap.len()
+            };
+            if ok {
+                self.dir_rotor.store((cg + 1) % n, Ordering::Relaxed);
                 return cg;
             }
         }
-        self.dir_rotor = (self.dir_rotor + 1) % n;
-        (self.dir_rotor + n - 1) % n
+        self.dir_rotor.store((rotor + 1) % n, Ordering::Relaxed);
+        rotor
     }
 
     /// Allocation context for data blocks of file `ino`: anchored at (and,
     /// with grouping on, grouped with) the owning directory.
-    fn data_ctx(&mut self, ino: Ino) -> FsResult<AllocCtx> {
-        match self.parent_of.get(&ino).copied() {
+    fn data_ctx(&self, ino: Ino) -> FsResult<AllocCtx> {
+        let parent = self.lock_ns().parent_of.get(&ino).copied();
+        match parent {
             Some(dir) => {
                 let dinode = self.read_inode(dir)?;
                 let near = self.dir_home(dir, &dinode);
@@ -856,7 +1005,7 @@ impl Cffs {
             }
             None => {
                 let near = match decode_ino(ino) {
-                    InoRef::Embedded { blk, .. } => self.sb.block_cg(blk).unwrap_or(0),
+                    InoRef::Embedded { blk, .. } => self.geo.block_cg(blk).unwrap_or(0),
                     InoRef::External(_) => 0,
                 };
                 Ok(AllocCtx::Plain { near })
@@ -869,7 +1018,7 @@ impl Cffs {
     /// Map `lbn` of an inode, optionally allocating (with the given
     /// context). The caller persists the updated inode.
     fn bmap(
-        &mut self,
+        &self,
         ino: Ino,
         inode: &mut Inode,
         lbn: u64,
@@ -921,15 +1070,15 @@ impl Cffs {
             inode.dindirect = dind as u32;
             inode.blocks += 1;
         }
-        let data = self.cache.read_block(&mut self.drv, dind)?;
-        let mut mid = cffs_fslib::codec::get_u32(data, outer * 4);
+        let data = self.cache.read_block(&self.drv, dind)?;
+        let mut mid = cffs_fslib::codec::get_u32(&data, outer * 4);
         if mid == NO_BLOCK {
             if alloc.is_none() {
                 return Ok(None);
             }
             let nb = self.alloc_plain(near, Some(dind))?;
-            self.cache.modify_block(&mut self.drv, nb, true, false, |d| d.fill(0))?;
-            self.cache.modify_block(&mut self.drv, dind, true, true, |d| {
+            self.cache.modify_block(&self.drv, nb, true, false, |d| d.fill(0))?;
+            self.cache.modify_block(&self.drv, dind, true, true, |d| {
                 cffs_fslib::codec::put_u32(d, outer * 4, nb as u32)
             })?;
             inode.blocks += 1;
@@ -939,7 +1088,7 @@ impl Cffs {
     }
 
     fn get_or_alloc_indirect(
-        &mut self,
+        &self,
         cur: u32,
         near: u32,
         alloc: bool,
@@ -952,33 +1101,33 @@ impl Cffs {
         }
         // Indirect blocks are metadata; never grouped.
         let blk = self.alloc_plain(near, None)?;
-        self.cache.modify_block(&mut self.drv, blk, true, false, |d| d.fill(0))?;
+        self.cache.modify_block(&self.drv, blk, true, false, |d| d.fill(0))?;
         Ok(Some((blk, true)))
     }
 
     fn indirect_slot(
-        &mut self,
+        &self,
         ind: u64,
         idx: usize,
         lbn: u64,
         alloc: Option<AllocCtx>,
         inode: &mut Inode,
     ) -> FsResult<Option<u64>> {
-        let data = self.cache.read_block(&mut self.drv, ind)?;
-        let cur = cffs_fslib::codec::get_u32(data, idx * 4);
+        let data = self.cache.read_block(&self.drv, ind)?;
+        let cur = cffs_fslib::codec::get_u32(&data, idx * 4);
         if cur != NO_BLOCK {
             return Ok(Some(cur as u64));
         }
         let Some(ctx) = alloc else { return Ok(None) };
         let hint = if idx > 0 {
             let prev =
-                cffs_fslib::codec::get_u32(self.cache.read_block(&mut self.drv, ind)?, (idx - 1) * 4);
+                cffs_fslib::codec::get_u32(&self.cache.read_block(&self.drv, ind)?, (idx - 1) * 4);
             (prev != NO_BLOCK).then_some(prev as u64)
         } else {
             Some(ind)
         };
         let blk = self.alloc_for(ctx, lbn, hint)?;
-        self.cache.modify_block(&mut self.drv, ind, true, true, |d| {
+        self.cache.modify_block(&self.drv, ind, true, true, |d| {
             cffs_fslib::codec::put_u32(d, idx * 4, blk as u32)
         })?;
         inode.blocks += 1;
@@ -987,7 +1136,7 @@ impl Cffs {
 
     /// Point `lbn` of an inode at a different block (degrouping /
     /// regrouping relocation). The mapping must already exist.
-    fn map_set(&mut self, inode: &mut Inode, lbn: u64, blk: u64) -> FsResult<()> {
+    fn map_set(&self, inode: &mut Inode, lbn: u64, blk: u64) -> FsResult<()> {
         if (lbn as usize) < NDIRECT {
             inode.direct[lbn as usize] = blk as u32;
             return Ok(());
@@ -995,7 +1144,7 @@ impl Cffs {
         let l1 = lbn as usize - NDIRECT;
         if l1 < PTRS_PER_BLOCK {
             let ind = inode.indirect as u64;
-            self.cache.modify_block(&mut self.drv, ind, true, true, |d| {
+            self.cache.modify_block(&self.drv, ind, true, true, |d| {
                 cffs_fslib::codec::put_u32(d, l1 * 4, blk as u32)
             })?;
             return Ok(());
@@ -1003,10 +1152,10 @@ impl Cffs {
         let l2 = l1 - PTRS_PER_BLOCK;
         let dind = inode.dindirect as u64;
         let mid = {
-            let data = self.cache.read_block(&mut self.drv, dind)?;
-            cffs_fslib::codec::get_u32(data, (l2 / PTRS_PER_BLOCK) * 4)
+            let data = self.cache.read_block(&self.drv, dind)?;
+            cffs_fslib::codec::get_u32(&data, (l2 / PTRS_PER_BLOCK) * 4)
         };
-        self.cache.modify_block(&mut self.drv, mid as u64, true, true, |d| {
+        self.cache.modify_block(&self.drv, mid as u64, true, true, |d| {
             cffs_fslib::codec::put_u32(d, (l2 % PTRS_PER_BLOCK) * 4, blk as u32)
         })?;
         Ok(())
@@ -1016,30 +1165,32 @@ impl Cffs {
 
     /// On a miss for a grouped block, fetch the whole group's live runs as
     /// one scatter/gather request — the explicit-grouping read path.
-    fn fetch_group_for(&mut self, blk: u64) -> FsResult<()> {
+    fn fetch_group_for(&self, blk: u64) -> FsResult<()> {
         if !self.cfg.group || self.cache.contains(blk) {
             return Ok(());
         }
-        let runs = match self.groups.group_of_block(&self.sb, blk) {
-            Some(g) if g.live() >= self.cfg.group_read_min => g.live_runs(),
-            _ => return Ok(()),
+        let runs = {
+            let groups = self.lock_groups();
+            match groups.group_of_block(&self.geo, blk) {
+                Some(g) if g.live() >= self.cfg.group_read_min => g.live_runs(),
+                _ => return Ok(()),
+            }
         };
-        let obs = self.obs();
-        obs.bump(Ctr::FsGroupFetches);
-        obs.add(Ctr::FsGroupFetchBlocks, runs.iter().map(|&(_, n)| n as u64).sum());
-        self.cache.read_group(&mut self.drv, &runs)
+        self.obs.bump(Ctr::FsGroupFetches);
+        self.obs.add(Ctr::FsGroupFetchBlocks, runs.iter().map(|&(_, n)| n as u64).sum());
+        self.cache.read_group(&self.drv, &runs)
     }
 
     /// Read a block with logical binding, group-fetching on a miss.
-    fn fetch_block(&mut self, blk: u64, ino: Ino, lbn: u64) -> FsResult<&[u8]> {
+    fn fetch_block(&self, blk: u64, ino: Ino, lbn: u64) -> FsResult<Vec<u8>> {
         self.fetch_group_for(blk)?;
-        self.cache.read_block_bound(&mut self.drv, blk, ino, lbn)
+        self.cache.read_block_bound(&self.drv, blk, ino, lbn)
     }
 
     /// Fetch the next `prefetch_blocks` mapped blocks of a sequentially
     /// read file as one scatter/gather request (blocks already resident
     /// are skipped by the cache).
-    fn prefetch_ahead(&mut self, ino: Ino, inode: &mut Inode, from_lbn: u64) -> FsResult<()> {
+    fn prefetch_ahead(&self, ino: Ino, inode: &mut Inode, from_lbn: u64) -> FsResult<()> {
         let max_lbn = inode.size.div_ceil(BLOCK_SIZE as u64);
         if from_lbn >= max_lbn {
             return Ok(());
@@ -1071,7 +1222,7 @@ impl Cffs {
                 _ => runs.push((b, 1)),
             }
         }
-        self.cache.read_group(&mut self.drv, &runs)
+        self.cache.read_group(&self.drv, &runs)
     }
 
 
@@ -1081,7 +1232,7 @@ impl Cffs {
     /// plain clustered storage: large files take the normal FFS path, as
     /// the paper prescribes ("placement of data for large files remains
     /// unchanged").
-    fn degroup(&mut self, ino: Ino, inode: &mut Inode) -> FsResult<()> {
+    fn degroup(&self, ino: Ino, inode: &mut Inode) -> FsResult<()> {
         self.obs().bump(Ctr::FsDegroupings);
         let near = match self.data_ctx(ino)? {
             AllocCtx::Plain { near } | AllocCtx::Grouped { near, .. } => near,
@@ -1090,22 +1241,22 @@ impl Cffs {
         let mut hint: Option<u64> = None;
         for lbn in 0..nblocks {
             let Some(old) = self.bmap(ino, inode, lbn, None)? else { continue };
-            if self.groups.group_of_block(&self.sb, old).is_none() {
+            if self.lock_groups().group_of_block(&self.geo, old).is_none() {
                 hint = Some(old);
                 continue;
             }
             let new = self.alloc_plain(near, hint)?;
             hint = Some(new);
             // Copy through the cache.
-            let contents = self.fetch_block(old, ino, lbn)?.to_vec();
-            self.cache.modify_block(&mut self.drv, new, false, false, |d| {
+            let contents = self.fetch_block(old, ino, lbn)?;
+            self.cache.modify_block(&self.drv, new, false, false, |d| {
                 d.copy_from_slice(&contents)
             })?;
             self.charge(self.cpu_model().copy_cost(BLOCK_SIZE));
             self.map_set(inode, lbn, new)?;
             self.cache.unbind_logical(ino, lbn);
             self.free_block_any(old);
-            self.cache.bind_logical(new, ino, lbn);
+            self.cache.bind_logical(&self.drv, new, ino, lbn);
         }
         Ok(())
     }
@@ -1113,7 +1264,7 @@ impl Cffs {
     /// Move a (small) file's blocks *into* its directory's groups — the
     /// application-directed grouping path behind
     /// [`FileSystem::group_hint`].
-    fn regroup(&mut self, dir: Ino, ino: Ino, inode: &mut Inode) -> FsResult<()> {
+    fn regroup(&self, dir: Ino, ino: Ino, inode: &mut Inode) -> FsResult<()> {
         let dnode = self.read_inode(dir)?;
         let near = self.dir_home(dir, &dnode);
         let nblocks = inode.size.div_ceil(BLOCK_SIZE as u64);
@@ -1122,26 +1273,26 @@ impl Cffs {
         }
         for lbn in 0..nblocks {
             let Some(old) = self.bmap(ino, inode, lbn, None)? else { continue };
-            match self.groups.group_of_block(&self.sb, old) {
+            match self.lock_groups().group_of_block(&self.geo, old).copied() {
                 Some(g) if g.owner == dir => continue,
                 _ => {}
             }
             let Some(new) = self.alloc_grouped(dir, near)? else { break };
-            let contents = self.fetch_block(old, ino, lbn)?.to_vec();
-            self.cache.modify_block(&mut self.drv, new, false, false, |d| {
+            let contents = self.fetch_block(old, ino, lbn)?;
+            self.cache.modify_block(&self.drv, new, false, false, |d| {
                 d.copy_from_slice(&contents)
             })?;
             self.charge(self.cpu_model().copy_cost(BLOCK_SIZE));
             self.map_set(inode, lbn, new)?;
             self.cache.unbind_logical(ino, lbn);
             self.free_block_any(old);
-            self.cache.bind_logical(new, ino, lbn);
+            self.cache.bind_logical(&self.drv, new, ino, lbn);
         }
         Ok(())
     }
 
     /// Free all blocks of an inode from `from_lbn` on (truncate/delete).
-    fn free_blocks_from(&mut self, ino: Ino, inode: &mut Inode, from_lbn: u64) -> FsResult<()> {
+    fn free_blocks_from(&self, ino: Ino, inode: &mut Inode, from_lbn: u64) -> FsResult<()> {
         for l in from_lbn..NDIRECT as u64 {
             let slot = inode.direct[l as usize];
             if slot != NO_BLOCK {
@@ -1163,8 +1314,8 @@ impl Cffs {
         if inode.dindirect != NO_BLOCK {
             let dind = inode.dindirect as u64;
             let ptrs: Vec<u32> = {
-                let data = self.cache.read_block(&mut self.drv, dind)?;
-                (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(data, i * 4)).collect()
+                let data = self.cache.read_block(&self.drv, dind)?;
+                (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(&data, i * 4)).collect()
             };
             let mut any_kept = false;
             for (outer, &mid) in ptrs.iter().enumerate() {
@@ -1178,7 +1329,7 @@ impl Cffs {
                 } else {
                     self.free_block_any(mid as u64);
                     inode.blocks = inode.blocks.saturating_sub(1);
-                    self.cache.modify_block(&mut self.drv, dind, true, true, |d| {
+                    self.cache.modify_block(&self.drv, dind, true, true, |d| {
                         cffs_fslib::codec::put_u32(d, outer * 4, NO_BLOCK)
                     })?;
                 }
@@ -1193,7 +1344,7 @@ impl Cffs {
     }
 
     fn free_indirect(
-        &mut self,
+        &self,
         ino: Ino,
         ind: u64,
         base: u64,
@@ -1201,8 +1352,8 @@ impl Cffs {
         blocks: &mut u32,
     ) -> FsResult<bool> {
         let ptrs: Vec<u32> = {
-            let data = self.cache.read_block(&mut self.drv, ind)?;
-            (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(data, i * 4)).collect()
+            let data = self.cache.read_block(&self.drv, ind)?;
+            (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(&data, i * 4)).collect()
         };
         let mut kept = false;
         for (i, &p) in ptrs.iter().enumerate() {
@@ -1214,7 +1365,7 @@ impl Cffs {
                 self.cache.unbind_logical(ino, lbn);
                 self.free_block_any(p as u64);
                 *blocks = blocks.saturating_sub(1);
-                self.cache.modify_block(&mut self.drv, ind, true, true, |d| {
+                self.cache.modify_block(&self.drv, ind, true, true, |d| {
                     cffs_fslib::codec::put_u32(d, i * 4, NO_BLOCK)
                 })?;
             } else {
@@ -1226,7 +1377,7 @@ impl Cffs {
 
     // ----- directory helpers -------------------------------------------
 
-    fn require_dir(&mut self, ino: Ino) -> FsResult<Inode> {
+    fn require_dir(&self, ino: Ino) -> FsResult<Inode> {
         let inode = self.read_inode(ino)?;
         if inode.kind != FileKind::Dir {
             return Err(FsError::NotDir);
@@ -1244,7 +1395,7 @@ impl Cffs {
 
     /// Scan a directory for `name`. Returns `(block, lbn, entry)`.
     fn dir_find(
-        &mut self,
+        &self,
         dirino: Ino,
         dinode: &mut Inode,
         name: &str,
@@ -1256,7 +1407,7 @@ impl Cffs {
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
             self.charge(self.cpu_model().scan_cost(16));
             let data = self.fetch_block(blk, dirino, lbn)?;
-            if let Some(e) = dirent::find(data, name)? {
+            if let Some(e) = dirent::find(&data, name)? {
                 return Ok(Some((blk, lbn, e)));
             }
         }
@@ -1269,7 +1420,7 @@ impl Cffs {
     /// the inode's new block pointer and size are part of the create's
     /// ordered update, or a crash would orphan the new block's entries.
     fn dir_insert(
-        &mut self,
+        &self,
         dirino: Ino,
         dinode: &mut Inode,
         name: &str,
@@ -1287,7 +1438,7 @@ impl Cffs {
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
             self.charge(self.cpu_model().scan_cost(16));
             let data = self.fetch_block(blk, dirino, lbn)?;
-            if dirent::has_space_for(data, need)? {
+            if dirent::has_space_for(&data, need)? {
                 let (blk, off) = self.dir_insert_into(dirino, lbn, blk, name, kind, payload)?;
                 return Ok((blk, off, false));
             }
@@ -1299,13 +1450,13 @@ impl Cffs {
         let blk = self.bmap(dirino, dinode, lbn, Some(ctx))?.ok_or(FsError::NoSpace)?;
         dinode.size += BLOCK_SIZE as u64;
         self.cache
-            .modify_block_bound(&mut self.drv, blk, dirino, lbn, false, dirent::init_block)?;
+            .modify_block_bound(&self.drv, blk, dirino, lbn, false, dirent::init_block)?;
         let (blk, off) = self.dir_insert_into(dirino, lbn, blk, name, kind, payload)?;
         Ok((blk, off, true))
     }
 
     fn dir_insert_into(
-        &mut self,
+        &self,
         dirino: Ino,
         lbn: u64,
         blk: u64,
@@ -1315,7 +1466,7 @@ impl Cffs {
     ) -> FsResult<(u64, usize)> {
         let res = self
             .cache
-            .modify_block_bound(&mut self.drv, blk, dirino, lbn, true, |d| match payload {
+            .modify_block_bound(&self.drv, blk, dirino, lbn, true, |d| match payload {
                 InsertPayload::Embedded(inode) => {
                     dirent::insert_embedded(d, name, kind, inode).map(|o| o.map(|(e, _)| e))
                 }
@@ -1327,39 +1478,39 @@ impl Cffs {
 
     /// Flush the durability unit for a directory mutation at `(blk, off)`:
     /// one sector with embedded inodes, the whole block otherwise.
-    fn dir_durable(&mut self, blk: u64, off: usize) -> FsResult<()> {
+    fn dir_durable(&self, blk: u64, off: usize) -> FsResult<()> {
         if self.cfg.metadata_mode != MetadataMode::Synchronous {
             self.obs().bump(Ctr::FsDelayedMetaWrites);
             return Ok(());
         }
         self.obs().bump(Ctr::FsSyncMetaWrites);
         if self.cfg.embed {
-            self.cache.flush_sector_sync(&mut self.drv, blk, off)
+            self.cache.flush_sector_sync(&self.drv, blk, off)
         } else {
-            self.cache.flush_block_sync(&mut self.drv, blk)
+            self.cache.flush_block_sync(&self.drv, blk)
         }
     }
 
     /// Durability for a *freshly grown* directory block: the whole block
     /// must reach the disk (its other chunks' free-record headers included),
     /// or a crash leaves garbage chunks around the one flushed sector.
-    fn dir_durable_grown(&mut self, blk: u64, off: usize, grew: bool) -> FsResult<()> {
+    fn dir_durable_grown(&self, blk: u64, off: usize, grew: bool) -> FsResult<()> {
         if grew && self.cfg.metadata_mode == MetadataMode::Synchronous {
             self.obs().bump(Ctr::FsSyncMetaWrites);
-            self.cache.flush_block_sync(&mut self.drv, blk)
+            self.cache.flush_block_sync(&self.drv, blk)
         } else {
             self.dir_durable(blk, off)
         }
     }
 
-    fn dir_is_empty(&mut self, dirino: Ino, dinode: &mut Inode) -> FsResult<bool> {
+    fn dir_is_empty(&self, dirino: Ino, dinode: &mut Inode) -> FsResult<bool> {
         let nblocks = dinode.size / BLOCK_SIZE as u64;
         for lbn in 0..nblocks {
             let blk = self
                 .bmap(dirino, dinode, lbn, None)?
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
             let data = self.fetch_block(blk, dirino, lbn)?;
-            if !dirent::is_empty(data)? {
+            if !dirent::is_empty(&data)? {
                 return Ok(false);
             }
         }
@@ -1367,27 +1518,28 @@ impl Cffs {
     }
 
     /// Retire an inode number from all in-core indices.
-    fn retire_ino(&mut self, ino: Ino) {
+    fn retire_ino(&self, ino: Ino) {
         self.cache.purge_ino(ino);
-        self.parent_of.remove(&ino);
-        self.last_read.remove(&ino);
+        let mut ns = self.lock_ns();
+        ns.parent_of.remove(&ino);
+        ns.last_read.remove(&ino);
     }
 
     /// A directory's inode number changed: transfer group ownership and fix
     /// the parent map.
-    fn renumber_dir(&mut self, old: Ino, new: Ino) {
-        let sb = self.sb.clone();
-        let (groups, cgs, dirty) = (&mut self.groups, &mut self.cgs, &mut self.cg_dirty);
-        groups.reown(
+    fn renumber_dir(&self, old: Ino, new: Ino) {
+        self.lock_groups().reown(
             old,
             new,
             |c, i, d| {
-                cgs[c as usize].groups[i as usize] = Some(*d);
-                dirty[c as usize] = true;
+                let mut s = self.lock_cg(c);
+                s.hdr.groups[i as usize] = Some(*d);
+                s.dirty = true;
             },
-            &sb,
+            &self.geo,
         );
-        for v in self.parent_of.values_mut() {
+        let mut ns = self.lock_ns();
+        for v in ns.parent_of.values_mut() {
             if *v == old {
                 *v = new;
             }
@@ -1396,7 +1548,7 @@ impl Cffs {
 
     /// Drop one link from file `ino` (its name is already gone), freeing
     /// storage at zero links. `entry` describes the removed name.
-    fn drop_link_of_removed(&mut self, ino: Ino, was_embedded: bool, mut inode: Inode) -> FsResult<()> {
+    fn drop_link_of_removed(&self, ino: Ino, was_embedded: bool, mut inode: Inode) -> FsResult<()> {
         if was_embedded {
             // Embedded inodes always have exactly one link: removing the
             // entry removed the inode itself. Free the data.
@@ -1426,16 +1578,25 @@ enum InsertPayload<'a> {
     External(u32),
 }
 
-impl FileSystem for Cffs {
-    fn label(&self) -> &str {
+/// The public operations, all `&self`: the concurrent-safe surface.
+/// [`FileSystem`] (a `&mut self` trait, kept for the single-threaded
+/// workload machinery) delegates here; inherent methods win method
+/// resolution, so `fs.read(...)` on a shared handle hits these
+/// directly.
+impl Cffs {
+    /// Label for reports — see [`FileSystem::label`].
+    pub fn label(&self) -> &str {
         &self.cfg.label
     }
 
-    fn root(&self) -> Ino {
+    /// The root inode — see [`FileSystem::root`].
+    pub fn root(&self) -> Ino {
         INO_ROOT
     }
 
-    fn lookup(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+    /// Resolve `name` in a directory — see [`FileSystem::lookup`].
+    pub fn lookup(&self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::Lookup);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
@@ -1443,14 +1604,16 @@ impl FileSystem for Cffs {
         match self.dir_find(dirino, &mut dinode, name)? {
             Some((blk, _, e)) => {
                 let ino = self.entry_ino(blk, &e);
-                self.parent_of.insert(ino, dirino);
+                self.lock_ns().parent_of.insert(ino, dirino);
                 Ok(ino)
             }
             None => Err(FsError::NotFound),
         }
     }
 
-    fn getattr(&mut self, ino: Ino) -> FsResult<Attr> {
+    /// Attributes of an inode — see [`FileSystem::getattr`].
+    pub fn getattr(&self, ino: Ino) -> FsResult<Attr> {
+        let _op = self.op_lock(ino);
         let _span = self.op_span(OpKind::Getattr);
         self.charge(self.cpu_model().syscall);
         let inode = self.read_inode(ino)?;
@@ -1463,7 +1626,9 @@ impl FileSystem for Cffs {
         })
     }
 
-    fn create(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+    /// Create a file — see [`FileSystem::create`].
+    pub fn create(&self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::Create);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
@@ -1492,11 +1657,13 @@ impl FileSystem for Cffs {
             self.write_inode(dirino, &dinode, grew)?;
             ino
         };
-        self.parent_of.insert(ino, dirino);
+        self.lock_ns().parent_of.insert(ino, dirino);
         Ok(ino)
     }
 
-    fn mkdir(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+    /// Create a directory — see [`FileSystem::mkdir`].
+    pub fn mkdir(&self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::Mkdir);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
@@ -1528,11 +1695,15 @@ impl FileSystem for Cffs {
             self.write_inode(dirino, &dinode, grew)?;
             ino
         };
-        self.parent_of.insert(ino, dirino);
+        self.lock_ns().parent_of.insert(ino, dirino);
         Ok(ino)
     }
 
-    fn unlink(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+    /// Remove a file name — see [`FileSystem::unlink`]. Serializes on
+    /// the *directory's* stripe only: racing writers of the victim file
+    /// synchronize on the shared structures underneath.
+    pub fn unlink(&self, dirino: Ino, name: &str) -> FsResult<()> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::Unlink);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
@@ -1548,13 +1719,15 @@ impl FileSystem for Cffs {
         let was_embedded = matches!(entry.loc, EntryLoc::Embedded(_));
         let off = entry.offset;
         self.cache
-            .modify_block_bound(&mut self.drv, blk, dirino, lbn, true, |d| dirent::remove(d, name))??;
+            .modify_block_bound(&self.drv, blk, dirino, lbn, true, |d| dirent::remove(d, name))??;
         // Name (and, embedded, the inode with it) goes first.
         self.dir_durable(blk, off)?;
         self.drop_link_of_removed(ino, was_embedded, inode)
     }
 
-    fn rmdir(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+    /// Remove an empty directory — see [`FileSystem::rmdir`].
+    pub fn rmdir(&self, dirino: Ino, name: &str) -> FsResult<()> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::Rmdir);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
@@ -1573,7 +1746,7 @@ impl FileSystem for Cffs {
         let was_embedded = matches!(entry.loc, EntryLoc::Embedded(_));
         let off = entry.offset;
         self.cache
-            .modify_block_bound(&mut self.drv, blk, dirino, lbn, true, |d| dirent::remove(d, name))??;
+            .modify_block_bound(&self.drv, blk, dirino, lbn, true, |d| dirent::remove(d, name))??;
         self.dir_durable(blk, off)?;
         self.free_blocks_from(child, &mut cinode, 0)?;
         if !was_embedded {
@@ -1586,7 +1759,9 @@ impl FileSystem for Cffs {
         Ok(())
     }
 
-    fn link(&mut self, target: Ino, dirino: Ino, name: &str) -> FsResult<Ino> {
+    /// Add a hard link — see [`FileSystem::link`].
+    pub fn link(&self, target: Ino, dirino: Ino, name: &str) -> FsResult<Ino> {
+        let _op = self.op_lock2(target, dirino);
         let _span = self.op_span(OpKind::Link);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
@@ -1608,13 +1783,16 @@ impl FileSystem for Cffs {
                 let slot = self.alloc_external_slot()?;
                 let ino = external_ino(slot);
                 self.write_inode(ino, &tinode, true)?;
-                self.cache.modify_block(&mut self.drv, blk, true, true, |d| {
+                self.cache.modify_block(&self.drv, blk, true, true, |d| {
                     dirent::convert_to_external(d, off, slot)
                 })?;
                 self.dir_durable(blk, off)?;
                 self.cache.purge_ino(target);
-                if let Some(p) = self.parent_of.remove(&target) {
-                    self.parent_of.insert(ino, p);
+                {
+                    let mut ns = self.lock_ns();
+                    if let Some(p) = ns.parent_of.remove(&target) {
+                        ns.parent_of.insert(ino, p);
+                    }
                 }
                 ino
             }
@@ -1630,7 +1808,10 @@ impl FileSystem for Cffs {
         Ok(new_target)
     }
 
-    fn rename(&mut self, odir: Ino, oname: &str, ndir: Ino, nname: &str) -> FsResult<Ino> {
+    /// Rename/move an entry — see [`FileSystem::rename`]. Takes both
+    /// directory stripes in ascending order.
+    pub fn rename(&self, odir: Ino, oname: &str, ndir: Ino, nname: &str) -> FsResult<Ino> {
+        let _op = self.op_lock2(odir, ndir);
         let _span = self.op_span(OpKind::Rename);
         self.charge(self.cpu_model().syscall);
         check_name(oname)?;
@@ -1657,7 +1838,7 @@ impl FileSystem for Cffs {
                     .dir_find(odir, &mut oinode, oname)?
                     .ok_or(FsError::NotFound)?;
                 let off = rentry.offset;
-                self.cache.modify_block_bound(&mut self.drv, rblk, odir, rlbn, true, |d| {
+                self.cache.modify_block_bound(&self.drv, rblk, odir, rlbn, true, |d| {
                     dirent::remove(d, oname)
                 })??;
                 self.write_inode(odir, &oinode, false)?;
@@ -1676,7 +1857,7 @@ impl FileSystem for Cffs {
                     }
                     let was_embedded = matches!(dentry.loc, EntryLoc::Embedded(_));
                     let off = dentry.offset;
-                    self.cache.modify_block_bound(&mut self.drv, dblk, ndir, dlbn, true, |d| {
+                    self.cache.modify_block_bound(&self.drv, dblk, ndir, dlbn, true, |d| {
                         dirent::remove(d, nname)
                     })??;
                     self.dir_durable(dblk, off)?;
@@ -1695,7 +1876,7 @@ impl FileSystem for Cffs {
                     let inode = self.read_inode(dst_ino)?;
                     let was_embedded = matches!(dentry.loc, EntryLoc::Embedded(_));
                     let off = dentry.offset;
-                    self.cache.modify_block_bound(&mut self.drv, dblk, ndir, dlbn, true, |d| {
+                    self.cache.modify_block_bound(&self.drv, dblk, ndir, dlbn, true, |d| {
                         dirent::remove(d, nname)
                     })??;
                     self.dir_durable(dblk, off)?;
@@ -1739,18 +1920,18 @@ impl FileSystem for Cffs {
             self.dir_find(odir, &mut oinode, oname)?.ok_or(FsError::NotFound)?;
         let roff = rentry.offset;
         self.cache
-            .modify_block_bound(&mut self.drv, rblk, odir, rlbn, true, |d| dirent::remove(d, oname))??;
+            .modify_block_bound(&self.drv, rblk, odir, rlbn, true, |d| dirent::remove(d, oname))??;
         self.write_inode(odir, &oinode, false)?;
         self.dir_durable(rblk, roff)?;
         // Bookkeeping for the renumbered inode.
         if new_ino != old_ino {
             self.cache.purge_ino(old_ino);
-            self.parent_of.remove(&old_ino);
+            self.lock_ns().parent_of.remove(&old_ino);
             if oentry.kind == FileKind::Dir {
                 self.renumber_dir(old_ino, new_ino);
             }
         }
-        self.parent_of.insert(new_ino, ndir);
+        self.lock_ns().parent_of.insert(new_ino, ndir);
         if oentry.kind == FileKind::Dir && odir != ndir {
             let mut o = self.require_dir(odir)?;
             o.nlink = o.nlink.saturating_sub(1);
@@ -1762,7 +1943,9 @@ impl FileSystem for Cffs {
         Ok(new_ino)
     }
 
-    fn read(&mut self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+    /// Read file data — see [`FileSystem::read`].
+    pub fn read(&self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let _op = self.op_lock(ino);
         let _span = self.op_span(OpKind::Read);
         self.charge(self.cpu_model().syscall);
         let mut inode = self.read_inode(ino)?;
@@ -1798,16 +1981,19 @@ impl FileSystem for Cffs {
         let last_lbn = (off + done.max(1) as u64 - 1) / BLOCK_SIZE as u64;
         if self.cfg.prefetch_blocks > 0 {
             let sequential =
-                first_lbn == 0 || self.last_read.get(&ino).is_some_and(|&l| l + 1 >= first_lbn);
+                first_lbn == 0
+                    || self.lock_ns().last_read.get(&ino).is_some_and(|&l| l + 1 >= first_lbn);
             if sequential {
                 self.prefetch_ahead(ino, &mut inode, last_lbn + 1)?;
             }
         }
-        self.last_read.insert(ino, last_lbn);
+        self.lock_ns().last_read.insert(ino, last_lbn);
         Ok(done)
     }
 
-    fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+    /// Write file data — see [`FileSystem::write`].
+    pub fn write(&self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+        let _op = self.op_lock(ino);
         let _span = self.op_span(OpKind::Write);
         self.charge(self.cpu_model().syscall);
         if data.is_empty() {
@@ -1851,7 +2037,7 @@ impl FileSystem for Cffs {
             }
             let src = &data[done..done + n];
             self.cache
-                .modify_block_bound(&mut self.drv, blk, ino, lbn, read_first, |d| {
+                .modify_block_bound(&self.drv, blk, ino, lbn, read_first, |d| {
                     if !read_first && n < BLOCK_SIZE {
                         d.fill(0);
                     }
@@ -1865,7 +2051,9 @@ impl FileSystem for Cffs {
         Ok(done)
     }
 
-    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+    /// Truncate/extend a file — see [`FileSystem::truncate`].
+    pub fn truncate(&self, ino: Ino, size: u64) -> FsResult<()> {
+        let _op = self.op_lock(ino);
         let _span = self.op_span(OpKind::Truncate);
         self.charge(self.cpu_model().syscall);
         if size > MAX_FILE_SIZE {
@@ -1883,7 +2071,7 @@ impl FileSystem for Cffs {
                 if let Some(blk) = self.bmap(ino, &mut inode, lbn, None)? {
                     let cut = (size % BLOCK_SIZE as u64) as usize;
                     self.cache
-                        .modify_block_bound(&mut self.drv, blk, ino, lbn, true, |d| d[cut..].fill(0))?;
+                        .modify_block_bound(&self.drv, blk, ino, lbn, true, |d| d[cut..].fill(0))?;
                 }
             }
         }
@@ -1892,7 +2080,9 @@ impl FileSystem for Cffs {
         Ok(())
     }
 
-    fn readdir(&mut self, dirino: Ino) -> FsResult<Vec<DirEntry>> {
+    /// List a directory — see [`FileSystem::readdir`].
+    pub fn readdir(&self, dirino: Ino) -> FsResult<Vec<DirEntry>> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::Readdir);
         self.charge(self.cpu_model().syscall);
         let mut dinode = self.require_dir(dirino)?;
@@ -1904,12 +2094,12 @@ impl FileSystem for Cffs {
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
             let entries = {
                 let data = self.fetch_block(blk, dirino, lbn)?;
-                dirent::list(data)?
+                dirent::list(&data)?
             };
             self.charge(self.cpu_model().scan_cost(entries.len()));
             for e in entries {
                 let ino = self.entry_ino(blk, &e);
-                self.parent_of.insert(ino, dirino);
+                self.lock_ns().parent_of.insert(ino, dirino);
                 out.push(DirEntry { name: e.name, ino, kind: e.kind });
             }
         }
@@ -1917,46 +2107,60 @@ impl FileSystem for Cffs {
         Ok(out)
     }
 
-    fn sync(&mut self) -> FsResult<()> {
+    /// Flush dirty CG headers, the superblock, and the cache — see
+    /// [`FileSystem::sync`].
+    pub fn sync(&self) -> FsResult<()> {
         let _span = self.op_span(OpKind::Sync);
         self.charge(self.cpu_model().syscall);
-        let sb = self.sb.clone();
-        for cg in 0..self.cgs.len() {
-            if !self.cg_dirty[cg] {
-                continue;
+        for cg in 0..self.geo.cg_count {
+            let img = {
+                let mut s = self.lock_cg(cg);
+                if s.dirty {
+                    let mut img = vec![0u8; BLOCK_SIZE];
+                    s.hdr.write_to(&mut img);
+                    s.dirty = false;
+                    Some(img)
+                } else {
+                    None
+                }
+            };
+            if let Some(img) = img {
+                self.cache.modify_block(&self.drv, self.geo.cg_header_block(cg), true, false, |d| {
+                    d.copy_from_slice(&img)
+                })?;
             }
-            let mut img = vec![0u8; BLOCK_SIZE];
-            self.cgs[cg].write_to(&mut img);
-            self.cache.modify_block(&mut self.drv, sb.cg_header_block(cg as u32), true, false, |d| {
-                d.copy_from_slice(&img)
-            })?;
-            self.cg_dirty[cg] = false;
         }
+        let sb = self.superblock();
         let mut sb_img = vec![0u8; BLOCK_SIZE];
-        self.sb.write_to(&mut sb_img);
+        sb.write_to(&mut sb_img);
         self.cache
-            .modify_block(&mut self.drv, SB_BLOCK, true, false, |d| d.copy_from_slice(&sb_img))?;
-        self.cache.sync(&mut self.drv)
+            .modify_block(&self.drv, SB_BLOCK, true, false, |d| d.copy_from_slice(&sb_img))?;
+        self.cache.sync(&self.drv)
     }
 
-    fn statfs(&mut self) -> FsResult<StatFs> {
+    /// Space accounting — see [`FileSystem::statfs`].
+    pub fn statfs(&self) -> FsResult<StatFs> {
         let _span = self.op_span(OpKind::Statfs);
         Ok(StatFs {
             block_size: BLOCK_SIZE as u32,
-            total_blocks: self.sb.total_blocks,
-            free_blocks: self.cgs.iter().map(|c| c.block_bitmap.free() as u64).sum(),
-            group_slack_blocks: self.groups.total_slack(),
+            total_blocks: self.geo.total_blocks,
+            free_blocks: (0..self.geo.cg_count)
+                .map(|cg| self.lock_cg(cg).hdr.block_bitmap.free() as u64)
+                .sum(),
+            group_slack_blocks: self.lock_groups().total_slack(),
             // Inodes are dynamic: no static table, no preallocation limit.
             total_inodes: u64::MAX,
             free_inodes: u64::MAX,
         })
     }
 
-    fn now(&self) -> SimTime {
+    /// This thread's simulated clock — see [`FileSystem::now`].
+    pub fn now(&self) -> SimTime {
         self.drv.now()
     }
 
-    fn io_stats(&self) -> IoStats {
+    /// Stack-wide I/O counters — see [`FileSystem::io_stats`].
+    pub fn io_stats(&self) -> IoStats {
         IoStats {
             disk: self.drv.disk_stats(),
             driver: self.drv.stats(),
@@ -1964,20 +2168,24 @@ impl FileSystem for Cffs {
         }
     }
 
-    fn reset_io_stats(&mut self) {
+    /// Reset I/O counters — see [`FileSystem::reset_io_stats`].
+    pub fn reset_io_stats(&self) {
         self.drv.reset_stats();
         self.cache.reset_stats();
     }
 
-    fn drop_caches(&mut self) -> FsResult<()> {
+    /// Sync then drop clean cache state — see [`FileSystem::drop_caches`].
+    pub fn drop_caches(&self) -> FsResult<()> {
         let _span = self.op_span(OpKind::DropCaches);
         self.sync()?;
-        self.cache.drop_all(&mut self.drv)?;
-        self.drv.disk_mut().flush_onboard_cache();
+        self.cache.drop_all(&self.drv)?;
+        self.drv.with_disk_mut(|d| d.flush_onboard_cache());
         Ok(())
     }
 
-    fn group_hint(&mut self, dirino: Ino, names: &[&str]) -> FsResult<()> {
+    /// Application-directed grouping — see [`FileSystem::group_hint`].
+    pub fn group_hint(&self, dirino: Ino, names: &[&str]) -> FsResult<()> {
+        let _op = self.op_lock(dirino);
         let _span = self.op_span(OpKind::GroupHint);
         if !self.cfg.group {
             return Ok(());
@@ -1999,10 +2207,121 @@ impl FileSystem for Cffs {
         Ok(())
     }
 
-    fn cpu_model(&self) -> CpuModel {
+    /// The CPU cost model — see [`FileSystem::cpu_model`].
+    pub fn cpu_model(&self) -> CpuModel {
         self.cfg.cpu
     }
+}
 
+impl FileSystem for Cffs {
+    fn label(&self) -> &str {
+        Cffs::label(self)
+    }
+    fn root(&self) -> Ino {
+        Cffs::root(self)
+    }
+    fn lookup(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::lookup(self, dirino, name)
+    }
+    fn getattr(&mut self, ino: Ino) -> FsResult<Attr> {
+        Cffs::getattr(self, ino)
+    }
+    fn create(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::create(self, dirino, name)
+    }
+    fn mkdir(&mut self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::mkdir(self, dirino, name)
+    }
+    fn unlink(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+        Cffs::unlink(self, dirino, name)
+    }
+    fn rmdir(&mut self, dirino: Ino, name: &str) -> FsResult<()> {
+        Cffs::rmdir(self, dirino, name)
+    }
+    fn link(&mut self, target: Ino, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::link(self, target, dirino, name)
+    }
+    fn rename(&mut self, odir: Ino, oname: &str, ndir: Ino, nname: &str) -> FsResult<Ino> {
+        Cffs::rename(self, odir, oname, ndir, nname)
+    }
+    fn read(&mut self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        Cffs::read(self, ino, off, buf)
+    }
+    fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+        Cffs::write(self, ino, off, data)
+    }
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        Cffs::truncate(self, ino, size)
+    }
+    fn readdir(&mut self, dirino: Ino) -> FsResult<Vec<DirEntry>> {
+        Cffs::readdir(self, dirino)
+    }
+    fn sync(&mut self) -> FsResult<()> {
+        Cffs::sync(self)
+    }
+    fn statfs(&mut self) -> FsResult<StatFs> {
+        Cffs::statfs(self)
+    }
+    fn now(&self) -> SimTime {
+        Cffs::now(self)
+    }
+    fn io_stats(&self) -> IoStats {
+        Cffs::io_stats(self)
+    }
+    fn reset_io_stats(&mut self) {
+        Cffs::reset_io_stats(self)
+    }
+    fn drop_caches(&mut self) -> FsResult<()> {
+        Cffs::drop_caches(self)
+    }
+    fn group_hint(&mut self, dirino: Ino, names: &[&str]) -> FsResult<()> {
+        Cffs::group_hint(self, dirino, names)
+    }
+    fn cpu_model(&self) -> CpuModel {
+        Cffs::cpu_model(self)
+    }
+    fn obs(&self) -> Option<Arc<Obs>> {
+        Some(Cffs::obs(self))
+    }
+}
+
+impl cffs_fslib::ConcurrentFs for Cffs {
+    fn label(&self) -> &str {
+        Cffs::label(self)
+    }
+    fn root(&self) -> Ino {
+        Cffs::root(self)
+    }
+    fn lookup(&self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::lookup(self, dirino, name)
+    }
+    fn getattr(&self, ino: Ino) -> FsResult<Attr> {
+        Cffs::getattr(self, ino)
+    }
+    fn create(&self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::create(self, dirino, name)
+    }
+    fn mkdir(&self, dirino: Ino, name: &str) -> FsResult<Ino> {
+        Cffs::mkdir(self, dirino, name)
+    }
+    fn unlink(&self, dirino: Ino, name: &str) -> FsResult<()> {
+        Cffs::unlink(self, dirino, name)
+    }
+    fn read(&self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        Cffs::read(self, ino, off, buf)
+    }
+    fn write(&self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+        Cffs::write(self, ino, off, data)
+    }
+    fn readdir(&self, dirino: Ino) -> FsResult<Vec<DirEntry>> {
+        Cffs::readdir(self, dirino)
+    }
+    fn sync(&self) -> FsResult<()> {
+        Cffs::sync(self)
+    }
+    fn now(&self) -> SimTime {
+        Cffs::now(self)
+    }
     fn obs(&self) -> Option<Arc<Obs>> {
         Some(Cffs::obs(self))
     }
@@ -2021,7 +2340,7 @@ mod tests {
 
     #[test]
     fn sparse_file_reads_zero_in_holes() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let f = fs.create(fs.root(), "sparse").unwrap();
         // Write one byte far out; everything before is a hole.
         fs.write(f, 1_000_000, b"!").unwrap();
@@ -2038,7 +2357,7 @@ mod tests {
 
     #[test]
     fn double_indirect_mapping_works() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let f = fs.create(fs.root(), "deep").unwrap();
         // One block far past the single-indirect range (12 + 1024 blocks).
         let off = (12 + 1024 + 5) * BLOCK_SIZE as u64;
@@ -2057,7 +2376,7 @@ mod tests {
 
     #[test]
     fn truncate_partial_block_zeroes_tail() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let f = fs.create(fs.root(), "t").unwrap();
         fs.write(f, 0, &vec![0xAA; 3000]).unwrap();
         fs.truncate(f, 1000).unwrap();
@@ -2085,7 +2404,7 @@ mod tests {
 
     #[test]
     fn max_name_length_roundtrips() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let name = "x".repeat(cffs_fslib::MAX_NAME_LEN);
         let f = fs.create(fs.root(), &name).unwrap();
         assert_eq!(fs.lookup(fs.root(), &name).unwrap(), f);
@@ -2098,7 +2417,7 @@ mod tests {
     fn exfile_grows_past_one_block() {
         // Conventional variant: every inode is external; 40+ files force
         // the external inode file past its initial 32 slots.
-        let mut fs = fresh(CffsConfig::conventional());
+        let fs = fresh(CffsConfig::conventional());
         let root = fs.root();
         let mut inos = Vec::new();
         for i in 0..80 {
@@ -2108,7 +2427,7 @@ mod tests {
         assert!(fs.superblock().exfile.blocks >= 2);
         // All still resolvable after remount.
         let disk = fs.unmount().unwrap();
-        let mut fs = Cffs::mount(disk, CffsConfig::conventional()).unwrap();
+        let fs = Cffs::mount(disk, CffsConfig::conventional()).unwrap();
         for i in 0..80 {
             fs.lookup(fs.root(), &format!("f{i:02}")).unwrap();
         }
@@ -2116,7 +2435,7 @@ mod tests {
 
     #[test]
     fn exfile_slots_are_reused() {
-        let mut fs = fresh(CffsConfig::conventional());
+        let fs = fresh(CffsConfig::conventional());
         let root = fs.root();
         let a = fs.create(root, "a").unwrap();
         fs.unlink(root, "a").unwrap();
@@ -2126,7 +2445,7 @@ mod tests {
 
     #[test]
     fn rename_into_subdir_and_back() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let root = fs.root();
         let sub = fs.mkdir(root, "sub").unwrap();
         let f0 = fs.create(root, "f").unwrap();
@@ -2142,7 +2461,7 @@ mod tests {
 
     #[test]
     fn rename_directory_renumbers_and_children_survive() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let root = fs.root();
         let d = fs.mkdir(root, "dir").unwrap();
         for i in 0..30 {
@@ -2166,7 +2485,7 @@ mod tests {
 
     #[test]
     fn unlink_missing_and_double_unlink() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         assert_eq!(fs.unlink(fs.root(), "ghost"), Err(FsError::NotFound));
         let _f = fs.create(fs.root(), "once").unwrap();
         fs.unlink(fs.root(), "once").unwrap();
@@ -2175,7 +2494,7 @@ mod tests {
 
     #[test]
     fn stale_ino_after_unlink_is_rejected() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let f = fs.create(fs.root(), "gone").unwrap();
         fs.write(f, 0, b"x").unwrap();
         fs.unlink(fs.root(), "gone").unwrap();
@@ -2206,7 +2525,7 @@ mod tests {
             fs.read(f, lbn * BLOCK_SIZE as u64, &mut probe).unwrap();
             if let Some(b) = fs.cache_block_of(f, lbn) {
                 assert!(
-                    fs.group_index().group_of_block(fs.superblock(), b).is_none(),
+                    fs.group_index().group_of_block(&fs.superblock(), b).is_none(),
                     "block {b} (lbn {lbn}) still grouped past the threshold"
                 );
             }
@@ -2219,7 +2538,7 @@ mod tests {
 
     #[test]
     fn readdir_is_sorted_and_complete_at_scale() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let d = fs.mkdir(fs.root(), "big").unwrap();
         for i in (0..300).rev() {
             fs.create(d, &format!("e{i:03}")).unwrap();
@@ -2233,7 +2552,7 @@ mod tests {
 
     #[test]
     fn io_is_charged_to_the_clock() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let t0 = fs.now();
         let f = fs.create(fs.root(), "timed").unwrap();
         fs.write(f, 0, &vec![0u8; 8192]).unwrap();
@@ -2249,7 +2568,7 @@ mod tests {
     fn group_read_min_zero_variant_still_correct() {
         let mut cfg = CffsConfig::cffs();
         cfg.group_read_min = 1;
-        let mut fs = fresh(cfg);
+        let fs = fresh(cfg);
         let d = fs.mkdir(fs.root(), "d").unwrap();
         let f = fs.create(d, "f").unwrap();
         fs.write(f, 0, b"data").unwrap();
@@ -2264,7 +2583,7 @@ mod tests {
     fn tiny_group_blocks_config() {
         let mut cfg = CffsConfig::cffs();
         cfg.group_blocks = 4;
-        let mut fs = fresh(cfg);
+        let fs = fresh(cfg);
         let d = fs.mkdir(fs.root(), "d").unwrap();
         for i in 0..10 {
             let f = fs.create(d, &format!("f{i}")).unwrap();
@@ -2284,7 +2603,7 @@ mod tests {
         let run = |prefetch: u32| {
             let mut cfg = CffsConfig::cffs();
             cfg.prefetch_blocks = prefetch;
-            let mut fs = fresh(cfg);
+            let fs = fresh(cfg);
             let f = fs.create(fs.root(), "big").unwrap();
             fs.write(f, 0, &vec![7u8; 512 * 1024]).unwrap();
             fs.drop_caches().unwrap();
@@ -2311,7 +2630,7 @@ mod tests {
     fn prefetch_never_changes_contents() {
         let mut cfg = CffsConfig::cffs();
         cfg.prefetch_blocks = 8;
-        let mut fs = fresh(cfg);
+        let fs = fresh(cfg);
         let d = fs.mkdir(fs.root(), "d").unwrap();
         let a = fs.create(d, "a").unwrap();
         let b = fs.create(d, "b").unwrap();
@@ -2330,7 +2649,7 @@ mod tests {
 
     #[test]
     fn generation_guard_rejects_recycled_slots() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let root = fs.root();
         // Create and delete so the next create reuses the same entry slot.
         let old = fs.create(root, "victim").unwrap();
@@ -2362,14 +2681,14 @@ mod tests {
 
     #[test]
     fn link_to_directory_rejected() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let d = fs.mkdir(fs.root(), "d").unwrap();
         assert_eq!(fs.link(d, fs.root(), "alias"), Err(FsError::IsDir));
     }
 
     #[test]
     fn zero_byte_files_everywhere() {
-        let mut fs = fresh(CffsConfig::cffs());
+        let fs = fresh(CffsConfig::cffs());
         let d = fs.mkdir(fs.root(), "d").unwrap();
         for i in 0..50 {
             fs.create(d, &format!("empty{i}")).unwrap();

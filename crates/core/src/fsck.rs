@@ -534,7 +534,7 @@ mod tests {
     use crate::fs::CffsConfig;
     use crate::mkfs::{mkfs, MkfsParams};
     use cffs_disksim::models;
-    use cffs_fslib::{path, FileSystem};
+    use cffs_fslib::path;
 
     fn populated(cfg: CffsConfig) -> Disk {
         let disk = Disk::new(models::tiny_test_disk());

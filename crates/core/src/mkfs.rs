@@ -93,7 +93,6 @@ mod tests {
     use super::*;
     use crate::layout::INO_ROOT;
     use cffs_disksim::models;
-    use cffs_fslib::FileSystem;
 
     #[test]
     fn mkfs_and_mount_all_variants() {
@@ -105,7 +104,7 @@ mod tests {
         ] {
             let disk = Disk::new(models::tiny_test_disk());
             let label = cfg.label.clone();
-            let mut fs = mkfs(disk, MkfsParams::tiny(), cfg).unwrap();
+            let fs = mkfs(disk, MkfsParams::tiny(), cfg).unwrap();
             assert_eq!(fs.root(), INO_ROOT, "{label}");
             assert!(fs.readdir(fs.root()).unwrap().is_empty(), "{label}");
             let st = fs.statfs().unwrap();
@@ -117,7 +116,7 @@ mod tests {
     #[test]
     fn root_attr_is_directory() {
         let disk = Disk::new(models::tiny_test_disk());
-        let mut fs = mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).unwrap();
+        let fs = mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).unwrap();
         let attr = fs.getattr(fs.root()).unwrap();
         assert_eq!(attr.kind, cffs_fslib::FileKind::Dir);
         assert_eq!(attr.nlink, 2);
@@ -127,10 +126,10 @@ mod tests {
     fn remount_preserves_superblock() {
         let disk = Disk::new(models::tiny_test_disk());
         let fs = mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).unwrap();
-        let sb1 = fs.superblock().clone();
+        let sb1 = fs.superblock();
         let disk = fs.unmount().unwrap();
         let fs2 = Cffs::mount(disk, CffsConfig::cffs()).unwrap();
-        assert_eq!(*fs2.superblock(), sb1);
+        assert_eq!(fs2.superblock(), sb1);
     }
 
     #[test]

@@ -17,8 +17,10 @@ use crate::stats::DiskStats;
 use crate::time::{SimDuration, SimTime};
 use crate::SECTOR_SIZE;
 use cffs_obs::json::{Json, ToJson};
-use cffs_obs::{obj, Ctr, Obs, Sig};
-use std::sync::Arc;
+use cffs_obs::{obj, AttrDelta, Ctr, Obs, Sig, SpanCtx};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 /// Request ordering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,10 +72,6 @@ impl IoReq {
     pub fn read(lba: u64, len: usize) -> Self {
         IoReq { lba, dir: IoDir::Read, data: vec![0u8; len] }
     }
-
-    fn sectors(&self) -> u64 {
-        (self.data.len() / SECTOR_SIZE) as u64
-    }
 }
 
 /// Driver-level statistics (above the disk's own counters).
@@ -100,122 +98,250 @@ impl ToJson for DriverStats {
     }
 }
 
-/// The driver: disk + scheduler + simulated clock.
-#[derive(Debug)]
-pub struct Driver {
-    disk: Disk,
+/// One queued submission: the requests, whether they form a schedulable
+/// batch, the submitter's virtual time and open span, and the channel
+/// the completed requests travel back on.
+struct Submission {
+    reqs: Vec<IoReq>,
+    batch: bool,
+    /// Submitter's virtual clock at submit; the disk starts service at
+    /// the later of this and its last completion.
+    stamp: u64,
+    /// Submitter's open span, adopted by the worker so trace events and
+    /// attribution stay causally correct.
+    ctx: SpanCtx,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// What the worker sends back when a submission completes.
+struct Reply {
+    reqs: Vec<IoReq>,
+    done_ns: u64,
+    attr: AttrDelta,
+}
+
+/// State shared between driver handles and the worker thread.
+struct Shared {
+    disk: Mutex<Disk>,
+    queue: Mutex<VecDeque<Submission>>,
+    cv: Condvar,
+    stats: Mutex<DriverStats>,
     config: DriverConfig,
-    now: SimTime,
-    stats: DriverStats,
+    obs: Arc<Obs>,
+    shutdown: AtomicBool,
+}
+
+/// The driver: disk + scheduler + simulated clock, fronted by a request
+/// queue serviced by one worker thread.
+///
+/// The worker owns the seek model: it pops submissions in FIFO order,
+/// schedules and coalesces each batch against the current arm position,
+/// and services it on the (mutex-protected) disk. Submitters enqueue and
+/// block until their submission completes, so the single-threaded call
+/// pattern behaves exactly as a direct call — while concurrent client
+/// threads genuinely interleave at the queue, each running its own
+/// virtual timeline (see [`Driver::now`]) with the disk serializing them
+/// through its last-completion time.
+pub struct Driver {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver").finish_non_exhaustive()
+    }
 }
 
 impl Driver {
-    /// Wrap a disk with the given configuration; the clock starts at zero.
+    /// Wrap a disk with the given configuration; the clock starts at
+    /// zero. Spawns the worker thread that services the request queue.
     pub fn new(disk: Disk, config: DriverConfig) -> Self {
-        Driver { disk, config, now: SimTime::ZERO, stats: DriverStats::default() }
+        let obs = disk.obs();
+        let shared = Arc::new(Shared {
+            disk: Mutex::new(disk),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stats: Mutex::new(DriverStats::default()),
+            config,
+            obs,
+            shutdown: AtomicBool::new(false),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cffs-driver".into())
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn driver worker")
+        };
+        Driver { shared, worker: Some(worker) }
     }
 
-    /// Current simulated time.
+    /// The calling thread's current simulated time. Each client thread
+    /// runs its own virtual clock (advanced by its CPU charges and I/O
+    /// completions); a thread that has not run anything yet reads the
+    /// cross-thread high-water mark, so elapsed time for a parallel run
+    /// is `max` over threads, not the sum.
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime(self.shared.obs.clock_ns())
     }
 
-    /// Advance the clock by `d` (CPU work, think time, etc.).
-    pub fn advance(&mut self, d: SimDuration) {
-        self.now += d;
-        self.sync_clock();
-    }
-
-    /// Mirror the clock into the shared [`Obs`] so span guards can
-    /// compute op latencies without borrowing the driver.
-    fn sync_clock(&self) {
-        self.disk.obs().set_clock_ns(self.now.as_nanos());
+    /// Advance the calling thread's clock by `d` (CPU work, think time).
+    pub fn advance(&self, d: SimDuration) {
+        self.shared
+            .obs
+            .set_clock_ns(self.shared.obs.clock_ns() + d.as_nanos());
     }
 
     /// The shared observability handle (owned by the disk).
     pub fn obs(&self) -> Arc<Obs> {
-        self.disk.obs()
+        Arc::clone(&self.shared.obs)
     }
 
-    /// Borrow the underlying disk.
-    pub fn disk(&self) -> &Disk {
-        &self.disk
+    /// Run `f` on the underlying disk (raw access, image cloning).
+    pub fn with_disk<R>(&self, f: impl FnOnce(&Disk) -> R) -> R {
+        f(&self.shared.obs.lock_timed(&self.shared.disk, Ctr::LockWaitNsDriver))
     }
 
-    /// Mutably borrow the underlying disk (raw access, cache flush).
-    pub fn disk_mut(&mut self) -> &mut Disk {
-        &mut self.disk
+    /// Run `f` on the underlying disk mutably (raw writes, cache flush).
+    pub fn with_disk_mut<R>(&self, f: impl FnOnce(&mut Disk) -> R) -> R {
+        f(&mut self.shared.obs.lock_timed(&self.shared.disk, Ctr::LockWaitNsDriver))
     }
 
-    /// Take the disk back (e.g. to remount a file system on it).
-    pub fn into_disk(self) -> Disk {
-        self.disk
+    /// Take the disk back (e.g. to remount a file system on it). Shuts
+    /// the worker down first; the queue must be drained (no submitter
+    /// may be blocked in-flight).
+    pub fn into_disk(mut self) -> Disk {
+        self.stop_worker();
+        let shared = Arc::clone(&self.shared);
+        drop(self);
+        let shared = Arc::try_unwrap(shared)
+            .ok()
+            .expect("driver shared state still referenced at into_disk");
+        shared.disk.into_inner().expect("disk lock poisoned")
+    }
+
+    fn stop_worker(&mut self) {
+        if let Some(h) = self.worker.take() {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.cv.notify_all();
+            let _ = h.join();
+        }
     }
 
     /// Disk-level statistics.
     pub fn disk_stats(&self) -> DiskStats {
-        self.disk.stats()
+        self.with_disk(|d| d.stats())
     }
 
     /// Driver-level statistics.
     pub fn stats(&self) -> DriverStats {
-        self.stats
+        *self.shared.stats.lock().expect("driver stats poisoned")
     }
 
     /// Reset both driver and disk statistics.
-    pub fn reset_stats(&mut self) {
-        self.stats = DriverStats::default();
-        self.disk.reset_stats();
+    pub fn reset_stats(&self) {
+        *self.shared.stats.lock().expect("driver stats poisoned") = DriverStats::default();
+        self.with_disk_mut(|d| d.reset_stats());
     }
 
-    /// Synchronously read `buf.len()` bytes at `lba`, advancing the clock.
-    pub fn read(&mut self, lba: u64, buf: &mut [u8]) {
-        self.stats.logical_requests += 1;
-        self.stats.physical_requests += 1;
-        let obs = self.disk.obs();
-        obs.bump(Ctr::DriverLogicalRequests);
-        obs.bump(Ctr::DriverPhysicalRequests);
-        obs.bump(Ctr::DriverSgSegments);
-        self.now = self.disk.read(self.now, lba, buf);
-        self.sync_clock();
+    /// Synchronously read `buf.len()` bytes at `lba`, advancing the
+    /// calling thread's clock to the request's completion.
+    pub fn read(&self, lba: u64, buf: &mut [u8]) {
+        let done = self.submit(vec![IoReq::read(lba, buf.len())], false);
+        buf.copy_from_slice(&done[0].data);
     }
 
-    /// Synchronously write at `lba`, advancing the clock.
-    pub fn write(&mut self, lba: u64, buf: &[u8]) {
-        self.stats.logical_requests += 1;
-        self.stats.physical_requests += 1;
-        let obs = self.disk.obs();
-        obs.bump(Ctr::DriverLogicalRequests);
-        obs.bump(Ctr::DriverPhysicalRequests);
-        obs.bump(Ctr::DriverSgSegments);
-        self.now = self.disk.write(self.now, lba, buf);
-        self.sync_clock();
+    /// Synchronously write at `lba`, advancing the calling thread's
+    /// clock to the request's completion.
+    pub fn write(&self, lba: u64, buf: &[u8]) {
+        self.submit(vec![IoReq::write(lba, buf.to_vec())], false);
     }
 
-    /// Submit a batch: schedule, coalesce physically adjacent same-direction
-    /// requests into scatter/gather transfers, and service them all.
-    /// Read payloads are filled in place; the batch is returned in its
-    /// (scheduled) service order.
-    pub fn submit_batch(&mut self, mut reqs: Vec<IoReq>) -> Vec<IoReq> {
+    /// Submit a batch: the worker schedules it, coalesces physically
+    /// adjacent same-direction requests into scatter/gather transfers,
+    /// and services them all. Read payloads are filled in place; the
+    /// batch is returned in its (scheduled) service order. Blocks until
+    /// the batch completes.
+    pub fn submit_batch(&self, reqs: Vec<IoReq>) -> Vec<IoReq> {
         if reqs.is_empty() {
             return reqs;
         }
-        self.stats.batches += 1;
-        self.stats.logical_requests += reqs.len() as u64;
-        let obs = self.disk.obs();
-        obs.bump(Ctr::DriverBatches);
+        self.submit(reqs, true)
+    }
+
+    /// Enqueue one submission and block on its completion, then fold the
+    /// worker's attribution back into the calling thread's open span and
+    /// advance this thread's clock to the completion time.
+    fn submit(&self, reqs: Vec<IoReq>, batch: bool) -> Vec<IoReq> {
+        let obs = &self.shared.obs;
+        {
+            let mut stats = self.shared.stats.lock().expect("driver stats poisoned");
+            stats.logical_requests += reqs.len() as u64;
+            if batch {
+                stats.batches += 1;
+            }
+        }
+        obs.bump(Ctr::DriverQueueSubmit);
         obs.add(Ctr::DriverLogicalRequests, reqs.len() as u64);
-        obs.histos().driver_batch_reqs.record(reqs.len() as u64);
-        obs.signal_sample(Sig::QueueDepth, reqs.len() as f64);
+        if batch {
+            obs.bump(Ctr::DriverBatches);
+            obs.histos().driver_batch_reqs.record(reqs.len() as u64);
+            obs.signal_sample(Sig::QueueDepth, reqs.len() as f64);
+        }
+        let (tx, rx) = mpsc::channel();
+        let sub = Submission {
+            reqs,
+            batch,
+            stamp: obs.clock_ns(),
+            ctx: obs.span_ctx(),
+            reply: tx,
+        };
+        obs.lock_timed(&self.shared.queue, Ctr::LockWaitNsDriver).push_back(sub);
+        self.shared.cv.notify_all();
+        let reply = rx.recv().expect("driver worker died");
+        obs.set_clock_ns(reply.done_ns);
+        obs.fold_attr(reply.attr);
+        reply.reqs
+    }
+}
 
-        self.order(&mut reqs);
+impl Drop for Driver {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
 
+/// The worker: pop submissions FIFO, schedule + coalesce + service each
+/// on the disk, stamp trace events with the submitter's adopted span,
+/// and ship the completed requests (plus attribution) back.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let sub = {
+            let mut q = shared.queue.lock().expect("driver queue poisoned");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("driver queue poisoned");
+            }
+        };
+        let Submission { mut reqs, batch, stamp, ctx, reply } = sub;
+        let mut disk = shared.obs.lock_timed(&shared.disk, Ctr::LockWaitNsDriver);
+        // Adopt the submitter's span so the disk's trace events carry
+        // its id and disk-request attribution accumulates on its behalf.
+        shared.obs.adopt_span(ctx);
+        if batch {
+            order(shared.config.scheduler, &disk, &mut reqs);
+        }
         // Coalesce adjacent same-direction runs: (lba, dir, [(req idx, len)]).
         type Merged = Vec<(u64, IoDir, Vec<(usize, usize)>)>;
         let mut merged: Merged = Vec::new();
         let mut spans: Vec<IoReq> = Vec::new();
         for req in reqs {
-            let nsect = req.sectors();
             match merged.last_mut() {
                 Some((lba, dir, parts))
                     if *dir == req.dir
@@ -223,7 +349,6 @@ impl Driver {
                             == req.lba =>
                 {
                     parts.push((spans.len(), req.data.len()));
-                    let _ = nsect;
                 }
                 _ => {
                     merged.push((req.lba, req.dir, vec![(spans.len(), req.data.len())]));
@@ -232,12 +357,18 @@ impl Driver {
             spans.push(req);
         }
 
+        // Service starts at the submitter's virtual time; the disk's
+        // last-completion time serializes overlapping submissions.
+        let mut now = SimTime(stamp);
         for (lba, dir, parts) in merged {
-            self.stats.physical_requests += 1;
-            self.stats.coalesced += parts.len() as u64 - 1;
-            obs.bump(Ctr::DriverPhysicalRequests);
-            obs.add(Ctr::DriverSgSegments, parts.len() as u64);
-            obs.add(Ctr::DriverCoalesced, parts.len() as u64 - 1);
+            {
+                let mut stats = shared.stats.lock().expect("driver stats poisoned");
+                stats.physical_requests += 1;
+                stats.coalesced += parts.len() as u64 - 1;
+            }
+            shared.obs.bump(Ctr::DriverPhysicalRequests);
+            shared.obs.add(Ctr::DriverSgSegments, parts.len() as u64);
+            shared.obs.add(Ctr::DriverCoalesced, parts.len() as u64 - 1);
             let total: usize = parts.iter().map(|p| p.1).sum();
             match dir {
                 IoDir::Write => {
@@ -245,11 +376,11 @@ impl Driver {
                     for &(idx, _) in &parts {
                         buf.extend_from_slice(&spans[idx].data);
                     }
-                    self.now = self.disk.write(self.now, lba, &buf);
+                    now = disk.write(now, lba, &buf);
                 }
                 IoDir::Read => {
                     let mut buf = vec![0u8; total];
-                    self.now = self.disk.read(self.now, lba, &mut buf);
+                    now = disk.read(now, lba, &mut buf);
                     let mut off = 0;
                     for &(idx, len) in &parts {
                         spans[idx].data.copy_from_slice(&buf[off..off + len]);
@@ -258,41 +389,44 @@ impl Driver {
                 }
             }
         }
-        self.sync_clock();
-        spans
+        let attr = shared.obs.end_adopt();
+        drop(disk);
+        // Keep the cross-thread high-water mark current even if the
+        // submitter vanished (its clock update happens on receipt).
+        shared.obs.set_clock_ns(now.as_nanos());
+        let _ = reply.send(Reply { reqs: spans, done_ns: now.as_nanos(), attr });
     }
+}
 
-    fn order(&self, reqs: &mut Vec<IoReq>) {
-        match self.config.scheduler {
-            Scheduler::Fcfs => {}
-            Scheduler::CLook => {
-                reqs.sort_by_key(|r| r.lba);
-                // Find the first request at or beyond the arm and rotate the
-                // ascending order to start there (one sweep, then wrap).
-                let arm = self.disk.arm_cylinder();
-                let split = reqs
+/// Order a batch for service (worker-side: needs the live arm position).
+fn order(sched: Scheduler, disk: &Disk, reqs: &mut Vec<IoReq>) {
+    match sched {
+        Scheduler::Fcfs => {}
+        Scheduler::CLook => {
+            reqs.sort_by_key(|r| r.lba);
+            // Find the first request at or beyond the arm and rotate the
+            // ascending order to start there (one sweep, then wrap).
+            let arm = disk.arm_cylinder();
+            let split = reqs
+                .iter()
+                .position(|r| disk.model().geometry.lba_to_chs(r.lba).cylinder >= arm)
+                .unwrap_or(0);
+            reqs.rotate_left(split);
+        }
+        Scheduler::Sstf => {
+            // Greedy nearest-cylinder-first from the current arm position.
+            let geom = &disk.model().geometry;
+            let mut cur = disk.arm_cylinder();
+            let mut rest: Vec<IoReq> = std::mem::take(reqs);
+            while !rest.is_empty() {
+                let (i, _) = rest
                     .iter()
-                    .position(|r| {
-                        self.disk.model().geometry.lba_to_chs(r.lba).cylinder >= arm
-                    })
-                    .unwrap_or(0);
-                reqs.rotate_left(split);
-            }
-            Scheduler::Sstf => {
-                // Greedy nearest-cylinder-first from the current arm position.
-                let geom = &self.disk.model().geometry;
-                let mut cur = self.disk.arm_cylinder();
-                let mut rest: Vec<IoReq> = std::mem::take(reqs);
-                while !rest.is_empty() {
-                    let (i, _) = rest
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, r)| geom.lba_to_chs(r.lba).cylinder.abs_diff(cur))
-                        .expect("nonempty");
-                    let r = rest.swap_remove(i);
-                    cur = geom.lba_to_chs(r.lba).cylinder;
-                    reqs.push(r);
-                }
+                    .enumerate()
+                    .min_by_key(|(_, r)| geom.lba_to_chs(r.lba).cylinder.abs_diff(cur))
+                    .expect("nonempty");
+                let r = rest.swap_remove(i);
+                cur = geom.lba_to_chs(r.lba).cylinder;
+                reqs.push(r);
             }
         }
     }
@@ -309,7 +443,7 @@ mod tests {
 
     #[test]
     fn read_write_round_trip_through_driver() {
-        let mut d = driver(Scheduler::CLook);
+        let d = driver(Scheduler::CLook);
         let data = vec![0x5Au8; 4096];
         d.write(800, &data);
         let mut back = vec![0u8; 4096];
@@ -320,7 +454,7 @@ mod tests {
 
     #[test]
     fn batch_coalesces_adjacent_writes() {
-        let mut d = driver(Scheduler::CLook);
+        let d = driver(Scheduler::CLook);
         // Four adjacent 4 KB writes (a 16 KB group flush) plus one far away.
         let reqs: Vec<IoReq> = (0..4)
             .map(|i| IoReq::write(1000 + i * 8, vec![i as u8; 4096]))
@@ -338,7 +472,7 @@ mod tests {
 
     #[test]
     fn batch_scatter_gather_read() {
-        let mut d = driver(Scheduler::CLook);
+        let d = driver(Scheduler::CLook);
         for i in 0..4u8 {
             d.write(2000 + i as u64 * 8, &vec![i; 4096]);
         }
@@ -354,13 +488,13 @@ mod tests {
     #[test]
     fn coalesced_batch_is_much_faster_than_fcfs_scatter() {
         // 16 adjacent blocks written as one batch...
-        let mut grouped = driver(Scheduler::CLook);
+        let grouped = driver(Scheduler::CLook);
         let reqs = (0..16).map(|i| IoReq::write(10_000 + i * 8, vec![0u8; 4096])).collect();
         grouped.submit_batch(reqs);
         let t_grouped = grouped.now();
 
         // ...versus 16 scattered blocks written one at a time.
-        let mut scattered = driver(Scheduler::Fcfs);
+        let scattered = driver(Scheduler::Fcfs);
         for i in 0..16u64 {
             scattered.write(10_000 + i * 50_000, &vec![0u8; 4096]);
         }
@@ -370,7 +504,7 @@ mod tests {
 
     #[test]
     fn clook_orders_ascending_from_arm() {
-        let mut d = driver(Scheduler::CLook);
+        let d = driver(Scheduler::CLook);
         // Move the arm inward first.
         d.write(1_000_000, &vec![0u8; 512]);
         let reqs = vec![
@@ -386,7 +520,7 @@ mod tests {
 
     #[test]
     fn sstf_visits_nearest_first() {
-        let mut d = driver(Scheduler::Sstf);
+        let d = driver(Scheduler::Sstf);
         let reqs = vec![
             IoReq::write(1_800_000, vec![0u8; 512]),
             IoReq::write(100, vec![0u8; 512]),
@@ -399,7 +533,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_noop() {
-        let mut d = driver(Scheduler::CLook);
+        let d = driver(Scheduler::CLook);
         let t0 = d.now();
         let out = d.submit_batch(Vec::new());
         assert!(out.is_empty());
@@ -409,7 +543,7 @@ mod tests {
 
     #[test]
     fn advance_moves_clock_only() {
-        let mut d = driver(Scheduler::CLook);
+        let d = driver(Scheduler::CLook);
         d.advance(SimDuration::from_millis(3));
         assert_eq!(d.now().as_nanos(), 3_000_000);
         assert_eq!(d.disk_stats().total_requests(), 0);
@@ -433,7 +567,7 @@ mod proptests {
             lbas in prop::collection::vec(0u64..8_000, 1..40),
             sched in prop::sample::select(vec![Scheduler::Fcfs, Scheduler::CLook, Scheduler::Sstf]),
         ) {
-            let mut drv = Driver::new(
+            let drv = Driver::new(
                 Disk::new(models::tiny_test_disk()),
                 DriverConfig { scheduler: sched },
             );
@@ -462,7 +596,7 @@ mod proptests {
         fn coalescing_accounting_balances(
             lbas in prop::collection::vec(0u64..2_000, 1..60)
         ) {
-            let mut drv = Driver::new(
+            let drv = Driver::new(
                 Disk::new(models::tiny_test_disk()),
                 DriverConfig { scheduler: Scheduler::CLook },
             );

@@ -80,7 +80,7 @@ pub struct Ffs {
 impl Ffs {
     /// Mount an existing file system from `disk`.
     pub fn mount(disk: Disk, opts: FfsOptions) -> FsResult<Ffs> {
-        let mut drv = Driver::new(disk, DriverConfig { scheduler: opts.scheduler });
+        let drv = Driver::new(disk, DriverConfig { scheduler: opts.scheduler });
         let mut buf = vec![0u8; BLOCK_SIZE];
         drv.read(SB_BLOCK * cffs_fslib::SECTORS_PER_BLOCK, &mut buf);
         let sb = Superblock::read_from(&buf)?;
@@ -112,14 +112,14 @@ impl Ffs {
     /// Snapshot the disk as a crash at this instant would leave it: dirty
     /// cache contents are *not* included.
     pub fn crash_image(&self) -> Disk {
-        self.drv.disk().clone_image()
+        self.drv.with_disk(|d| d.clone_image())
     }
 
     /// Snapshot the disk as a crash *during its most recent write* would
     /// leave it (only `keep_sectors` sectors landed); `None` before any
     /// write. See [`Disk::clone_image_torn`].
     pub fn crash_image_torn(&self, keep_sectors: usize) -> Option<Disk> {
-        self.drv.disk().clone_image_torn(keep_sectors)
+        self.drv.with_disk(|d| d.clone_image_torn(keep_sectors))
     }
 
     /// The mounted superblock (tests, fsck, benchmarks).
@@ -136,12 +136,12 @@ impl Ffs {
     /// Enable/disable per-request disk trace recording (access-pattern
     /// analysis; off by default).
     pub fn set_disk_trace(&mut self, on: bool) {
-        self.drv.disk_mut().set_trace(on);
+        self.drv.with_disk_mut(|d| d.set_trace(on));
     }
 
     /// The recorded disk trace (empty when recording is off).
-    pub fn disk_trace(&self) -> &[cffs_disksim::TraceEntry] {
-        self.drv.disk().trace()
+    pub fn disk_trace(&self) -> Vec<cffs_disksim::TraceEntry> {
+        self.drv.with_disk(|d| d.trace().to_vec())
     }
 
     fn charge(&mut self, d: SimDuration) {
@@ -166,8 +166,8 @@ impl Ffs {
         self.charge(self.cpu.block_op);
         self.obs().bump(Ctr::FsExternalInodeOps);
         let (blk, off) = self.sb.inode_location(ino)?;
-        let data = self.cache.read_block(&mut self.drv, blk)?;
-        Inode::read_from(data, off).ok_or(FsError::StaleHandle)
+        let data = self.cache.read_block(&self.drv, blk)?;
+        Inode::read_from(&data, off).ok_or(FsError::StaleHandle)
     }
 
     /// Write an inode image. `durable` requests a synchronous flush when
@@ -177,11 +177,11 @@ impl Ffs {
         self.obs().bump(Ctr::FsExternalInodeOps);
         let (blk, off) = self.sb.inode_location(ino)?;
         self.cache
-            .modify_block(&mut self.drv, blk, true, true, |d| inode.write_to(d, off))?;
+            .modify_block(&self.drv, blk, true, true, |d| inode.write_to(d, off))?;
         if durable {
             if self.mode == MetadataMode::Synchronous {
                 self.obs().bump(Ctr::FsSyncMetaWrites);
-                self.cache.flush_block_sync(&mut self.drv, blk)?;
+                self.cache.flush_block_sync(&self.drv, blk)?;
             } else {
                 self.obs().bump(Ctr::FsDelayedMetaWrites);
             }
@@ -193,9 +193,9 @@ impl Ffs {
         self.charge(self.cpu.block_op);
         let (blk, off) = self.sb.inode_location(ino)?;
         self.cache
-            .modify_block(&mut self.drv, blk, true, true, |d| Inode::clear_slot(d, off))?;
+            .modify_block(&self.drv, blk, true, true, |d| Inode::clear_slot(d, off))?;
         if durable && self.mode == MetadataMode::Synchronous {
-            self.cache.flush_block_sync(&mut self.drv, blk)?;
+            self.cache.flush_block_sync(&self.drv, blk)?;
         }
         Ok(())
     }
@@ -252,8 +252,8 @@ impl Ffs {
             inode.blocks += 1;
         }
         // Fetch/allocate the second-level indirect block pointer.
-        let data = self.cache.read_block(&mut self.drv, dind)?;
-        let mut mid = cffs_fslib::codec::get_u32(data, outer * 4);
+        let data = self.cache.read_block(&self.drv, dind)?;
+        let mut mid = cffs_fslib::codec::get_u32(&data, outer * 4);
         if mid == NO_BLOCK {
             if !alloc {
                 return Ok(None);
@@ -261,8 +261,8 @@ impl Ffs {
             self.charge(self.cpu.alloc_op);
             let nb = self.alloc.alloc_block(&self.sb, cg, Some(dind))?;
             self.cache
-                .modify_block(&mut self.drv, nb, true, false, |d| d.fill(0))?;
-            self.cache.modify_block(&mut self.drv, dind, true, true, |d| {
+                .modify_block(&self.drv, nb, true, false, |d| d.fill(0))?;
+            self.cache.modify_block(&self.drv, dind, true, true, |d| {
                 cffs_fslib::codec::put_u32(d, outer * 4, nb as u32)
             })?;
             inode.blocks += 1;
@@ -289,7 +289,7 @@ impl Ffs {
         self.charge(self.cpu.alloc_op);
         let blk = self.alloc.alloc_block(&self.sb, cg, None)?;
         self.cache
-            .modify_block(&mut self.drv, blk, true, false, |d| d.fill(0))?;
+            .modify_block(&self.drv, blk, true, false, |d| d.fill(0))?;
         Ok(Some((blk, true)))
     }
 
@@ -302,8 +302,8 @@ impl Ffs {
         alloc: bool,
         inode: &mut Inode,
     ) -> FsResult<Option<u64>> {
-        let data = self.cache.read_block(&mut self.drv, ind)?;
-        let cur = cffs_fslib::codec::get_u32(data, idx * 4);
+        let data = self.cache.read_block(&self.drv, ind)?;
+        let cur = cffs_fslib::codec::get_u32(&data, idx * 4);
         if cur != NO_BLOCK {
             return Ok(Some(cur as u64));
         }
@@ -312,13 +312,13 @@ impl Ffs {
         }
         self.charge(self.cpu.alloc_op);
         let hint = if idx > 0 {
-            let prev = cffs_fslib::codec::get_u32(self.cache.read_block(&mut self.drv, ind)?, (idx - 1) * 4);
+            let prev = cffs_fslib::codec::get_u32(&self.cache.read_block(&self.drv, ind)?, (idx - 1) * 4);
             (prev != NO_BLOCK).then_some(prev as u64)
         } else {
             Some(ind)
         };
         let blk = self.alloc.alloc_block(&self.sb, cg, hint)?;
-        self.cache.modify_block(&mut self.drv, ind, true, true, |d| {
+        self.cache.modify_block(&self.drv, ind, true, true, |d| {
             cffs_fslib::codec::put_u32(d, idx * 4, blk as u32)
         })?;
         inode.blocks += 1;
@@ -352,8 +352,8 @@ impl Ffs {
             let dind = inode.dindirect as u64;
             let mut any_kept = false;
             let ptrs: Vec<u32> = {
-                let data = self.cache.read_block(&mut self.drv, dind)?;
-                (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(data, i * 4)).collect()
+                let data = self.cache.read_block(&self.drv, dind)?;
+                (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(&data, i * 4)).collect()
             };
             for (outer, &mid) in ptrs.iter().enumerate() {
                 if mid == NO_BLOCK {
@@ -366,7 +366,7 @@ impl Ffs {
                 } else {
                     self.release_meta_block(mid as u64);
                     inode.blocks = inode.blocks.saturating_sub(1);
-                    self.cache.modify_block(&mut self.drv, dind, true, true, |d| {
+                    self.cache.modify_block(&self.drv, dind, true, true, |d| {
                         cffs_fslib::codec::put_u32(d, outer * 4, NO_BLOCK)
                     })?;
                 }
@@ -391,8 +391,8 @@ impl Ffs {
         blocks: &mut u32,
     ) -> FsResult<bool> {
         let ptrs: Vec<u32> = {
-            let data = self.cache.read_block(&mut self.drv, ind)?;
-            (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(data, i * 4)).collect()
+            let data = self.cache.read_block(&self.drv, ind)?;
+            (0..PTRS_PER_BLOCK).map(|i| cffs_fslib::codec::get_u32(&data, i * 4)).collect()
         };
         let mut kept = false;
         for (i, &p) in ptrs.iter().enumerate() {
@@ -403,7 +403,7 @@ impl Ffs {
             if lbn >= from_lbn {
                 self.release_data_block(ino, lbn, p as u64);
                 *blocks = blocks.saturating_sub(1);
-                self.cache.modify_block(&mut self.drv, ind, true, true, |d| {
+                self.cache.modify_block(&self.drv, ind, true, true, |d| {
                     cffs_fslib::codec::put_u32(d, i * 4, NO_BLOCK)
                 })?;
             } else {
@@ -415,12 +415,12 @@ impl Ffs {
 
     fn release_data_block(&mut self, ino: Ino, lbn: u64, blk: u64) {
         self.cache.unbind_logical(ino, lbn);
-        self.cache.invalidate_block(blk);
+        self.cache.invalidate_block(&self.drv, blk);
         self.alloc.free_block(&self.sb, blk);
     }
 
     fn release_meta_block(&mut self, blk: u64) {
-        self.cache.invalidate_block(blk);
+        self.cache.invalidate_block(&self.drv, blk);
         self.alloc.free_block(&self.sb, blk);
     }
 
@@ -447,8 +447,8 @@ impl Ffs {
                 .bmap(dirino, inode, lbn, false)?
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
             self.charge(self.cpu.scan_cost(16));
-            let data = self.cache.read_block_bound(&mut self.drv, blk, dirino, lbn)?;
-            if let Some(e) = dir::find(data, name)? {
+            let data = self.cache.read_block_bound(&self.drv, blk, dirino, lbn)?;
+            if let Some(e) = dir::find(&data, name)? {
                 return Ok(Some((blk, e)));
             }
         }
@@ -474,9 +474,9 @@ impl Ffs {
                 .bmap(dirino, inode, lbn, false)?
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
             self.charge(self.cpu.scan_cost(16));
-            let data = self.cache.read_block_bound(&mut self.drv, blk, dirino, lbn)?;
-            if dir::has_space(data, name)? {
-                self.cache.modify_block_bound(&mut self.drv, blk, dirino, lbn, true, |d| {
+            let data = self.cache.read_block_bound(&self.drv, blk, dirino, lbn)?;
+            if dir::has_space(&data, name)? {
+                self.cache.modify_block_bound(&self.drv, blk, dirino, lbn, true, |d| {
                     dir::insert(d, name, ino as u32, kind)
                 })??;
                 return Ok((blk, false));
@@ -488,7 +488,7 @@ impl Ffs {
             .bmap(dirino, inode, lbn, true)?
             .ok_or(FsError::NoSpace)?;
         inode.size += BLOCK_SIZE as u64;
-        self.cache.modify_block_bound(&mut self.drv, blk, dirino, lbn, false, |d| {
+        self.cache.modify_block_bound(&self.drv, blk, dirino, lbn, false, |d| {
             dir::init_block(d);
             dir::insert(d, name, ino as u32, kind)
         })??;
@@ -506,7 +506,7 @@ impl Ffs {
             return Err(FsError::NotFound);
         };
         // Re-derive the lbn for the logical binding.
-        self.cache.modify_block(&mut self.drv, blk, true, true, |d| dir::remove(d, name))??;
+        self.cache.modify_block(&self.drv, blk, true, true, |d| dir::remove(d, name))??;
         Ok((blk, entry.ino as Ino, entry.kind))
     }
 
@@ -514,7 +514,7 @@ impl Ffs {
     fn dir_durable(&mut self, blk: u64) -> FsResult<()> {
         if self.mode == MetadataMode::Synchronous {
             self.obs().bump(Ctr::FsSyncMetaWrites);
-            self.cache.flush_block_sync(&mut self.drv, blk)?;
+            self.cache.flush_block_sync(&self.drv, blk)?;
         } else {
             self.obs().bump(Ctr::FsDelayedMetaWrites);
         }
@@ -527,8 +527,8 @@ impl Ffs {
             let blk = self
                 .bmap(dirino, inode, lbn, false)?
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
-            let data = self.cache.read_block_bound(&mut self.drv, blk, dirino, lbn)?;
-            if !dir::is_empty(data)? {
+            let data = self.cache.read_block_bound(&self.drv, blk, dirino, lbn)?;
+            if !dir::is_empty(&data)? {
                 return Ok(false);
             }
         }
@@ -794,7 +794,7 @@ impl FileSystem for Ffs {
             };
             match blk {
                 Some(b) => {
-                    let data = self.cache.read_block_bound(&mut self.drv, b, ino, lbn)?;
+                    let data = self.cache.read_block_bound(&self.drv, b, ino, lbn)?;
                     buf[done..done + n].copy_from_slice(&data[in_blk..in_blk + n]);
                 }
                 None => buf[done..done + n].fill(0),
@@ -831,7 +831,7 @@ impl FileSystem for Ffs {
             let read_first = had_block && n < BLOCK_SIZE;
             let src = &data[done..done + n];
             self.cache
-                .modify_block_bound(&mut self.drv, blk, ino, lbn, read_first, |d| {
+                .modify_block_bound(&self.drv, blk, ino, lbn, read_first, |d| {
                     if !read_first && n < BLOCK_SIZE {
                         d.fill(0);
                     }
@@ -864,7 +864,7 @@ impl FileSystem for Ffs {
                 let lbn = size / BLOCK_SIZE as u64;
                 if let Some(blk) = self.bmap(ino, &mut inode, lbn, false)? {
                     let cut = (size % BLOCK_SIZE as u64) as usize;
-                    self.cache.modify_block_bound(&mut self.drv, blk, ino, lbn, true, |d| {
+                    self.cache.modify_block_bound(&self.drv, blk, ino, lbn, true, |d| {
                         d[cut..].fill(0)
                     })?;
                 }
@@ -885,8 +885,8 @@ impl FileSystem for Ffs {
             let blk = self
                 .bmap(dirino, &mut inode, lbn, false)?
                 .ok_or_else(|| FsError::Corrupt(format!("hole in directory {dirino}")))?;
-            let data = self.cache.read_block_bound(&mut self.drv, blk, dirino, lbn)?;
-            let entries = dir::list(data)?;
+            let data = self.cache.read_block_bound(&self.drv, blk, dirino, lbn)?;
+            let entries = dir::list(&data)?;
             self.charge(self.cpu.scan_cost(entries.len()));
             out.extend(entries.into_iter().map(|e| DirEntry {
                 name: e.name,
@@ -912,13 +912,13 @@ impl FileSystem for Ffs {
         });
         for (blk, img) in blocks {
             self.cache
-                .modify_block(&mut self.drv, blk, true, false, |d| d.copy_from_slice(&img))?;
+                .modify_block(&self.drv, blk, true, false, |d| d.copy_from_slice(&img))?;
         }
         let mut sb_img = vec![0u8; BLOCK_SIZE];
         self.sb.write_to(&mut sb_img);
         self.cache
-            .modify_block(&mut self.drv, SB_BLOCK, true, false, |d| d.copy_from_slice(&sb_img))?;
-        self.cache.sync(&mut self.drv)
+            .modify_block(&self.drv, SB_BLOCK, true, false, |d| d.copy_from_slice(&sb_img))?;
+        self.cache.sync(&self.drv)
     }
 
     fn statfs(&mut self) -> FsResult<StatFs> {
@@ -953,8 +953,8 @@ impl FileSystem for Ffs {
     fn drop_caches(&mut self) -> FsResult<()> {
         let _span = self.op_span(OpKind::DropCaches);
         self.sync()?;
-        self.cache.drop_all(&mut self.drv)?;
-        self.drv.disk_mut().flush_onboard_cache();
+        self.cache.drop_all(&self.drv)?;
+        self.drv.with_disk_mut(|d| d.flush_onboard_cache());
         Ok(())
     }
 

@@ -32,7 +32,8 @@ pub use cpu::CpuModel;
 pub use error::{FsError, FsResult};
 pub use inode::Inode;
 pub use vfs::{
-    Attr, CacheStats, DirEntry, FileKind, FileSystem, Ino, IoStats, MetadataMode, StatFs,
+    Attr, CacheStats, ConcurrentFs, DirEntry, FileKind, FileSystem, Ino, IoStats,
+    MetadataMode, StatFs,
 };
 
 /// File-system block size in bytes. The paper's implementation used 4 KB

@@ -261,6 +261,54 @@ pub trait FileSystem {
     }
 }
 
+/// The concurrent surface: the subset of [`FileSystem`] that client
+/// threads can drive **in parallel against one shared instance**. Every
+/// method takes `&self`, and the implementation must be `Send + Sync` —
+/// internally it shards or locks its own state (per-cylinder-group
+/// allocation maps, cache shards, a threaded driver queue).
+///
+/// Time discipline: each client thread advances its own virtual clock
+/// (thread-local mirror in `cffs_obs::Obs`); the run's elapsed simulated
+/// time is the cross-thread high-water mark `Obs::global_clock_ns`, so
+/// overlapping CPU work on different threads genuinely overlaps while
+/// disk requests serialize through the shared driver worker.
+///
+/// The method set is intentionally narrower than [`FileSystem`]:
+/// handle-renumbering operations (`rename`, `link`) and whole-fs
+/// maintenance (`truncate`, `drop_caches`) stay on the single-threaded
+/// trait — concurrent workloads don't need them and their inode-handle
+/// adoption rules don't compose across racing threads.
+pub trait ConcurrentFs: Send + Sync {
+    /// Short label for reports, e.g. `"C-FFS"`.
+    fn label(&self) -> &str;
+    /// The root directory's inode number.
+    fn root(&self) -> Ino;
+    /// Look `name` up in directory `dir`.
+    fn lookup(&self, dir: Ino, name: &str) -> FsResult<Ino>;
+    /// Fetch attributes of `ino`.
+    fn getattr(&self, ino: Ino) -> FsResult<Attr>;
+    /// Create a regular file named `name` in `dir`.
+    fn create(&self, dir: Ino, name: &str) -> FsResult<Ino>;
+    /// Create a directory.
+    fn mkdir(&self, dir: Ino, name: &str) -> FsResult<Ino>;
+    /// Remove a file name (storage freed with the last link).
+    fn unlink(&self, dir: Ino, name: &str) -> FsResult<()>;
+    /// Read up to `buf.len()` bytes at `off`; returns bytes read.
+    fn read(&self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize>;
+    /// Write `data` at `off`, extending as needed; returns bytes written.
+    fn write(&self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize>;
+    /// List a directory.
+    fn readdir(&self, dir: Ino) -> FsResult<Vec<DirEntry>>;
+    /// Write back all dirty state (safe to race with foreground ops).
+    fn sync(&self) -> FsResult<()>;
+    /// The calling thread's current simulated time.
+    fn now(&self) -> SimTime;
+    /// The stack-wide observability handle, when carried.
+    fn obs(&self) -> Option<std::sync::Arc<cffs_obs::Obs>> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,7 @@
 pub mod json;
 pub mod prof;
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use json::{Json, JsonError, ToJson};
@@ -91,6 +91,9 @@ counters! {
     DriverCoalesced => "driver_coalesced",
     /// Batches submitted to the driver.
     DriverBatches => "driver_batches",
+    /// Submissions enqueued on the threaded driver queue (single reads
+    /// and writes as well as batches).
+    DriverQueueSubmit => "driver_queue_submit",
 
     // ---- buffer cache ----
     /// Block lookups against the cache.
@@ -162,6 +165,17 @@ counters! {
     SignalLowEvents => "signal_low_events",
     /// Signal EWMA crossings above a configured ceiling.
     SignalHighEvents => "signal_high_events",
+
+    // ---- lock contention (host-time; zero in single-threaded runs) ----
+    /// Host nanoseconds spent waiting on contended allocation-map /
+    /// group-index / namespace locks in the FS core.
+    LockWaitNsAlloc => "lock_wait_ns_alloc",
+    /// Host nanoseconds spent waiting on contended buffer-cache shard
+    /// locks.
+    LockWaitNsCache => "lock_wait_ns_cache",
+    /// Host nanoseconds spent waiting on contended driver queue / disk
+    /// locks.
+    LockWaitNsDriver => "lock_wait_ns_driver",
 }
 
 /// Fixed registry of relaxed atomic counters.
@@ -465,6 +479,10 @@ pub struct Histos {
     /// Logical requests per driver batch (instantaneous queue depth at
     /// each submit).
     pub driver_batch_reqs: Histogram,
+    /// Per-shard buffer-cache hit rate in percent, sampled once per shard
+    /// at every cache drop (cold boundary) covering the epoch since the
+    /// previous drop.
+    pub cache_shard_hit_pct: Histogram,
 }
 
 impl Histos {
@@ -476,6 +494,7 @@ impl Histos {
             disk_req_service_ns: Histogram::new(),
             group_fetch_util_pct: Histogram::new(),
             driver_batch_reqs: Histogram::new(),
+            cache_shard_hit_pct: Histogram::new(),
         }
     }
 
@@ -495,6 +514,7 @@ impl Histos {
         out.push(("disk_req_service_ns".to_string(), &self.disk_req_service_ns));
         out.push(("group_fetch_util_pct".to_string(), &self.group_fetch_util_pct));
         out.push(("driver_batch_reqs".to_string(), &self.driver_batch_reqs));
+        out.push(("cache_shard_hit_pct".to_string(), &self.cache_shard_hit_pct));
         out
     }
 
@@ -509,6 +529,7 @@ impl Histos {
         out.push("disk_req_service_ns".to_string());
         out.push("group_fetch_util_pct".to_string());
         out.push("driver_batch_reqs".to_string());
+        out.push("cache_shard_hit_pct".to_string());
         out
     }
 }
@@ -609,31 +630,84 @@ impl TraceRing {
 
 /// Shared observability handle for one mounted stack (disk + driver +
 /// cache + file system). Clone the `Arc` into each layer.
+///
+/// Span state (the currently open op span and its attribution
+/// accumulators) is **per thread**: each workload thread opens and
+/// closes its own spans independently, so causal attribution stays
+/// correct when several clients drive one stack concurrently. Span ids
+/// still come from one shared counter, so a single-threaded run sees
+/// the same deterministic ids (1, 2, ...) as before.
 pub struct Obs {
+    /// Process-unique id keying this handle's slots in the thread-local
+    /// span/clock tables (an id, not a pointer, so a freed `Obs` can
+    /// never alias a new one's state).
+    uid: u64,
     counters: Counters,
     histos: Histos,
     trace: Mutex<TraceRing>,
-    /// Mirror of the driver's simulated clock, updated whenever the
-    /// driver advances time, so span guards can compute op latency
-    /// without a borrow of the driver.
+    /// High-water mirror of the simulated clock across *all* threads,
+    /// updated whenever any driver clock moves. Threads that have
+    /// advanced their own clock read their thread-local mirror instead
+    /// (see [`Obs::clock_ns`]).
     clock_ns: AtomicU64,
-    /// Currently open op span (0 = none) and its op-kind index.
-    cur_span: AtomicU64,
-    cur_op: AtomicUsize,
     /// Next span id to allocate (span ids start at 1; 0 means "none").
     next_span: AtomicU64,
-    /// Attribution accumulators for the currently open span: open time,
-    /// queue ns, service ns, and end time of the last disk request seen.
-    /// Valid only while `cur_span != 0`.
-    span_t0: AtomicU64,
-    span_q: AtomicU64,
-    span_svc: AtomicU64,
-    span_last_end: AtomicU64,
     /// Optional unbounded log of every closed span (plus unattributed
     /// disk requests), for full-run folds that outlive the trace ring.
     span_log: Mutex<Option<Vec<SpanRecord>>>,
     /// Health-signal EWMAs (see [`Sig`]).
     signals: Mutex<[SignalState; Sig::COUNT]>,
+}
+
+/// Source of [`Obs::uid`] values.
+static OBS_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-thread span state for one `Obs`: the open span, its op kind, and
+/// the attribution accumulators the span guard folds on close.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanTls {
+    cur_span: u64,
+    cur_op: usize,
+    q: u64,
+    svc: u64,
+    last_end: u64,
+}
+
+thread_local! {
+    /// Span state per (thread, Obs-uid).
+    static SPAN_TLS: std::cell::RefCell<std::collections::HashMap<u64, SpanTls>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+    /// Simulated-clock mirror per (thread, Obs-uid) — each client thread
+    /// runs its own virtual timeline under the threaded driver.
+    static CLOCK_TLS: std::cell::RefCell<std::collections::HashMap<u64, u64>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Snapshot of the calling thread's open span, taken by a submitter so a
+/// worker thread (the threaded driver) can service I/O on the span's
+/// behalf. `span == 0` means no span was open.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanCtx {
+    /// Open span id (0 = none).
+    pub span: u64,
+    /// [`OpKind`] index of the open span.
+    pub op: usize,
+    /// End time of the last disk request already attributed to the span
+    /// (queue gaps accumulate against this).
+    pub last_end: u64,
+}
+
+/// Attribution a worker thread accumulated while servicing on behalf of
+/// an adopted span; the submitting thread folds it back into its own
+/// span via [`Obs::fold_attr`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttrDelta {
+    /// Queue-gap nanoseconds accumulated while adopted.
+    pub queue_ns: u64,
+    /// Disk service nanoseconds accumulated while adopted.
+    pub service_ns: u64,
+    /// End time of the last disk request serviced.
+    pub last_end: u64,
 }
 
 impl std::fmt::Debug for Obs {
@@ -652,20 +726,21 @@ impl Obs {
 
     pub fn with_trace_capacity(capacity: usize) -> Arc<Obs> {
         Arc::new(Obs {
+            uid: OBS_UID.fetch_add(1, Ordering::Relaxed),
             counters: Counters::new(),
             histos: Histos::new(),
             trace: Mutex::new(TraceRing::new(capacity)),
             clock_ns: AtomicU64::new(0),
-            cur_span: AtomicU64::new(0),
-            cur_op: AtomicUsize::new(0),
             next_span: AtomicU64::new(1),
-            span_t0: AtomicU64::new(0),
-            span_q: AtomicU64::new(0),
-            span_svc: AtomicU64::new(0),
-            span_last_end: AtomicU64::new(0),
             span_log: Mutex::new(None),
             signals: Mutex::new(std::array::from_fn(|_| SignalState::default())),
         })
+    }
+
+    /// Run `f` on this handle's slot in the calling thread's span table.
+    #[inline]
+    fn with_tls<R>(&self, f: impl FnOnce(&mut SpanTls) -> R) -> R {
+        SPAN_TLS.with(|t| f(t.borrow_mut().entry(self.uid).or_default()))
     }
 
     #[inline]
@@ -707,12 +782,12 @@ impl Obs {
     /// duration); requests outside any span count as pure service.
     fn attribute_disk_request(&self, in_span: bool, t_ns: u64, dur_ns: u64) {
         if in_span {
-            let prev_end = self.span_last_end.load(Ordering::Relaxed);
-            let gap = t_ns.saturating_sub(prev_end);
-            self.span_q.fetch_add(gap, Ordering::Relaxed);
-            self.span_svc.fetch_add(dur_ns, Ordering::Relaxed);
-            self.span_last_end
-                .fetch_max(t_ns.saturating_add(dur_ns), Ordering::Relaxed);
+            self.with_tls(|t| {
+                let gap = t_ns.saturating_sub(t.last_end);
+                t.q += gap;
+                t.svc += dur_ns;
+                t.last_end = t.last_end.max(t_ns.saturating_add(dur_ns));
+            });
         } else {
             self.counters.add(Ctr::AttrServiceNs, dur_ns);
             let mut log = self.span_log.lock().expect("span log poisoned");
@@ -745,9 +820,11 @@ impl Obs {
         self.span_log.lock().expect("span log poisoned").clone()
     }
 
-    /// Fold one raw sample into a signal's EWMA (`ewma += (v - ewma)/8`;
-    /// the first sample seeds the EWMA directly). Armed thresholds are
-    /// checked on every sample: a crossing bumps
+    /// Fold one raw sample into a signal's EWMA (`ewma += (v - ewma)/8`
+    /// in fixed-point milli-units, step rounded away from zero so the
+    /// EWMA converges *exactly* onto a constant sample stream; the first
+    /// sample seeds the EWMA directly). Armed thresholds are checked on
+    /// every sample: a crossing bumps
     /// `signal_low_events`/`signal_high_events` and drops a
     /// `signal.<name>.low`/`.recovered`/`.high` event in the trace ring
     /// (operands: EWMA and threshold in milli-units).
@@ -756,28 +833,40 @@ impl Obs {
         {
             let mut sigs = self.signals.lock().expect("signals poisoned");
             let s = &mut sigs[sig as usize];
+            let vm = (v * 1000.0).round() as i64;
             if s.samples == 0 {
-                s.ewma = v;
+                s.ewma_milli = vm;
             } else {
-                s.ewma += (v - s.ewma) / SIGNAL_EWMA_SHIFT;
+                // Truncating division would park the EWMA as soon as
+                // |v - ewma| < 8 milli-units — a signal sitting just
+                // under its floor could then never cross or re-arm.
+                // Rounding the step away from zero guarantees progress
+                // all the way to exact convergence.
+                let d = vm - s.ewma_milli;
+                s.ewma_milli += if d >= 0 {
+                    (d + SIGNAL_EWMA_SHIFT - 1) / SIGNAL_EWMA_SHIFT
+                } else {
+                    -((-d + SIGNAL_EWMA_SHIFT - 1) / SIGNAL_EWMA_SHIFT)
+                };
             }
             s.samples += 1;
+            let ewma = s.ewma();
             if let Some(floor) = s.floor {
-                if !s.low && s.ewma < floor {
+                if !s.low && ewma < floor {
                     s.low = true;
-                    crossings.push((sig.low_tag(), s.ewma, floor, Ctr::SignalLowEvents));
-                } else if s.low && s.ewma >= floor * SIGNAL_REARM {
+                    crossings.push((sig.low_tag(), ewma, floor, Ctr::SignalLowEvents));
+                } else if s.low && ewma >= floor * SIGNAL_REARM {
                     s.low = false;
-                    crossings.push((sig.high_tag(), s.ewma, floor, Ctr::SignalHighEvents));
+                    crossings.push((sig.high_tag(), ewma, floor, Ctr::SignalHighEvents));
                 }
             }
             if let Some(ceiling) = s.ceiling {
-                if !s.high && s.ewma > ceiling {
+                if !s.high && ewma > ceiling {
                     s.high = true;
-                    crossings.push((sig.high_tag(), s.ewma, ceiling, Ctr::SignalHighEvents));
-                } else if s.high && s.ewma <= ceiling / SIGNAL_REARM {
+                    crossings.push((sig.high_tag(), ewma, ceiling, Ctr::SignalHighEvents));
+                } else if s.high && ewma <= ceiling / SIGNAL_REARM {
                     s.high = false;
-                    crossings.push((sig.low_tag(), s.ewma, ceiling, Ctr::SignalLowEvents));
+                    crossings.push((sig.low_tag(), ewma, ceiling, Ctr::SignalLowEvents));
                 }
             }
         }
@@ -792,7 +881,7 @@ impl Obs {
     pub fn signal(&self, sig: Sig) -> SignalView {
         let s = self.signals.lock().expect("signals poisoned")[sig as usize];
         SignalView {
-            ewma: s.ewma,
+            ewma: s.ewma(),
             samples: s.samples,
             low: s.low,
             high: s.high,
@@ -823,7 +912,7 @@ impl Obs {
                     (
                         sig.name().to_string(),
                         obj![
-                            ("ewma_milli", Json::Int(milli(s.ewma) as i64)),
+                            ("ewma_milli", Json::Int(s.ewma_milli.max(0))),
                             ("samples", Json::Int(s.samples as i64)),
                             ("low", Json::Bool(s.low)),
                             ("high", Json::Bool(s.high)),
@@ -835,12 +924,13 @@ impl Obs {
     }
 
     fn current_span_fields(&self) -> (u64, &'static str) {
-        let span = self.cur_span.load(Ordering::Relaxed);
-        if span == 0 {
-            (0, "")
-        } else {
-            (span, OpKind::ALL[self.cur_op.load(Ordering::Relaxed)].name())
-        }
+        self.with_tls(|t| {
+            if t.cur_span == 0 {
+                (0, "")
+            } else {
+                (t.cur_span, OpKind::ALL[t.cur_op].name())
+            }
+        })
     }
 
     /// The histogram registry.
@@ -848,55 +938,163 @@ impl Obs {
         &self.histos
     }
 
-    /// Mirror the driver's simulated clock (monotonic; called by the
-    /// driver whenever its clock moves).
+    /// Mirror a driver's simulated clock (monotonic; called by the
+    /// driver whenever its clock moves). The calling thread's local
+    /// mirror takes the exact value; the shared mirror keeps the
+    /// high-water mark across all threads.
     #[inline]
     pub fn set_clock_ns(&self, now_ns: u64) {
+        CLOCK_TLS.with(|t| {
+            let mut map = t.borrow_mut();
+            let slot = map.entry(self.uid).or_insert(0);
+            *slot = (*slot).max(now_ns);
+        });
         self.clock_ns.fetch_max(now_ns, Ordering::Relaxed);
     }
 
-    /// Latest simulated time any layer reported, nanoseconds.
+    /// Pin the calling thread's clock mirror to at least `ns` without
+    /// touching the shared high-water mark. A fan-out point calls this at
+    /// the top of each spawned worker, passing the fork-time watermark:
+    /// without the pin, a worker whose first op happens to run late in
+    /// *wall* time falls back to the global mirror — which its siblings
+    /// have already pushed forward — and the virtual timelines chain one
+    /// after another instead of overlapping.
+    #[inline]
+    pub fn pin_clock_ns(&self, ns: u64) {
+        CLOCK_TLS.with(|t| {
+            let mut map = t.borrow_mut();
+            let slot = map.entry(self.uid).or_insert(0);
+            *slot = (*slot).max(ns);
+        });
+    }
+
+    /// The calling thread's simulated time, nanoseconds: its own clock
+    /// mirror when it has one, else the cross-thread high-water mark.
     pub fn clock_ns(&self) -> u64 {
+        CLOCK_TLS
+            .with(|t| t.borrow().get(&self.uid).copied())
+            .unwrap_or_else(|| self.clock_ns.load(Ordering::Relaxed))
+    }
+
+    /// Cross-thread high-water mark of the simulated clock — the elapsed
+    /// time of a multi-threaded run (every thread's work fits before it).
+    pub fn global_clock_ns(&self) -> u64 {
         self.clock_ns.load(Ordering::Relaxed)
     }
 
-    /// The currently open op span, if any.
+    /// The op span currently open **on the calling thread**, if any.
     pub fn current_span(&self) -> Option<(SpanId, OpKind)> {
-        let span = self.cur_span.load(Ordering::Relaxed);
-        if span == 0 {
-            None
-        } else {
-            Some((SpanId(span), OpKind::ALL[self.cur_op.load(Ordering::Relaxed)]))
-        }
+        self.with_tls(|t| {
+            if t.cur_span == 0 {
+                None
+            } else {
+                Some((SpanId(t.cur_span), OpKind::ALL[t.cur_op]))
+            }
+        })
     }
 
     /// Open a causal span for one file-system operation. Returns a guard
     /// that closes the span (recording an `op.*` trace event and the op's
     /// latency histogram sample) when dropped.
     ///
-    /// Spans do not nest: if a span is already open (an entry point
-    /// called another entry point, e.g. `drop_caches` → `sync`), the
-    /// inner guard is inert and all I/O stays attributed to the
-    /// outermost — user-visible — operation.
+    /// Spans do not nest: if a span is already open **on this thread**
+    /// (an entry point called another entry point, e.g. `drop_caches` →
+    /// `sync`), the inner guard is inert and all I/O stays attributed to
+    /// the outermost — user-visible — operation. Guards must be dropped
+    /// on the thread that opened them.
     pub fn span(self: &Arc<Obs>, op: OpKind) -> SpanGuard {
-        let opened = if self.cur_span.load(Ordering::Relaxed) == 0 {
+        let t0 = self.clock_ns();
+        let opened = self.with_tls(|t| {
+            if t.cur_span != 0 {
+                return None;
+            }
             let id = self.next_span.fetch_add(1, Ordering::Relaxed);
-            let t0 = self.clock_ns();
-            self.cur_op.store(op as usize, Ordering::Relaxed);
-            self.span_t0.store(t0, Ordering::Relaxed);
-            self.span_q.store(0, Ordering::Relaxed);
-            self.span_svc.store(0, Ordering::Relaxed);
-            self.span_last_end.store(t0, Ordering::Relaxed);
-            self.cur_span.store(id, Ordering::Relaxed);
+            *t = SpanTls {
+                cur_span: id,
+                cur_op: op as usize,
+                q: 0,
+                svc: 0,
+                last_end: t0,
+            };
             Some((SpanId(id), t0))
-        } else {
-            None
-        };
+        });
         SpanGuard {
             obs: Arc::clone(self),
             op,
             opened,
         }
+    }
+
+    /// Snapshot of the calling thread's open span for hand-off to a
+    /// worker thread (see [`SpanCtx`]).
+    pub fn span_ctx(&self) -> SpanCtx {
+        self.with_tls(|t| SpanCtx {
+            span: t.cur_span,
+            op: t.cur_op,
+            last_end: t.last_end,
+        })
+    }
+
+    /// Adopt a submitter's span on the current (worker) thread: trace
+    /// events recorded until [`Obs::end_adopt`] are stamped with the
+    /// adopted span/op, and disk-request attribution accumulates locally
+    /// for the submitter to fold back. The worker thread must have no
+    /// span of its own open.
+    pub fn adopt_span(&self, ctx: SpanCtx) {
+        self.with_tls(|t| {
+            debug_assert_eq!(t.cur_span, 0, "worker adopted a span while one was open");
+            *t = SpanTls {
+                cur_span: ctx.span,
+                cur_op: ctx.op,
+                q: 0,
+                svc: 0,
+                last_end: ctx.last_end,
+            };
+        });
+    }
+
+    /// Close out an adoption and return what accumulated (see
+    /// [`Obs::adopt_span`]).
+    pub fn end_adopt(&self) -> AttrDelta {
+        self.with_tls(|t| {
+            let d = AttrDelta {
+                queue_ns: t.q,
+                service_ns: t.svc,
+                last_end: t.last_end,
+            };
+            *t = SpanTls::default();
+            d
+        })
+    }
+
+    /// Fold attribution a worker accumulated on our behalf back into the
+    /// calling thread's open span (no-op when no span is open — the
+    /// worker already accounted unattributed service itself).
+    pub fn fold_attr(&self, d: AttrDelta) {
+        self.with_tls(|t| {
+            if t.cur_span != 0 {
+                t.q += d.queue_ns;
+                t.svc += d.service_ns;
+                t.last_end = t.last_end.max(d.last_end);
+            }
+        });
+    }
+
+    /// Lock `m`, charging host-time wait on contention to counter `ctr`.
+    /// The uncontended path is a plain `try_lock` and charges nothing, so
+    /// single-threaded runs deterministically report zero lock wait.
+    pub fn lock_timed<'a, T>(
+        &self,
+        m: &'a Mutex<T>,
+        ctr: Ctr,
+    ) -> std::sync::MutexGuard<'a, T> {
+        if let Ok(g) = m.try_lock() {
+            return g;
+        }
+        let t0 = std::time::Instant::now();
+        let g = m.lock().expect("lock poisoned");
+        self.counters.add(ctr, t0.elapsed().as_nanos() as u64);
+        g
     }
 
     /// The newest `n` trace events, oldest first.
@@ -968,8 +1166,10 @@ impl Drop for SpanGuard {
             // can be computed against a clock that ran past the span's
             // close (nested sync paths), so the residue saturates at 0 —
             // the documented `op_ns >= queue_ns + service_ns` caveat.
-            let q = self.obs.span_q.load(Ordering::Relaxed);
-            let svc = self.obs.span_svc.load(Ordering::Relaxed);
+            let (q, svc) = self.obs.with_tls(|t| {
+                debug_assert_eq!(t.cur_span, id, "span closed on a foreign thread");
+                (t.q, t.svc)
+            });
             self.obs.counters.add(Ctr::AttrQueueNs, q);
             self.obs.counters.add(Ctr::AttrServiceNs, svc);
             self.obs
@@ -991,8 +1191,7 @@ impl Drop for SpanGuard {
             // Emit while the span is still current so the event is
             // stamped with its own span/op, then close.
             self.obs.trace_io(t0, self.op.tag(), 0, 0, latency);
-            debug_assert_eq!(self.obs.cur_span.load(Ordering::Relaxed), id);
-            self.obs.cur_span.store(0, Ordering::Relaxed);
+            self.obs.with_tls(|t| *t = SpanTls::default());
         }
     }
 }
@@ -1073,10 +1272,11 @@ signals! {
         / "signal.dirty_backlog.high",
 }
 
-/// EWMA smoothing factor: `ewma += (sample - ewma) / 8`. A power of two
-/// so the arithmetic is exact and platform-independent for the integer
-/// sample magnitudes the stack feeds in.
-const SIGNAL_EWMA_SHIFT: f64 = 8.0;
+/// EWMA smoothing divisor: `ewma += (sample - ewma) / 8`, computed in
+/// fixed-point milli-units with the step rounded away from zero so a
+/// constant sample stream converges exactly (integer truncation would
+/// stall the EWMA once the gap fell under 8 milli-units).
+const SIGNAL_EWMA_SHIFT: i64 = 8;
 
 /// Hysteresis: after a floor crossing, the signal re-arms only once the
 /// EWMA climbs back above `floor * SIGNAL_REARM`.
@@ -1090,7 +1290,9 @@ fn milli(v: f64) -> u64 {
 
 #[derive(Debug, Clone, Copy, Default)]
 struct SignalState {
-    ewma: f64,
+    /// EWMA in fixed-point milli-units (exact, platform-independent;
+    /// signed so samples near zero can round either way).
+    ewma_milli: i64,
     samples: u64,
     floor: Option<f64>,
     ceiling: Option<f64>,
@@ -1098,6 +1300,12 @@ struct SignalState {
     low: bool,
     /// Currently above the ceiling.
     high: bool,
+}
+
+impl SignalState {
+    fn ewma(&self) -> f64 {
+        self.ewma_milli as f64 / 1000.0
+    }
 }
 
 /// Read-only view of one signal's smoothed state.
@@ -1549,5 +1757,126 @@ mod tests {
             }
         });
         assert_eq!(obs.get(Ctr::CacheLookups), 40_000);
+    }
+
+    /// Regression for the parked-EWMA bug: with truncating integer steps,
+    /// a constant sample stream whose gap to the EWMA is under 8
+    /// milli-units never moves, so the EWMA can neither converge nor
+    /// cross a threshold sitting in that gap. The away-from-zero step
+    /// must converge *exactly*.
+    #[test]
+    fn signal_ewma_converges_exactly_on_constant_stream() {
+        let obs = Obs::new();
+        obs.signal_sample(Sig::DirtyBacklog, 100.0);
+        for _ in 0..200 {
+            obs.signal_sample(Sig::DirtyBacklog, 37.5);
+        }
+        assert_eq!(obs.signal(Sig::DirtyBacklog).ewma, 37.5, "must converge exactly");
+
+        // From below, too (negative steps round away from zero).
+        let obs = Obs::new();
+        obs.signal_sample(Sig::DirtyBacklog, 1.0);
+        for _ in 0..200 {
+            obs.signal_sample(Sig::DirtyBacklog, 37.5);
+        }
+        assert_eq!(obs.signal(Sig::DirtyBacklog).ewma, 37.5);
+    }
+
+    /// A signal seeded a hair above its floor and fed samples a hair
+    /// below it must still cross: the per-sample delta here is 6
+    /// milli-units, which truncating division would round to a zero step
+    /// forever.
+    #[test]
+    fn signal_parked_just_under_floor_still_crosses() {
+        let obs = Obs::new();
+        obs.set_signal_floor(Sig::GroupFetchUtil, 80.0);
+        obs.signal_sample(Sig::GroupFetchUtil, 80.004);
+        assert!(!obs.signal(Sig::GroupFetchUtil).low);
+        for _ in 0..10 {
+            obs.signal_sample(Sig::GroupFetchUtil, 79.998);
+        }
+        let v = obs.signal(Sig::GroupFetchUtil);
+        assert!(v.low, "sub-milli-step decay must still cross the floor, ewma={}", v.ewma);
+        assert_eq!(obs.get(Ctr::SignalLowEvents), 1);
+    }
+
+    /// Span state is per thread: four threads each open, attribute, and
+    /// close their own span concurrently without clobbering each other.
+    #[test]
+    fn spans_are_per_thread() {
+        let obs = Obs::new();
+        obs.set_clock_ns(1_000);
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let obs = Arc::clone(&obs);
+                s.spawn(move || {
+                    let g = obs.span(OpKind::Read);
+                    assert!(g.id().is_some(), "each thread gets its own outermost span");
+                    // A disk request inside this thread's span.
+                    obs.trace_io(1_000 + i, "disk.read", i, 8, 50);
+                    assert_eq!(
+                        obs.current_span().map(|(_, op)| op),
+                        Some(OpKind::Read),
+                        "span stays open across a sibling thread's close"
+                    );
+                });
+            }
+        });
+        assert_eq!(obs.current_span(), None, "main thread never had a span");
+        let snap = obs.snapshot("t", 2_000);
+        assert_eq!(snap.op_latency(OpKind::Read).unwrap().count(), 4);
+        assert_eq!(snap.get(Ctr::AttrServiceNs), 4 * 50);
+    }
+
+    /// The adopt/fold protocol ships attribution from a worker thread
+    /// back into the submitter's span.
+    #[test]
+    fn adopted_span_attribution_folds_back() {
+        let obs = Obs::new();
+        obs.set_clock_ns(100);
+        let g = obs.span(OpKind::Write);
+        assert!(g.id().is_some());
+        let ctx = obs.span_ctx();
+        assert_eq!(ctx.span, 1);
+
+        let delta = std::thread::scope(|s| {
+            let obs = Arc::clone(&obs);
+            s.spawn(move || {
+                obs.adopt_span(ctx);
+                // Gap 100→150 queues, 200ns services.
+                obs.trace_io(150, "disk.write", 7, 8, 200);
+                obs.end_adopt()
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(delta.queue_ns, 50);
+        assert_eq!(delta.service_ns, 200);
+        assert_eq!(delta.last_end, 350);
+        obs.fold_attr(delta);
+        obs.set_clock_ns(400);
+        drop(g);
+
+        let snap = obs.snapshot("t", 400);
+        assert_eq!(snap.get(Ctr::AttrQueueNs), 50);
+        assert_eq!(snap.get(Ctr::AttrServiceNs), 200);
+        assert_eq!(snap.get(Ctr::AttrOpNs), 300 - 250);
+        // The worker's event carries the adopted span id.
+        let ev = obs.recent_events(10).into_iter().find(|e| e.tag == "disk.write").unwrap();
+        assert_eq!(ev.span, 1);
+        assert_eq!(ev.op, "write");
+    }
+
+    /// `lock_timed` charges nothing on the uncontended fast path, so
+    /// single-threaded runs stay deterministic.
+    #[test]
+    fn lock_timed_is_free_when_uncontended() {
+        let obs = Obs::new();
+        let m = Mutex::new(0u32);
+        for _ in 0..100 {
+            *obs.lock_timed(&m, Ctr::LockWaitNsCache) += 1;
+        }
+        assert_eq!(*m.lock().unwrap(), 100);
+        assert_eq!(obs.get(Ctr::LockWaitNsCache), 0);
     }
 }

@@ -322,6 +322,15 @@ pub fn fold_log(records: &[SpanRecord], root: &str, elapsed_ns: u64) -> Fold {
 /// Shared folding core: each record's duration (clamped to start at
 /// `window_start`) splits into service, queue, and self frames; the
 /// window's uncovered remainder becomes `{root};idle`.
+///
+/// Records may overlap in simulated time (concurrent client threads
+/// under the threaded driver run parallel virtual timelines) and may
+/// arrive out of order (unattributed requests are logged inline, spans
+/// close in any order). Conservation — every nanosecond in exactly one
+/// leaf — is kept by attributing along a frontier: records are taken in
+/// start order and each claims only the part of its window no earlier
+/// record claimed. For the non-overlapping records a single-threaded
+/// run produces, this is exactly the old per-record accounting.
 fn fold_clamped(
     fold: &mut Fold,
     records: &[SpanRecord],
@@ -329,10 +338,15 @@ fn fold_clamped(
     window_start: u64,
     window_end: u64,
 ) {
+    let mut sorted: Vec<&SpanRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| (r.t0_ns.max(window_start), r.t0_ns));
     let mut covered = 0u64;
-    for r in records {
-        let start = r.t0_ns.max(window_start);
-        let dur = r.t0_ns.saturating_add(r.dur_ns).saturating_sub(start);
+    let mut frontier = window_start;
+    for r in sorted {
+        let end = r.t0_ns.saturating_add(r.dur_ns);
+        let start = r.t0_ns.max(frontier);
+        let dur = end.saturating_sub(start);
+        frontier = frontier.max(end);
         covered = covered.saturating_add(dur);
         let base = match (r.op, r.truncated) {
             (Some(op), false) => format!("{root};{}", op.name()),

@@ -345,7 +345,7 @@ pub fn execute(fs: &mut Cffs, plan: &RegroupPlan, cfg: &RegroupConfig) -> FsResu
             // Advance the target whenever the current extent fills: next
             // keep with room, else carve a fresh empty extent.
             let full = key
-                .and_then(|k| fs.group_index().get(k.0, k.1))
+                .and_then(|k| fs.group_index().get(k.0, k.1).copied())
                 .is_none_or(|g| g.free_slot().is_none());
             if full {
                 key = targets.find(|k| {

@@ -25,9 +25,13 @@
 //! * [`trace`] — operation traces: random generation, recording, replay;
 //!   the substrate for cross-implementation equivalence tests.
 //! * [`runner`] — phase measurement: simulated elapsed time + I/O deltas.
+//! * [`concurrent`] — N client threads over one shared [`cffs_fslib::ConcurrentFs`]
+//!   instance: disjoint per-thread directory sets plus an optional shared
+//!   contention set, throughput in simulated time.
 
 pub mod aging;
 pub mod appdev;
+pub mod concurrent;
 pub mod namegen;
 pub mod postmark;
 pub mod runner;

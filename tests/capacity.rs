@@ -31,7 +31,7 @@ fn mini_fs(cfg: CffsConfig) -> Cffs {
 fn fill_to_enospc_then_recover() {
     for cfg in [CffsConfig::cffs(), CffsConfig::conventional()] {
         let label = cfg.label.clone();
-        let mut fs = mini_fs(cfg);
+        let fs = mini_fs(cfg);
         let root = fs.root();
         let dir = fs.mkdir(root, "fill").unwrap();
         let mut created = 0u32;
@@ -76,7 +76,7 @@ fn fill_to_enospc_then_recover() {
 
 #[test]
 fn group_slack_is_reclaimed_under_pressure() {
-    let mut fs = mini_fs(CffsConfig::cffs());
+    let fs = mini_fs(CffsConfig::cffs());
     let root = fs.root();
     // Many directories, one tiny file each: maximal slack (each carves a
     // 16-block extent for ~2 live blocks).
@@ -117,7 +117,7 @@ fn group_slack_is_reclaimed_under_pressure() {
 fn no_static_inode_limit() {
     // FFS at this geometry runs out of *inodes*; C-FFS with embedding
     // keeps creating until *space* runs out. [Forin94]'s point, live.
-    let mut fs = mini_fs(CffsConfig::cffs());
+    let fs = mini_fs(CffsConfig::cffs());
     let root = fs.root();
     let dir = fs.mkdir(root, "many").unwrap();
     let mut n = 0u32;

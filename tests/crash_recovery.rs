@@ -28,7 +28,7 @@ fn cffs_fs(cfg: CffsConfig) -> Cffs {
 fn fsck_repairs_any_crash_point_cffs() {
     for cfg in [CffsConfig::cffs(), CffsConfig::conventional()] {
         let label = cfg.label.clone();
-        let mut fs = cffs_fs(cfg);
+        let fs = cffs_fs(cfg);
         let root = fs.root();
         let dir = fs.mkdir(root, "work").unwrap();
         let mut images = Vec::new();
@@ -95,7 +95,7 @@ fn fsck_repairs_any_crash_point_ffs() {
 /// valid.
 #[test]
 fn completed_creates_survive_crashes() {
-    let mut fs = cffs_fs(CffsConfig::cffs());
+    let fs = cffs_fs(CffsConfig::cffs());
     let root = fs.root();
     let dir = fs.mkdir(root, "d").unwrap();
     for i in 0..10 {
@@ -129,7 +129,7 @@ fn no_dangling_names_after_repair_all_variants() {
         CffsConfig::grouping_only(),
     ] {
         let label = cfg.label.clone();
-        let mut fs = cffs_fs(cfg);
+        let fs = cffs_fs(cfg);
         let root = fs.root();
         let dir = fs.mkdir(root, "d").unwrap();
         for i in 0..25 {

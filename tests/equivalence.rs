@@ -116,7 +116,7 @@ fn grouping_image_readable_with_grouping_disabled() {
 fn trait_level_contract_examples() {
     // A hand-written scenario covering the renumbering contract that the
     // random traces exercise only incidentally.
-    let mut fs = build::on_disk(models::tiny_test_disk(), cffs::core::CffsConfig::cffs());
+    let fs = build::on_disk(models::tiny_test_disk(), cffs::core::CffsConfig::cffs());
     let root = fs.root();
     let d1 = fs.mkdir(root, "d1").unwrap();
     let d2 = fs.mkdir(root, "d2").unwrap();

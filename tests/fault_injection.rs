@@ -36,7 +36,7 @@ fn tear_everywhere_and_repair(fs: &Cffs, context: &str) {
             verify.errors
         );
         // And every surviving name resolves to a valid inode.
-        let mut fs2 = Cffs::mount(img, CffsConfig::cffs()).expect("mount repaired");
+        let fs2 = Cffs::mount(img, CffsConfig::cffs()).expect("mount repaired");
         let mut stack = vec![fs2.root()];
         while let Some(dir) = stack.pop() {
             for e in fs2.readdir(dir).expect("readdir") {
@@ -60,7 +60,7 @@ fn torn_writes_during_creates_all_variants() {
         CffsConfig::grouping_only(),
     ] {
         let label = cfg.label.clone();
-        let mut fs = fresh(cfg);
+        let fs = fresh(cfg);
         let root = fs.root();
         let dir = fs.mkdir(root, "d").unwrap();
         for i in 0..12 {
@@ -73,7 +73,7 @@ fn torn_writes_during_creates_all_variants() {
 
 #[test]
 fn torn_writes_during_deletes_and_renames() {
-    let mut fs = fresh(CffsConfig::cffs());
+    let fs = fresh(CffsConfig::cffs());
     let root = fs.root();
     let dir = fs.mkdir(root, "d").unwrap();
     for i in 0..10 {
@@ -94,7 +94,7 @@ fn torn_writes_during_deletes_and_renames() {
 #[test]
 fn torn_writes_during_sync_flush() {
     // Delayed mode: everything lands in one big flush; tear its last write.
-    let mut fs = fresh(CffsConfig::cffs().with_mode(MetadataMode::Delayed));
+    let fs = fresh(CffsConfig::cffs().with_mode(MetadataMode::Delayed));
     let root = fs.root();
     for d in 0..4 {
         let dir = fs.mkdir(root, &format!("d{d}")).unwrap();
@@ -112,7 +112,7 @@ fn torn_writes_during_sync_flush() {
 /// name and inode went to disk in one sector program.
 #[test]
 fn embedded_name_inode_pair_never_splits() {
-    let mut fs = fresh(CffsConfig::cffs());
+    let fs = fresh(CffsConfig::cffs());
     let root = fs.root();
     let dir = fs.mkdir(root, "d").unwrap();
     let a = fs.create(dir, "complete").unwrap();

@@ -104,7 +104,7 @@ fn member_bits_match_reachable_blocks() {
 
 #[test]
 fn groups_never_overlap() {
-    let mut fs = fresh();
+    let fs = fresh();
     let root = fs.root();
     for d in 0..10 {
         let dir = fs.mkdir(root, &format!("dir{d}")).unwrap();
@@ -144,7 +144,7 @@ fn large_files_are_degrouped() {
     for lbn in 0..(90_000u64.div_ceil(4096)) {
         if let Some(blk) = block_of(&mut fs, big, lbn) {
             assert!(
-                fs.group_index().group_of_block(fs.superblock(), blk).is_none(),
+                fs.group_index().group_of_block(&fs.superblock(), blk).is_none(),
                 "block {blk} of the large file is still grouped"
             );
         }
@@ -157,12 +157,12 @@ fn large_files_are_degrouped() {
     // Small files still grouped.
     let small = fs.lookup(dir, "small0").unwrap();
     let blk = block_of(&mut fs, small, 0).expect("mapped");
-    assert!(fs.group_index().group_of_block(fs.superblock(), blk).is_some());
+    assert!(fs.group_index().group_of_block(&fs.superblock(), blk).is_some());
 }
 
 #[test]
 fn deleting_all_files_dissolves_groups() {
-    let mut fs = fresh();
+    let fs = fresh();
     let root = fs.root();
     let dir = fs.mkdir(root, "d").unwrap();
     for f in 0..20 {
@@ -203,9 +203,9 @@ fn group_hint_colocates_files() {
     // All assets' blocks now live in groups owned by `dir`.
     for (f, &ino) in inos.iter().enumerate() {
         let blk = block_of(&mut fs, ino, 0).expect("mapped");
-        let g = fs
+        let g = *fs
             .group_index()
-            .group_of_block(fs.superblock(), blk)
+            .group_of_block(&fs.superblock(), blk)
             .unwrap_or_else(|| panic!("asset{f} not grouped"));
         assert_eq!(g.owner, dir);
     }
@@ -220,7 +220,7 @@ fn group_hint_colocates_files() {
 
 #[test]
 fn statfs_slack_accounting() {
-    let mut fs = fresh();
+    let fs = fresh();
     let root = fs.root();
     let dir = fs.mkdir(root, "d").unwrap();
     let st0 = fs.statfs().unwrap();

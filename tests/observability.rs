@@ -6,7 +6,6 @@
 //! the trace ring through the live stack.
 
 use cffs::core::{Cffs, CffsConfig, MkfsParams};
-use cffs::prelude::*;
 use cffs_disksim::models;
 use cffs_disksim::Disk;
 use cffs_obs::json::ToJson;
@@ -21,7 +20,7 @@ fn fresh(cfg: CffsConfig) -> Cffs {
 /// Write one 1 KB file, go cold, and read it back, returning the counter
 /// delta of just the read.
 fn cold_read_delta(cfg: CffsConfig) -> StatsSnapshot {
-    let mut fs = fresh(cfg);
+    let fs = fresh(cfg);
     let root = fs.root();
     let d = fs.mkdir(root, "d").unwrap();
     let f = fs.create(d, "small").unwrap();
@@ -65,7 +64,7 @@ fn cold_small_file_read_conventional_needs_two_requests() {
 /// dominates an earlier one counter-by-counter.
 #[test]
 fn snapshots_are_monotonic_through_a_workload() {
-    let mut fs = fresh(CffsConfig::cffs());
+    let fs = fresh(CffsConfig::cffs());
     let root = fs.root();
     let obs = Cffs::obs(&fs);
     let mut prev = obs.snapshot("t0", fs.now().as_nanos());
@@ -96,7 +95,7 @@ fn snapshots_are_monotonic_through_a_workload() {
 /// ring; the newest events must survive, in time order.
 #[test]
 fn trace_ring_wraps_through_live_stack_keeping_newest() {
-    let mut fs = fresh(CffsConfig::cffs()); // sync metadata: many small writes
+    let fs = fresh(CffsConfig::cffs()); // sync metadata: many small writes
     let root = fs.root();
     let obs = Cffs::obs(&fs);
     let mut rounds = 0u32;
@@ -131,7 +130,7 @@ fn trace_ring_wraps_through_live_stack_keeping_newest() {
 /// that caused it — the trace ring links effect back to cause.
 #[test]
 fn cold_read_disk_request_links_back_to_its_read_span() {
-    let mut fs = fresh(CffsConfig::cffs());
+    let fs = fresh(CffsConfig::cffs());
     let root = fs.root();
     let d = fs.mkdir(root, "d").unwrap();
     let f = fs.create(d, "small").unwrap();
@@ -168,7 +167,7 @@ fn cold_read_disk_request_links_back_to_its_read_span() {
 /// fetched block ends up counted exactly once as used or wasted.
 #[test]
 fn group_fetch_utilization_accounts_every_fetched_block() {
-    let mut fs = fresh(CffsConfig::cffs());
+    let fs = fresh(CffsConfig::cffs());
     let root = fs.root();
     let d = fs.mkdir(root, "d").unwrap();
     let n = 8usize;

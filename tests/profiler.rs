@@ -15,6 +15,7 @@ use cffs_obs::json::{parse, Json, ToJson};
 use cffs_obs::{prof, Ctr, Obs};
 use cffs_regroup::AutotriggerConfig;
 use cffs_workloads::aging::{age_adversarial, AdversarialParams};
+use cffs_workloads::concurrent::{self, ConcurrentParams};
 use cffs_workloads::runner::measure;
 use cffs_workloads::smallfile::{self, SmallFileParams};
 use std::process::Command;
@@ -43,7 +44,7 @@ fn fold_total(fold: &str) -> u64 {
 fn fold_conserves_time_across_ring_wrap() {
     let mut disk = Disk::new(models::tiny_test_disk());
     disk.set_obs(Obs::with_trace_capacity(8));
-    let mut fs = mkfs::mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).expect("mkfs");
+    let fs = mkfs::mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).expect("mkfs");
     let root = fs.root();
     let d = fs.mkdir(root, "d").unwrap();
     for i in 0..12 {
@@ -62,6 +63,42 @@ fn fold_conserves_time_across_ring_wrap() {
     let elapsed = fs.now().as_nanos();
     let fold = prof::fold_ring(&events, obs.events_recorded(), "run", elapsed).collapse();
     assert_eq!(fold_total(&fold), elapsed, "fold must conserve simulated time:\n{fold}");
+    assert!(fold.contains("run;(evicted) "), "pre-window time must be explicit:\n{fold}");
+}
+
+/// The same conservation invariant with *threaded* producers: four
+/// client threads race events into the same tiny ring (wrapping it many
+/// times over, with interleaved per-thread virtual clocks), and the fold
+/// of whatever survives must still account for exactly the run's elapsed
+/// simulated time — the cross-thread clock high-water mark. A frontier
+/// clip or per-thread stamp that escaped the retained window would break
+/// the equality.
+#[test]
+fn fold_conserves_time_across_ring_wrap_with_threaded_producers() {
+    let mut disk = Disk::new(models::tiny_test_disk());
+    disk.set_obs(Obs::with_trace_capacity(8));
+    let fs = mkfs::mkfs(disk, MkfsParams::tiny(), CffsConfig::cffs()).expect("mkfs");
+    let p = ConcurrentParams {
+        nthreads: 4,
+        dirs_per_thread: 1,
+        files_per_dir: 12,
+        file_size: 700,
+        shared_dirs: 1,
+        shared_files_per_thread: 4,
+        read_rounds: 2,
+        seed: 3,
+    };
+    concurrent::run(&fs, &p).expect("threaded run");
+    let obs = Cffs::obs(&fs);
+    let events = obs.recent_events(usize::MAX);
+    assert!(obs.events_recorded() > events.len() as u64, "ring must wrap");
+    let elapsed = obs.global_clock_ns();
+    let fold = prof::fold_ring(&events, obs.events_recorded(), "run", elapsed).collapse();
+    assert_eq!(
+        fold_total(&fold),
+        elapsed,
+        "threaded fold must conserve simulated time:\n{fold}"
+    );
     assert!(fold.contains("run;(evicted) "), "pre-window time must be explicit:\n{fold}");
 }
 

@@ -29,7 +29,7 @@ fn fresh(cfg: CffsConfig) -> Cffs {
 /// commits exercise the indirect flush path, not just embedded-inode
 /// sectors).
 fn fragmented(cfg: CffsConfig) -> Cffs {
-    let mut fs = fresh(cfg);
+    let fs = fresh(cfg);
     let root = fs.root();
     let da = fs.mkdir(root, "a").unwrap();
     let db = fs.mkdir(root, "b").unwrap();

@@ -12,7 +12,6 @@
 use cffs::build;
 use cffs::core::CffsConfig;
 use cffs_disksim::models;
-use cffs_fslib::FileSystem;
 use cffs_workloads::aging::{age_adversarial, AdversarialParams};
 use cffs_workloads::appdev::{self, DevTreeParams};
 use cffs_workloads::postmark::{self, PostmarkParams};
