@@ -24,13 +24,23 @@ BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
     > /dev/null
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
-    --bin repro_aging_regroup > /dev/null
+    --bin repro_aging_regroup -- --feed "$BENCH_TMP/feed.jsonl" > /dev/null
 # Reduced scale must match the checked-in BENCH_CONCURRENT baseline
 # invocation exactly (the scaling ratio is scale-sensitive).
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_concurrent -- --dirs 2 --files 12 --rounds 8 > /dev/null
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     "$BENCH_TMP"/out/BENCH_*.json
+
+echo "== telemetry feed smoke (frame schema + cffs-top headless replay) =="
+# The aging_regroup smoke above recorded a live feed; every frame must
+# validate, and the dashboard must replay it headless.
+cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
+    --feed "$BENCH_TMP/feed.jsonl"
+cargo run --release --offline --bin cffs-top -- \
+    --replay "$BENCH_TMP/feed.jsonl" --headless --frames 5 \
+    | grep -q '^rendered 5 frames$' \
+    || { echo "cffs-top headless replay smoke failed"; exit 1; }
 
 echo "== profiler smoke (flamegraph fold + smallfile FOLD artifact) =="
 # The fold must be non-empty, every line must be `stack weight`, and the

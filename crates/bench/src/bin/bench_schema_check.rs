@@ -1,6 +1,12 @@
-//! CI schema gate for `BENCH_*.json` files.
+//! CI schema gate for `BENCH_*.json` files and telemetry feeds.
 //!
 //! Usage: bench_schema_check <file.json>...
+//!        bench_schema_check --feed <feed.jsonl>...
+//!
+//! `--feed` switches to feed mode: each file is a JSONL telemetry feed
+//! (written by a repro binary's `--feed` flag) and every frame must
+//! validate against `cffs_obs::feed::validate_frame` — the same checker
+//! the feed unit tests use, so the frame schema cannot drift from CI.
 //!
 //! Each file must parse with the in-tree JSON reader and carry the
 //! observability payload the analysis tooling relies on: a non-empty
@@ -87,14 +93,30 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Feed mode: parse + validate every frame, and require at least one
+/// (an empty feed means the producer never cut a frame — a wiring bug,
+/// not a quiet success).
+fn check_feed(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let frames = cffs_obs::feed::parse_feed(&text)?;
+    if frames.is_empty() {
+        return Err("feed has no frames".into());
+    }
+    Ok(())
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let feed_mode = args.first().is_some_and(|a| a == "--feed");
+    if feed_mode {
+        args.remove(0);
+    }
     if args.is_empty() {
-        eprintln!("usage: bench_schema_check <BENCH_*.json>...");
+        eprintln!("usage: bench_schema_check [--feed] <file>...");
         std::process::exit(2);
     }
     for path in &args {
-        match check(path) {
+        match if feed_mode { check_feed(path) } else { check(path) } {
             Ok(()) => println!("ok {path}"),
             Err(e) => {
                 eprintln!("bench_schema_check: {path}: {e}");

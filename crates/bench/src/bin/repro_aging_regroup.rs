@@ -1,5 +1,9 @@
 //! E13 (extra): online regrouping after adversarial aging.
-//! Usage: repro_aging_regroup [--seed N]
+//! Usage: repro_aging_regroup [--seed N] [--feed PATH]
+//!
+//! `--feed` streams the run's telemetry (one tap per stage, sharing one
+//! feed file) to PATH; replay the aging→regroup arc afterwards with
+//! `cffs-top --replay PATH`.
 //!
 //! Ages a C-FFS image with the adversarial workload, then runs the
 //! regrouping engine and reports the mean `group_fetch_util_pct` fresh /
@@ -11,6 +15,10 @@ use cffs_bench::report::emit_bench;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--feed") {
+        let path = args.get(i + 1).expect("--feed needs a path");
+        cffs_obs::feed::set_global(path).expect("create telemetry feed");
+    }
     let seed: u64 = args
         .iter()
         .position(|a| a == "--seed")

@@ -3,6 +3,10 @@
 //! Usage:
 //!   repro_smallfile [--mode sync|softdep|both] [--files N] [--size BYTES]
 //!                   [--dirs N] [--order roundrobin|dirmajor] [--seed N]
+//!                   [--feed PATH]
+//!
+//! `--feed` streams a live telemetry feed (one tap per measured file
+//! system) to PATH; watch it with `cffs-top --follow PATH`.
 
 use cffs_bench::experiments::smallfile;
 use cffs_bench::report::{emit_artifact, emit_bench};
@@ -27,6 +31,10 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     };
+    if let Some(i) = args.iter().position(|a| a == "--feed") {
+        let path = args.get(i + 1).expect("--feed needs a path");
+        cffs_obs::feed::set_global(path).expect("create telemetry feed");
+    }
     let params = SmallFileParams {
         nfiles: get("--files", "10000").parse().expect("--files"),
         file_size: get("--size", "1024").parse().expect("--size"),

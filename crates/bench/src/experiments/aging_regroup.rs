@@ -164,6 +164,9 @@ fn autotrigger_run(seed: u64) -> AutotriggerResult {
     let mut fs = aged_instance(seed);
     let cfg = AutotriggerConfig::default();
     let obs = fs.obs();
+    // The stage the feed exists to show: the utilization EWMA decaying
+    // until the floor crossing fires budgeted regroup passes live.
+    let _feed = cffs_obs::feed::tap_global_sim(&obs, "autotrigger");
     let (mut fires, mut blocks_moved) = (0usize, 0usize);
     // Each round reads every directory cold; the aged layout's mixed
     // extents feed low-utilization samples into the EWMA until the
@@ -202,11 +205,23 @@ pub fn report(seed: u64) -> (String, Json) {
     let mut fresh_fs =
         build::on_disk(models::tiny_test_disk(), CffsConfig::cffs().with_mode(MetadataMode::Delayed));
     populate(&mut fresh_fs, seed).expect("populate");
-    let (fresh_row, fresh_util) = grouped_read(&mut fresh_fs, "fresh-read");
+    let (fresh_row, fresh_util) = {
+        // Stream each stage into the telemetry feed when the repro binary
+        // set one up with --feed (each tap is a no-op otherwise). The
+        // taps share the global sink, so the whole run replays as one
+        // fresh → aged → regrouped → autotrigger feed in cffs-top.
+        let obs = fresh_fs.obs();
+        let _feed = cffs_obs::feed::tap_global_sim(&obs, "fresh-read");
+        grouped_read(&mut fresh_fs, "fresh-read")
+    };
 
     // Aged, before any regrouping.
     let mut fs = aged_instance(seed);
-    let (aged_row, aged_util) = grouped_read(&mut fs, "aged-read");
+    let (aged_row, aged_util) = {
+        let obs = fs.obs();
+        let _feed = cffs_obs::feed::tap_global_sim(&obs, "aged-read");
+        grouped_read(&mut fs, "aged-read")
+    };
 
     // Budget sweep: cost (blocks moved) vs. benefit (recovered util),
     // each point regrouping its own copy of the same aged image.
@@ -233,9 +248,14 @@ pub fn report(seed: u64) -> (String, Json) {
     }
 
     // Exhaustive pass on the measured instance — the acceptance row.
-    let outcome = cffs_regroup::run(&mut fs, &RegroupConfig::exhaustive()).expect("regroup");
-    fs.sync().expect("sync");
-    let (rec_row, rec_util) = grouped_read(&mut fs, "regrouped-read");
+    let (rec_row, rec_util, outcome) = {
+        let obs = fs.obs();
+        let _feed = cffs_obs::feed::tap_global_sim(&obs, "regrouped-read");
+        let outcome = cffs_regroup::run(&mut fs, &RegroupConfig::exhaustive()).expect("regroup");
+        fs.sync().expect("sync");
+        let (row, util) = grouped_read(&mut fs, "regrouped-read");
+        (row, util, outcome)
+    };
     let ratio = rec_util as f64 / (fresh_util.max(1)) as f64;
 
     // Signal-driven recovery: no explicit regroup call, only the

@@ -53,7 +53,22 @@ fn point(p: &ConcurrentParams) -> Point {
     let before = obs.snapshot(&label, obs.global_clock_ns());
     let start_ns = obs.global_clock_ns();
 
-    let r = concurrent::run(&fs, p).expect("concurrent run");
+    // Telemetry: a manual-cadence tap (when the repro binary set up a
+    // feed with --feed) cutting one frame per phase barrier. The phases
+    // themselves are multi-threaded, so frames are cut only at the
+    // quiescent hook points — and the per-thread op rows still show the
+    // fan-out because client threads bind slots 1..=N.
+    let feed = cffs_obs::feed::tap_global(
+        &obs,
+        &format!("concurrent-{}t", p.nthreads),
+        cffs_obs::feed::Cadence::Manual,
+    );
+    let r = concurrent::run_with_phase_hook(&fs, p, |phase| {
+        if let Some(tap) = &feed {
+            tap.frame(&format!("concurrent-{}t/{phase}", p.nthreads));
+        }
+    })
+    .expect("concurrent run");
     // Cold grouped re-read (single-threaded, unmeasured): drop the cache,
     // then walk every thread's directories reading each surviving file,
     // so the end-state layout actually exercises group fetches and the

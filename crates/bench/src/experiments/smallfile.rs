@@ -34,6 +34,9 @@ pub fn run_all_with_folds(
     let mut fold = prof::Fold::default();
     for mut fs in build::all_five(mode) {
         let obs = fs.obs();
+        // Stream this file system's run into the telemetry feed when the
+        // repro binary set one up with --feed (no-op otherwise).
+        let _feed = obs.as_ref().and_then(|o| cffs_obs::feed::tap_global_sim(o, fs.label()));
         let want_fold = fs.label() == "C-FFS";
         if want_fold {
             if let Some(o) = &obs {

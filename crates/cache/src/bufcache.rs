@@ -72,6 +72,10 @@ struct GroupFetch {
     resolved: u32,
     /// Blocks hit at least once before leaving the cache.
     used: u32,
+    /// Cylinder group of the fetch's first block (group extents never
+    /// span CGs), for the per-CG utilization EWMA. `None` when the obs
+    /// handle carries no CG table.
+    cg: Option<usize>,
 }
 
 /// Physical-block → shard mapping: blocks of one cylinder group always
@@ -138,6 +142,9 @@ fn gfetch_resolve(ctx: &Ctx, id: u32, used: bool) {
         let pct = u64::from(g.used) * 100 / u64::from(g.fetched);
         ctx.obs.histos().group_fetch_util_pct.record(pct);
         ctx.obs.signal_sample(Sig::GroupFetchUtil, pct as f64);
+        if let Some(cg) = g.cg {
+            ctx.obs.cg_util_sample(cg, pct);
+        }
     }
 }
 
@@ -784,9 +791,10 @@ impl BufferCache {
         // installing later blocks of the fetch can evict earlier ones,
         // and their "wasted" resolution must find the entry.
         let fetched: u32 = done.iter().map(|r| (r.data.len() / BLOCK_SIZE) as u32).sum();
+        let cg = done.first().and_then(|r| self.obs.cg_of_sector(r.lba));
         self.obs
             .lock_timed(&self.gfetches, Ctr::LockWaitNsCache)
-            .insert(fetch_id, GroupFetch { fetched, resolved: 0, used: 0 });
+            .insert(fetch_id, GroupFetch { fetched, resolved: 0, used: 0, cg });
         // Install every fetched block, identity-less. Block numbers come
         // from the requests themselves — the scheduler may have serviced
         // them in any order.

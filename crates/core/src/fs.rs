@@ -267,6 +267,18 @@ impl Cffs {
         // One Obs handle for the whole stack: the disk owns it, the
         // driver delegates to it, and the cache is rebound onto it here.
         let obs = drv.obs();
+        // Per-CG telemetry registers: geometry + current occupancy. The
+        // allocator keeps the gauge live from here on (bitmap set/clear
+        // sites call cg_used_delta under the CG lock).
+        obs.configure_cg_table(cffs_obs::CgTableConfig {
+            first_block: crate::layout::FIRST_CG_BLOCK,
+            cg_size: sb.cg_size as u64,
+            sectors_per_block: cffs_fslib::SECTORS_PER_BLOCK,
+            groups: cgs
+                .iter()
+                .map(|h| (h.block_bitmap.len() as u64, h.block_bitmap.used() as u64))
+                .collect(),
+        });
         let mut cache = BufferCache::new(cfg.cache);
         cache.set_obs(obs.clone());
         // Shard the cache on the cylinder-group stride so threads working
@@ -493,6 +505,7 @@ impl Cffs {
             if let Some(key) = groups.carve_empty(&self.geo, &mut s.hdr, dir, nslots)? {
                 s.dirty = true;
                 self.obs.bump(Ctr::RegroupGroupsFormed);
+                self.obs.cg_used_delta(cg as usize, nslots as i64);
                 return Ok(Some(key));
             }
         }
@@ -827,6 +840,7 @@ impl Cffs {
                 if let Some(idx) = s.hdr.block_bitmap.find_free(hint_idx) {
                     s.hdr.block_bitmap.set(idx);
                     s.dirty = true;
+                    self.obs.cg_used_delta(cg as usize, 1);
                     return Ok(data_start + idx as u64);
                 }
             }
@@ -853,6 +867,7 @@ impl Cffs {
                     let mut s = self.lock_cg(cg);
                     s.hdr.block_bitmap.clear_run((start - data_start) as usize, len);
                     s.dirty = true;
+                    self.obs.cg_used_delta(cg as usize, -(len as i64));
                 }
                 for b in start..start + len as u64 {
                     self.cache.invalidate_block(&self.drv, b);
@@ -890,6 +905,7 @@ impl Cffs {
             let mut s = self.lock_cg(cg);
             if let Some((blk, _)) = groups.carve(&self.geo, &mut s.hdr, dir, nslots)? {
                 s.dirty = true;
+                self.obs.cg_used_delta(cg as usize, nslots as i64);
                 return Ok(Some(blk));
             }
         }
@@ -936,6 +952,7 @@ impl Cffs {
                 let mut s = self.lock_cg(cg);
                 s.hdr.block_bitmap.clear_run((start - data_start) as usize, nslots as usize);
                 s.dirty = true;
+                self.obs.cg_used_delta(cg as usize, -(nslots as i64));
             }
             None => {
                 let cg = self.geo.block_cg(blk).expect("freeing a block outside all CGs");
@@ -946,6 +963,7 @@ impl Cffs {
                     "double free of block {blk}"
                 );
                 s.dirty = true;
+                self.obs.cg_used_delta(cg as usize, -1);
             }
         }
         self.cache.invalidate_block(&self.drv, blk);

@@ -297,6 +297,7 @@ impl Driver {
             ctx: obs.span_ctx(),
             reply: tx,
         };
+        obs.queue_depth_inc();
         obs.lock_timed(&self.shared.queue, Ctr::LockWaitNsDriver).push_back(sub);
         self.shared.cv.notify_all();
         let reply = rx.recv().expect("driver worker died");
@@ -321,6 +322,7 @@ fn worker_loop(shared: &Shared) {
             let mut q = shared.queue.lock().expect("driver queue poisoned");
             loop {
                 if let Some(s) = q.pop_front() {
+                    shared.obs.queue_depth_dec();
                     break s;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {

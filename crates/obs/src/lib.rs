@@ -16,11 +16,12 @@
 //! cache, and file-system layers of a mounted stack, so a single snapshot
 //! sees the whole path a request took.
 
+pub mod feed;
 pub mod json;
 pub mod prof;
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use json::{Json, JsonError, ToJson};
 
@@ -657,7 +658,30 @@ pub struct Obs {
     span_log: Mutex<Option<Vec<SpanRecord>>>,
     /// Health-signal EWMAs (see [`Sig`]).
     signals: Mutex<[SignalState; Sig::COUNT]>,
+    /// Per-cylinder-group live registers (occupancy gauge, I/O tallies,
+    /// group-fetch-utilization EWMA), configured once at mount by
+    /// [`Obs::configure_cg_table`]. Unset for stacks without cylinder
+    /// groups (FFS baseline, bare disks).
+    cg_table: OnceLock<CgTable>,
+    /// Submissions currently sitting in the threaded driver queue
+    /// (gauge: incremented at enqueue, decremented at worker pickup).
+    queue_depth: AtomicU64,
+    /// Ops completed per bound thread slot (outermost span closes). Slot
+    /// 0 is the main thread; fan-out workers bind 1.. via
+    /// [`Obs::bind_thread_slot`].
+    thread_ops: [AtomicU64; THREAD_SLOTS],
+    /// Next simulated instant the attached telemetry tap wants a frame;
+    /// `u64::MAX` (the reset value) keeps the [`Obs::set_clock_ns`] hot
+    /// path to a single relaxed load when no feed is attached.
+    feed_due_ns: AtomicU64,
+    /// The attached sim-cadence telemetry tap, if any (weak: the tap
+    /// holds the `Arc<Obs>`, so a strong ref here would leak both).
+    feed_tap: Mutex<Option<Weak<feed::FeedTap>>>,
 }
+
+/// Fixed number of per-thread op-counter slots (slot 0 = main thread,
+/// 1.. = fan-out workers; binds past the last slot clamp onto it).
+pub const THREAD_SLOTS: usize = 16;
 
 /// Source of [`Obs::uid`] values.
 static OBS_UID: AtomicU64 = AtomicU64::new(1);
@@ -680,6 +704,9 @@ thread_local! {
     /// Simulated-clock mirror per (thread, Obs-uid) — each client thread
     /// runs its own virtual timeline under the threaded driver.
     static CLOCK_TLS: std::cell::RefCell<std::collections::HashMap<u64, u64>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+    /// Bound thread-op slot per (thread, Obs-uid); absent means slot 0.
+    static SLOT_TLS: std::cell::RefCell<std::collections::HashMap<u64, usize>> =
         std::cell::RefCell::new(std::collections::HashMap::new());
 }
 
@@ -734,6 +761,11 @@ impl Obs {
             next_span: AtomicU64::new(1),
             span_log: Mutex::new(None),
             signals: Mutex::new(std::array::from_fn(|_| SignalState::default())),
+            cg_table: OnceLock::new(),
+            queue_depth: AtomicU64::new(0),
+            thread_ops: std::array::from_fn(|_| AtomicU64::new(0)),
+            feed_due_ns: AtomicU64::new(u64::MAX),
+            feed_tap: Mutex::new(None),
         })
     }
 
@@ -769,6 +801,13 @@ impl Obs {
         let (span, op) = self.current_span_fields();
         if dur_ns > 0 && tag.starts_with("disk.") {
             self.attribute_disk_request(span != 0, t_ns, dur_ns);
+        }
+        // Per-CG I/O tallies ride the existing disk trace points:
+        // `a` is the request's sector LBA, `b` its sector count.
+        if let Some(t) = self.cg_table.get() {
+            if tag == "disk.read" || tag == "disk.write" {
+                t.bump_io(a, b, tag == "disk.write");
+            }
         }
         self.trace
             .lock()
@@ -842,30 +881,29 @@ impl Obs {
                 // under its floor could then never cross or re-arm.
                 // Rounding the step away from zero guarantees progress
                 // all the way to exact convergence.
-                let d = vm - s.ewma_milli;
-                s.ewma_milli += if d >= 0 {
-                    (d + SIGNAL_EWMA_SHIFT - 1) / SIGNAL_EWMA_SHIFT
-                } else {
-                    -((-d + SIGNAL_EWMA_SHIFT - 1) / SIGNAL_EWMA_SHIFT)
-                };
+                s.ewma_milli += ewma_step(vm - s.ewma_milli);
             }
             s.samples += 1;
             let ewma = s.ewma();
             if let Some(floor) = s.floor {
                 if !s.low && ewma < floor {
                     s.low = true;
+                    s.low_count += 1;
                     crossings.push((sig.low_tag(), ewma, floor, Ctr::SignalLowEvents));
                 } else if s.low && ewma >= floor * SIGNAL_REARM {
                     s.low = false;
+                    s.high_count += 1;
                     crossings.push((sig.high_tag(), ewma, floor, Ctr::SignalHighEvents));
                 }
             }
             if let Some(ceiling) = s.ceiling {
                 if !s.high && ewma > ceiling {
                     s.high = true;
+                    s.high_count += 1;
                     crossings.push((sig.high_tag(), ewma, ceiling, Ctr::SignalHighEvents));
                 } else if s.high && ewma <= ceiling / SIGNAL_REARM {
                     s.high = false;
+                    s.low_count += 1;
                     crossings.push((sig.low_tag(), ewma, ceiling, Ctr::SignalLowEvents));
                 }
             }
@@ -901,9 +939,16 @@ impl Obs {
     }
 
     /// JSON view of every signal — EWMAs as milli-unit integers so the
-    /// rendering is deterministic across platforms.
+    /// rendering is deterministic across platforms. Carries the armed
+    /// thresholds (`floor_milli`/`ceiling_milli`, `null` when unarmed)
+    /// and the cumulative crossing counts alongside the live state, so
+    /// `cffs-inspect stats` and telemetry feed frames share one schema.
     pub fn signals_json(&self) -> Json {
         let sigs = self.signals.lock().expect("signals poisoned");
+        let thresh = |t: Option<f64>| match t {
+            Some(v) => Json::Int(milli(v) as i64),
+            None => Json::Null,
+        };
         Json::Obj(
             Sig::ALL
                 .iter()
@@ -916,6 +961,10 @@ impl Obs {
                             ("samples", Json::Int(s.samples as i64)),
                             ("low", Json::Bool(s.low)),
                             ("high", Json::Bool(s.high)),
+                            ("floor_milli", thresh(s.floor)),
+                            ("ceiling_milli", thresh(s.ceiling)),
+                            ("low_count", Json::Int(s.low_count as i64)),
+                            ("high_count", Json::Int(s.high_count as i64)),
                         ],
                     )
                 })
@@ -950,6 +999,14 @@ impl Obs {
             *slot = (*slot).max(now_ns);
         });
         self.clock_ns.fetch_max(now_ns, Ordering::Relaxed);
+        // Telemetry pacer: with no tap attached `feed_due_ns` is
+        // `u64::MAX`, so the feed costs this hot path exactly one
+        // relaxed load. Every call site holds no obs locks (verified
+        // against the driver's submit/worker/advance paths), so frame
+        // emission can take the registry locks sequentially.
+        if now_ns >= self.feed_due_ns.load(Ordering::Relaxed) {
+            feed::sim_fire(self, now_ns);
+        }
     }
 
     /// Pin the calling thread's clock mirror to at least `ns` without
@@ -1110,6 +1167,125 @@ impl Obs {
             .total_recorded()
     }
 
+    /// Trace events recorded after the first `since_total` (a watermark
+    /// from a previous [`Obs::events_recorded`]), oldest first, clipped
+    /// to what the ring still retains. Returns the events plus the new
+    /// watermark.
+    pub fn events_since(&self, since_total: u64) -> (Vec<Event>, u64) {
+        let ring = self.trace.lock().expect("trace ring poisoned");
+        let total = ring.total_recorded();
+        let fresh = total.saturating_sub(since_total).min(ring.buf.len() as u64);
+        (ring.last(fresh as usize), total)
+    }
+
+    /// Install the per-cylinder-group register table. Called once at
+    /// mount with the stack's geometry and each group's initial
+    /// occupancy; later calls are ignored (first mount wins — one `Obs`
+    /// serves one mounted stack).
+    pub fn configure_cg_table(&self, cfg: CgTableConfig) {
+        let _ = self.cg_table.set(CgTable::new(cfg));
+    }
+
+    /// Whether [`Obs::configure_cg_table`] has run.
+    pub fn has_cg_table(&self) -> bool {
+        self.cg_table.get().is_some()
+    }
+
+    /// Adjust one group's allocated-block gauge (called from the
+    /// allocator's bitmap set/clear sites; negative on free).
+    pub fn cg_used_delta(&self, cg: usize, delta: i64) {
+        if let Some(t) = self.cg_table.get() {
+            if let Some(cell) = t.cells.get(cg) {
+                cell.used.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fold one group fetch's utilization percentage into the owning
+    /// group's EWMA (same fixed-point rule as [`Obs::signal_sample`]).
+    pub fn cg_util_sample(&self, cg: usize, pct: u64) {
+        if let Some(t) = self.cg_table.get() {
+            if let Some(cell) = t.cells.get(cg) {
+                let mut u = cell.util.lock().expect("cg util poisoned");
+                let vm = (pct * 1000) as i64;
+                if u.1 == 0 {
+                    u.0 = vm;
+                } else {
+                    u.0 += ewma_step(vm - u.0);
+                }
+                u.1 += 1;
+            }
+        }
+    }
+
+    /// The cylinder group a sector LBA falls in, per the configured
+    /// geometry (None before mount or outside any group's blocks).
+    pub fn cg_of_sector(&self, lba: u64) -> Option<usize> {
+        self.cg_table.get().and_then(|t| t.cg_of_sector(lba))
+    }
+
+    /// Point-in-time copy of every cylinder group's registers (empty
+    /// before [`Obs::configure_cg_table`]).
+    pub fn cg_stats(&self) -> Vec<CgStat> {
+        let Some(t) = self.cg_table.get() else { return Vec::new() };
+        t.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (ewma_milli, samples) = *c.util.lock().expect("cg util poisoned");
+                CgStat {
+                    cg: i as u32,
+                    data_blocks: c.data_blocks,
+                    used: c.used.load(Ordering::Relaxed).max(0) as u64,
+                    read_ios: c.read_ios.load(Ordering::Relaxed),
+                    write_ios: c.write_ios.load(Ordering::Relaxed),
+                    read_sectors: c.read_sectors.load(Ordering::Relaxed),
+                    write_sectors: c.write_sectors.load(Ordering::Relaxed),
+                    util_ewma_milli: ewma_milli.max(0) as u64,
+                    util_samples: samples,
+                }
+            })
+            .collect()
+    }
+
+    /// Driver queue gauge: one submission entered the queue.
+    pub fn queue_depth_inc(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Driver queue gauge: the worker picked one submission up.
+    pub fn queue_depth_dec(&self) {
+        let _ = self.queue_depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Submissions currently waiting in the threaded driver queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Bind the calling thread to a per-thread op-counter slot (clamped
+    /// to [`THREAD_SLOTS`]). Fan-out workers call this next to
+    /// [`Obs::pin_clock_ns`]; unbound threads (the main thread) tally
+    /// into slot 0.
+    pub fn bind_thread_slot(&self, slot: usize) {
+        SLOT_TLS.with(|t| {
+            t.borrow_mut().insert(self.uid, slot.min(THREAD_SLOTS - 1));
+        });
+    }
+
+    /// The calling thread's bound op-counter slot (0 when never bound).
+    fn thread_slot(&self) -> usize {
+        SLOT_TLS.with(|t| t.borrow().get(&self.uid).copied().unwrap_or(0))
+    }
+
+    /// Ops completed per thread slot (outermost span closes), slot 0
+    /// first.
+    pub fn thread_ops(&self) -> [u64; THREAD_SLOTS] {
+        std::array::from_fn(|i| self.thread_ops[i].load(Ordering::Relaxed))
+    }
+
     /// Point-in-time copy of every counter and histogram plus simulated
     /// time.
     pub fn snapshot(&self, label: &str, sim_ns: u64) -> StatsSnapshot {
@@ -1192,6 +1368,9 @@ impl Drop for SpanGuard {
             // stamped with its own span/op, then close.
             self.obs.trace_io(t0, self.op.tag(), 0, 0, latency);
             self.obs.with_tls(|t| *t = SpanTls::default());
+            // Outermost closes only, so per-thread tallies count
+            // user-visible ops, not nested entry points.
+            self.obs.thread_ops[self.obs.thread_slot()].fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -1278,6 +1457,126 @@ signals! {
 /// stall the EWMA once the gap fell under 8 milli-units).
 const SIGNAL_EWMA_SHIFT: i64 = 8;
 
+/// The fixed-point EWMA increment for a gap `d = sample - ewma`, rounded
+/// away from zero (see [`SIGNAL_EWMA_SHIFT`]). Shared by the signal
+/// registry and the per-CG utilization EWMAs so both smooth identically.
+fn ewma_step(d: i64) -> i64 {
+    if d >= 0 {
+        (d + SIGNAL_EWMA_SHIFT - 1) / SIGNAL_EWMA_SHIFT
+    } else {
+        -((-d + SIGNAL_EWMA_SHIFT - 1) / SIGNAL_EWMA_SHIFT)
+    }
+}
+
+/// Mount-time geometry + initial occupancy for the per-CG register table
+/// (see [`Obs::configure_cg_table`]).
+#[derive(Debug, Clone)]
+pub struct CgTableConfig {
+    /// First block covered by cylinder group 0.
+    pub first_block: u64,
+    /// Blocks per cylinder group (header + data).
+    pub cg_size: u64,
+    /// Sectors per block, for mapping trace-event LBAs onto groups.
+    pub sectors_per_block: u64,
+    /// Per-group `(data block capacity, blocks already allocated)`.
+    pub groups: Vec<(u64, u64)>,
+}
+
+/// One cylinder group's live registers.
+struct CgCell {
+    data_blocks: u64,
+    /// Allocated data blocks. Signed: concurrent alloc/free deltas can
+    /// transiently observe below zero; reads clamp.
+    used: AtomicI64,
+    read_ios: AtomicU64,
+    write_ios: AtomicU64,
+    read_sectors: AtomicU64,
+    write_sectors: AtomicU64,
+    /// `(ewma_milli, samples)` of group-fetch utilization resolved
+    /// against extents in this group. A mutex (not two atomics) so the
+    /// read-modify-write EWMA fold never loses concurrent samples; the
+    /// resolve path is warm, not hot.
+    util: Mutex<(i64, u64)>,
+}
+
+/// Geometry-indexed table of [`CgCell`]s.
+struct CgTable {
+    first_block: u64,
+    cg_size: u64,
+    sectors_per_block: u64,
+    cells: Vec<CgCell>,
+}
+
+impl CgTable {
+    fn new(cfg: CgTableConfig) -> CgTable {
+        CgTable {
+            first_block: cfg.first_block,
+            cg_size: cfg.cg_size.max(1),
+            sectors_per_block: cfg.sectors_per_block.max(1),
+            cells: cfg
+                .groups
+                .into_iter()
+                .map(|(data_blocks, used)| CgCell {
+                    data_blocks,
+                    used: AtomicI64::new(used as i64),
+                    read_ios: AtomicU64::new(0),
+                    write_ios: AtomicU64::new(0),
+                    read_sectors: AtomicU64::new(0),
+                    write_sectors: AtomicU64::new(0),
+                    util: Mutex::new((0, 0)),
+                })
+                .collect(),
+        }
+    }
+
+    fn cg_of_sector(&self, lba: u64) -> Option<usize> {
+        let block = lba / self.sectors_per_block;
+        if block < self.first_block {
+            return None;
+        }
+        let cg = ((block - self.first_block) / self.cg_size) as usize;
+        (cg < self.cells.len()).then_some(cg)
+    }
+
+    fn bump_io(&self, lba: u64, sectors: u64, is_write: bool) {
+        if let Some(cg) = self.cg_of_sector(lba) {
+            let c = &self.cells[cg];
+            if is_write {
+                c.write_ios.fetch_add(1, Ordering::Relaxed);
+                c.write_sectors.fetch_add(sectors, Ordering::Relaxed);
+            } else {
+                c.read_ios.fetch_add(1, Ordering::Relaxed);
+                c.read_sectors.fetch_add(sectors, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Point-in-time copy of one cylinder group's registers (see
+/// [`Obs::cg_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgStat {
+    /// Cylinder group number.
+    pub cg: u32,
+    /// Data blocks the group tracks.
+    pub data_blocks: u64,
+    /// Data blocks currently allocated (gauge; clamped at zero).
+    pub used: u64,
+    /// Disk read requests whose start sector fell in this group.
+    pub read_ios: u64,
+    /// Disk write requests whose start sector fell in this group.
+    pub write_ios: u64,
+    /// Sectors read by those requests.
+    pub read_sectors: u64,
+    /// Sectors written by those requests.
+    pub write_sectors: u64,
+    /// Group-fetch utilization EWMA for fetches resolved here,
+    /// milli-percent (0 before the first sample).
+    pub util_ewma_milli: u64,
+    /// Utilization samples folded in.
+    pub util_samples: u64,
+}
+
 /// Hysteresis: after a floor crossing, the signal re-arms only once the
 /// EWMA climbs back above `floor * SIGNAL_REARM`.
 const SIGNAL_REARM: f64 = 1.02;
@@ -1300,6 +1599,10 @@ struct SignalState {
     low: bool,
     /// Currently above the ceiling.
     high: bool,
+    /// Crossings that bumped `signal_low_events` for this signal.
+    low_count: u64,
+    /// Crossings that bumped `signal_high_events` for this signal.
+    high_count: u64,
 }
 
 impl SignalState {

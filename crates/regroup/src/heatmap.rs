@@ -33,6 +33,11 @@ pub struct CgHeat {
     pub read_sectors: u64,
     /// Sectors written by those requests.
     pub write_sectors: u64,
+    /// `group_fetch_util` EWMA for fetches resolved from this group, in
+    /// milli-percent (77_000 = 77%), from the live per-CG register table.
+    pub util_ewma_milli: u64,
+    /// Utilization samples folded into that EWMA (0 = EWMA unseeded).
+    pub util_samples: u64,
 }
 
 /// Build the heatmap from a mounted file system plus a window of trace
@@ -56,6 +61,14 @@ pub fn build(fs: &Cffs, events: &[Event]) -> Vec<CgHeat> {
         h.extents += 1;
         h.live_members += g.live();
         h.slack += g.slack();
+    }
+    // Join the live per-CG utilization EWMAs (sampled as group fetches
+    // resolve) onto the occupancy rows.
+    for c in fs.obs().cg_stats() {
+        if let Some(h) = heat.get_mut(c.cg as usize) {
+            h.util_ewma_milli = c.util_ewma_milli;
+            h.util_samples = c.util_samples;
+        }
     }
     for ev in events {
         let (reads, writes) = match ev.tag {
@@ -82,7 +95,7 @@ pub fn build(fs: &Cffs, events: &[Event]) -> Vec<CgHeat> {
 pub fn render(heat: &[CgHeat]) -> String {
     const BAR: usize = 32;
     let mut out = String::new();
-    out.push_str("cg   occupancy                         used/data   ext live slack     R-ios    W-ios\n");
+    out.push_str("cg   occupancy                         used/data   ext live slack     R-ios    W-ios  gf-util\n");
     for h in heat {
         let frac = if h.data_blocks == 0 {
             0.0
@@ -91,10 +104,15 @@ pub fn render(heat: &[CgHeat]) -> String {
         };
         let filled = (frac * BAR as f64).round() as usize;
         let bar: String = (0..BAR).map(|i| if i < filled { '#' } else { '.' }).collect();
+        let util = if h.util_samples > 0 {
+            format!("{:.1}%", h.util_ewma_milli as f64 / 1000.0)
+        } else {
+            "-".to_string()
+        };
         out.push_str(&format!(
-            "{:>3} |{}| {:>5}/{:<5} {:>4} {:>4} {:>5} {:>9} {:>8}\n",
+            "{:>3} |{}| {:>5}/{:<5} {:>4} {:>4} {:>5} {:>9} {:>8} {:>8}\n",
             h.cg, bar, h.used_blocks, h.data_blocks, h.extents, h.live_members, h.slack,
-            h.read_ios, h.write_ios,
+            h.read_ios, h.write_ios, util,
         ));
     }
     out
@@ -116,6 +134,8 @@ pub fn to_json(heat: &[CgHeat]) -> Json {
                     ("write_ios", Json::Int(h.write_ios as i64)),
                     ("read_sectors", Json::Int(h.read_sectors as i64)),
                     ("write_sectors", Json::Int(h.write_sectors as i64)),
+                    ("util_ewma_milli", Json::Int(h.util_ewma_milli as i64)),
+                    ("util_samples", Json::Int(h.util_samples as i64)),
                 ]
             })
             .collect(),

@@ -274,6 +274,9 @@ where
                 scope.spawn(move || {
                     if let (Some(o), Some(ns)) = (obs, fork_ns) {
                         o.pin_clock_ns(ns);
+                        // Slot 0 is the main thread; clients are 1-based
+                        // so the feed's per-thread op rows tell them apart.
+                        o.bind_thread_slot(t + 1);
                     }
                     body(t)
                 })
@@ -290,6 +293,19 @@ where
 pub fn run(
     fs: &(impl ConcurrentFs + ?Sized),
     p: &ConcurrentParams,
+) -> FsResult<ConcurrentResult> {
+    run_with_phase_hook(fs, p, |_| {})
+}
+
+/// [`run`], invoking `hook` with the phase name at each quiescent point
+/// (after every barrier: "setup", "populate", "warm", "churn"). The
+/// registries are stable when the hook runs — no client thread is live —
+/// so a manual-cadence feed tap can cut a consistent frame per phase
+/// even though the phases themselves are multi-threaded.
+pub fn run_with_phase_hook(
+    fs: &(impl ConcurrentFs + ?Sized),
+    p: &ConcurrentParams,
+    hook: impl Fn(&str),
 ) -> FsResult<ConcurrentResult> {
     // Phase 1 — setup (main thread, unmeasured). Directory CGs are
     // assigned round-robin by the allocator, so consecutive mkdirs land
@@ -308,6 +324,7 @@ pub fn run(
         shared.push(fs.mkdir(root, &format!("shared{s}"))?);
     }
     fs.sync()?;
+    hook("setup");
 
     let mut per_thread_ops = vec![0u64; p.nthreads];
     let mut bytes = 0u64;
@@ -327,6 +344,7 @@ pub fn run(
     }
     let inos = inos.into_inner().unwrap();
     fs.sync()?;
+    hook("populate");
 
     // Phase 3 — the measured warm window.
     let start_ns = match fs.obs() {
@@ -344,6 +362,7 @@ pub fn run(
         per_thread_ops[t] += ops;
         bytes += b;
     }
+    hook("warm");
 
     // Phase 4 — churn + shared-directory contention, then final sync.
     let churned = fan_out(fs, p.nthreads, |t| churn(fs, t, &own[t], &shared, p))?;
@@ -352,6 +371,7 @@ pub fn run(
         bytes += b;
     }
     fs.sync()?;
+    hook("churn");
 
     Ok(ConcurrentResult {
         nthreads: p.nthreads,

@@ -24,6 +24,8 @@
 //!   the paper's Figure 1 shape).
 //! * [`trace`] — operation traces: random generation, recording, replay;
 //!   the substrate for cross-implementation equivalence tests.
+//! * [`soak`] — open-ended mixed churn for watching the stack live via
+//!   the telemetry feed (`repro_soak --feed` + `cffs-top --follow`).
 //! * [`runner`] — phase measurement: simulated elapsed time + I/O deltas.
 //! * [`concurrent`] — N client threads over one shared [`cffs_fslib::ConcurrentFs`]
 //!   instance: disjoint per-thread directory sets plus an optional shared
@@ -37,6 +39,7 @@ pub mod postmark;
 pub mod runner;
 pub mod sizes;
 pub mod smallfile;
+pub mod soak;
 pub mod trace;
 
 pub use runner::PhaseResult;

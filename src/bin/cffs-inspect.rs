@@ -149,8 +149,16 @@ fn mounted_walk(disk: Disk) -> Cffs {
 
 fn stats_cmd(args: &[String]) {
     let fs = mounted_walk(disk_from(args.first().map(String::as_str)));
-    let snap = fs.obs().snapshot("cffs-inspect", fs.now().as_nanos());
-    println!("{}", snap.to_json().to_string_pretty());
+    let obs = fs.obs();
+    let snap = obs.snapshot("cffs-inspect", fs.now().as_nanos());
+    let mut j = snap.to_json();
+    // The live signal registry (EWMAs, armed thresholds, crossing
+    // counts) rides along: the snapshot is cumulative history, the
+    // signals are the stack's opinion of *now*.
+    if let Json::Obj(m) = &mut j {
+        m.push(("signals".to_string(), obs.signals_json()));
+    }
+    println!("{}", j.to_string_pretty());
 }
 
 /// Parse `[--last N] <image>` from a subcommand's argument tail.
@@ -176,7 +184,19 @@ fn last_and_image(args: &[String], default_last: usize) -> (usize, Option<&str>)
 fn trace_cmd(args: &[String]) {
     let (last, image) = last_and_image(args, 64);
     let fs = mounted_walk(disk_from(image));
-    for e in fs.obs().recent_events(last) {
+    let obs = fs.obs();
+    let events = obs.recent_events(last);
+    // Same wrap bookkeeping as `timeline`: make it explicit when the
+    // ring overwrote older events, so a short listing is never mistaken
+    // for the whole history.
+    let recorded = obs.events_recorded();
+    if recorded > events.len() as u64 {
+        println!(
+            "{{\"truncated\": true, \"events_recorded\": {recorded}, \"events_shown\": {}}}",
+            events.len()
+        );
+    }
+    for e in events {
         println!("{}", e.to_jsonl());
     }
 }

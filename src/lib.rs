@@ -23,7 +23,10 @@
 //! println!("simulated time: {}", cffs::disksim::SimDuration::from_nanos(fs.now().as_nanos()));
 //! ```
 
+pub mod feedview;
+
 pub use cffs_cache as cache;
+pub use cffs_obs as obs;
 pub use cffs_core as core;
 pub use cffs_disksim as disksim;
 pub use cffs_ffs as ffs;

@@ -6,6 +6,7 @@
 //! emit appears in the README, and every glossary entry names something
 //! that still exists.
 
+use cffs_obs::feed::FRAME_FIELDS;
 use cffs_obs::{Ctr, Histos};
 use std::collections::BTreeSet;
 
@@ -49,13 +50,34 @@ fn every_counter_and_histogram_is_in_the_readme() {
     );
 }
 
+/// Code → docs: every telemetry frame field is documented in the
+/// README's feed table. (Frame fields need not contain `_`, so this
+/// checks for the backticked name directly rather than reusing
+/// `backticked_names`.)
+#[test]
+fn every_feed_frame_field_is_in_the_readme() {
+    let text = readme();
+    let missing: Vec<_> = FRAME_FIELDS
+        .iter()
+        .map(|(name, _)| *name)
+        .filter(|name| !text.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "README.md feed glossary is missing these frame fields: {missing:?}"
+    );
+}
+
 /// Docs → code: glossary tables only name counters/histograms that exist.
 /// Scoped to the glossary sections so ordinary prose identifiers (env
 /// vars, field names) don't trip it.
 #[test]
 fn readme_glossary_names_all_exist() {
     let text = readme();
-    let known = emittable_names();
+    let mut known = emittable_names();
+    // The feed frame-field table uses the same `| `name` | meaning |`
+    // row shape; its names come from FRAME_FIELDS, not Ctr/Histos.
+    known.extend(FRAME_FIELDS.iter().map(|(name, _)| name.to_string()));
     // Glossary rows are markdown table lines whose first cell is a
     // backticked name.
     let mut stale = Vec::new();
