@@ -18,7 +18,7 @@ cargo test --release --workspace --offline -q -- --test-threads=8
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== bench smoke (repro_smallfile + repro_aging_regroup + repro_concurrent, reduced scale) =="
+echo "== bench smoke (repro_smallfile + repro_aging_regroup + repro_concurrent + repro_namei, reduced scale) =="
 BENCH_TMP=$(mktemp -d)
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
@@ -29,6 +29,12 @@ BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
 # invocation exactly (the scaling ratio is scale-sensitive).
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_concurrent -- --dirs 2 --files 12 --rounds 8 > /dev/null
+# Reduced scale must match the checked-in BENCH_NAMEI baseline invocation
+# exactly. Keep --files at 256: the p99 speedup the gate enforces needs
+# multi-block leaf directories to measure anything.
+BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
+    --bin repro_namei -- --branches 4 --dirs 4 --files 256 --sample 1024 --rounds 3 \
+    > /dev/null
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     "$BENCH_TMP"/out/BENCH_*.json
 
@@ -74,6 +80,11 @@ cargo run --release --offline -p cffs-bench --bin bench_gate -- \
 cargo run --release --offline -p cffs-bench --bin bench_gate -- \
     "$BENCH_TMP/out/BENCH_CONCURRENT.json" \
     crates/bench/baselines/BENCH_CONCURRENT.json --tolerance-pct 25
+# Namei: relative band vs baseline plus the absolute >= 0.90 warm hit
+# rate and >= 5x p99 speedup floors enforced inside bench_gate.
+cargo run --release --offline -p cffs-bench --bin bench_gate -- \
+    "$BENCH_TMP/out/BENCH_NAMEI.json" \
+    crates/bench/baselines/BENCH_NAMEI.json --tolerance-pct 25
 rm -rf "$BENCH_TMP"
 
 echo "== ci.sh: all green =="

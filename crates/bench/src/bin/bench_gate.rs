@@ -21,7 +21,12 @@
 //!   **and** must clear the absolute acceptance bar of 2.5× — the
 //!   4-thread aggregate must genuinely outrun the 1-thread baseline, not
 //!   merely track a degraded baseline; `aggregate_ops_per_sec` gets the
-//!   same relative floor.
+//!   same relative floor;
+//! * if both payloads carry the E15 namei fields, the warm dcache hit
+//!   rate gets a relative floor plus the absolute ≥ 0.90 acceptance bar,
+//!   the warm lookup `namei_warm_p99_ns` gets a ceiling, and the
+//!   `namei_p99_speedup` over the no-dcache ablation gets a relative
+//!   floor plus the absolute ≥ 5.0 bar.
 //!
 //! The simulated timeline is deterministic, so unchanged code reproduces
 //! the baseline exactly; the band absorbs small intentional shifts.
@@ -177,6 +182,38 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
         current.get("aggregate_ops_per_sec").and_then(Json::as_f64),
     ) {
         gate.floor("aggregate_ops_per_sec", cur_a, base_a);
+    }
+    // Namei floors (E15). Same shape as the scaling gate: the relative
+    // band catches drift, the absolute bars are the acceptance criteria.
+    if let (Some(base_h), Some(cur_h)) = (
+        baseline.get("dcache_warm_hit_rate").and_then(Json::as_f64),
+        current.get("dcache_warm_hit_rate").and_then(Json::as_f64),
+    ) {
+        gate.floor("dcache_warm_hit_rate", cur_h, base_h);
+        const MIN_HIT_RATE: f64 = 0.90;
+        if cur_h < MIN_HIT_RATE {
+            gate.violations.push(format!(
+                "dcache_warm_hit_rate: {cur_h:.3} below the absolute acceptance floor {MIN_HIT_RATE:.2}"
+            ));
+        }
+    }
+    if let (Some(base_p), Some(cur_p)) = (
+        baseline.get("namei_warm_p99_ns").and_then(Json::as_f64),
+        current.get("namei_warm_p99_ns").and_then(Json::as_f64),
+    ) {
+        gate.ceil("namei_warm_p99_ns", cur_p, base_p);
+    }
+    if let (Some(base_s), Some(cur_s)) = (
+        baseline.get("namei_p99_speedup").and_then(Json::as_f64),
+        current.get("namei_p99_speedup").and_then(Json::as_f64),
+    ) {
+        gate.floor("namei_p99_speedup", cur_s, base_s);
+        const MIN_SPEEDUP: f64 = 5.0;
+        if cur_s < MIN_SPEEDUP {
+            gate.violations.push(format!(
+                "namei_p99_speedup: {cur_s:.2} below the absolute acceptance floor {MIN_SPEEDUP:.1}"
+            ));
+        }
     }
 }
 

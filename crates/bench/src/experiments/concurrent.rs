@@ -52,6 +52,7 @@ fn point(p: &ConcurrentParams) -> Point {
     let label = Cffs::label(&fs).to_string();
     let before = obs.snapshot(&label, obs.global_clock_ns());
     let start_ns = obs.global_clock_ns();
+    let host_t0 = std::time::Instant::now();
 
     // Telemetry: a manual-cadence tap (when the repro binary set up a
     // feed with --feed) cutting one frame per phase barrier. The phases
@@ -101,6 +102,7 @@ fn point(p: &ConcurrentParams) -> Point {
         bytes: r.bytes,
         io: Cffs::io_stats(&fs),
         counters: Some(counters),
+        host_ns: host_t0.elapsed().as_nanos() as u64,
     };
     let mut img = fs.crash_image();
     let fsck_clean = fsck::fsck(&mut img, false).map(|rep| rep.clean()).unwrap_or(false);

@@ -17,6 +17,7 @@
 //! | [`postmark`] | E12 (extra) | PostMark-style server workload |
 //! | [`aging_regroup`] | E13 (extra) | online regrouping after adversarial aging |
 //! | [`concurrent`] | E14 (extra) | multi-threaded scaling on disjoint cylinder groups |
+//! | [`namei`] | E15 (extra) | million-file deep-tree name resolution, namespace cache vs scan |
 
 pub mod ablation;
 pub mod aging;
@@ -27,6 +28,7 @@ pub mod dirsize;
 pub mod diskreqs;
 pub mod fig2;
 pub mod filesize;
+pub mod namei;
 pub mod postmark;
 pub mod smallfile;
 pub mod table1;

@@ -128,6 +128,7 @@ mod tests {
             bytes: 102_400,
             io: IoStats::default(),
             counters: None,
+            host_ns: 0,
         }
     }
 

@@ -42,6 +42,7 @@ use crate::layout::{
     SB_BLOCK,
 };
 use cffs_cache::{BufferCache, CacheConfig};
+use cffs_dcache::{Dcache, DcacheAnswer};
 use cffs_disksim::driver::{Driver, DriverConfig, Scheduler};
 use cffs_disksim::{Disk, SimDuration, SimTime};
 use cffs_fslib::error::check_name;
@@ -84,6 +85,10 @@ pub struct CffsConfig {
     pub cpu: CpuModel,
     /// Disk-driver scheduler.
     pub scheduler: Scheduler,
+    /// Namespace-cache (dcache) capacity in entries; 0 disables the
+    /// cache entirely (the default — lookups always scan, matching the
+    /// paper's implementation and keeping historical baselines exact).
+    pub dcache_entries: usize,
     /// Label for reports.
     pub label: String,
 }
@@ -100,6 +105,7 @@ impl CffsConfig {
             cache: CacheConfig::default(),
             cpu: CpuModel::default(),
             scheduler: Scheduler::CLook,
+            dcache_entries: 0,
             label: label.to_string(),
         }
     }
@@ -127,6 +133,13 @@ impl CffsConfig {
     /// Same configuration with a different metadata mode.
     pub fn with_mode(mut self, mode: MetadataMode) -> Self {
         self.metadata_mode = mode;
+        self
+    }
+
+    /// Same configuration with a namespace cache of `entries` entries
+    /// (0 disables it).
+    pub fn with_dcache(mut self, entries: usize) -> Self {
+        self.dcache_entries = entries;
         self
     }
 }
@@ -185,13 +198,43 @@ struct CgSlot {
     dirty: bool,
 }
 
+/// Bound on [`NsState::parent_of`]: beyond this many entries the oldest
+/// insertions are evicted FIFO. The map is a *hint* (allocation
+/// anchoring, group prefetch); losing an entry costs a fallback anchor,
+/// never correctness, so million-file trees can't grow it without
+/// limit. Sized so every historical workload stays comfortably inside
+/// (no eviction means byte-identical timelines).
+const NS_PARENT_CAP: usize = 1 << 16;
+
 /// Namespace knowledge, leaf-locked (nothing else is acquired while it
 /// is held): child inode -> naming directory, and last logical block
 /// read per inode for sequential-read detection.
 #[derive(Debug)]
 struct NsState {
     parent_of: HashMap<Ino, Ino>,
+    /// Insertion order of `parent_of` keys, for FIFO eviction at
+    /// [`NS_PARENT_CAP`]. May hold stale keys (removed or renumbered
+    /// inodes); eviction skips them.
+    parent_fifo: std::collections::VecDeque<Ino>,
     last_read: HashMap<Ino, u64>,
+}
+
+impl NsState {
+    /// Record `child`'s naming directory, evicting the oldest hints
+    /// once the map is full.
+    fn note_parent(&mut self, child: Ino, dir: Ino) {
+        if self.parent_of.insert(child, dir).is_none() {
+            self.parent_fifo.push_back(child);
+            while self.parent_of.len() > NS_PARENT_CAP {
+                match self.parent_fifo.pop_front() {
+                    Some(old) => {
+                        self.parent_of.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
 }
 
 /// A mounted C-FFS.
@@ -224,6 +267,10 @@ pub struct Cffs {
     cg_state: Vec<Mutex<CgSlot>>,
     groups: Mutex<GroupIndex>,
     ns: Mutex<NsState>,
+    /// Sharded namespace cache ((parent, name) -> ino, with negative
+    /// entries). `None` unless `cfg.dcache_entries > 0`. Shard locks
+    /// are leaves, like `ns`.
+    dcache: Option<Dcache>,
     /// Rotor for spreading new directories across cylinder groups (the
     /// FFS policy; C-FFS keeps it, per the paper's "what is not
     /// different" discussion of allocation).
@@ -293,6 +340,7 @@ impl Cffs {
             .into_iter()
             .map(|hdr| Mutex::new(CgSlot { hdr, dirty: false }))
             .collect();
+        let obs_for_dcache = obs.clone();
         let fs = Cffs {
             drv,
             cache,
@@ -301,7 +349,16 @@ impl Cffs {
             meta: Mutex::new(meta),
             cg_state,
             groups: Mutex::new(groups),
-            ns: Mutex::new(NsState { parent_of: HashMap::new(), last_read: HashMap::new() }),
+            ns: Mutex::new(NsState {
+                parent_of: HashMap::new(),
+                parent_fifo: std::collections::VecDeque::new(),
+                last_read: HashMap::new(),
+            }),
+            dcache: (cfg.dcache_entries > 0).then(|| {
+                let mut dc = Dcache::new(cfg.dcache_entries);
+                dc.set_obs(obs_for_dcache.clone());
+                dc
+            }),
             dir_rotor: AtomicU32::new(0),
             gen_counter: AtomicU32::new(0),
             op_stripes: (0..OP_STRIPES).map(|_| Mutex::new(())).collect(),
@@ -351,6 +408,11 @@ impl Cffs {
 
     fn lock_ns(&self) -> MutexGuard<'_, NsState> {
         self.obs.lock_timed(&self.ns, Ctr::LockWaitNsAlloc)
+    }
+
+    /// The namespace cache, when configured (`cfg.dcache_entries > 0`).
+    fn dcache(&self) -> Option<&Dcache> {
+        self.dcache.as_ref()
     }
 
     /// Sync everything and hand the disk back.
@@ -585,6 +647,40 @@ impl Cffs {
         self.map_set(&mut inode, lbn, to)?;
         self.write_inode(ino, &inode, true)?;
         self.flush_map_location(&inode, ino, lbn)?;
+        // Relocation never renumbers `ino` itself, so positive entries
+        // *resolving to* it stay valid. But if the moved block belongs
+        // to a directory, the embedded inodes inside it re-home with
+        // it: every child embedded at `from` now answers to a number
+        // encoding `to`. Drop everything cached under the directory and
+        // transfer each embedded child's external bookkeeping (cache
+        // bindings, parent map, and — for child directories — group
+        // ownership) to the new number, exactly as rename does when it
+        // renumbers an entry.
+        if inode.kind == FileKind::Dir {
+            if let Some(dc) = self.dcache() {
+                dc.purge_dir(ino);
+            }
+            let entries = {
+                let data = self.fetch_block(to, ino, lbn)?;
+                dirent::list(&data)?
+            };
+            for e in &entries {
+                if !matches!(e.loc, EntryLoc::Embedded(_)) {
+                    continue;
+                }
+                let old_ino = embedded_ino(from, e.offset, e.gen);
+                let new_ino = embedded_ino(to, e.offset, e.gen);
+                self.cache.purge_ino(old_ino);
+                if let Some(dc) = self.dcache() {
+                    dc.purge_ino(old_ino);
+                }
+                self.lock_ns().parent_of.remove(&old_ino);
+                if e.kind == FileKind::Dir {
+                    self.renumber_dir(old_ino, new_ino);
+                }
+                self.lock_ns().note_parent(new_ino, ino);
+            }
+        }
         self.cache.unbind_logical(ino, lbn);
         self.free_block_any(from);
         self.cache.bind_logical(&self.drv, to, ino, lbn);
@@ -1538,6 +1634,12 @@ impl Cffs {
     /// Retire an inode number from all in-core indices.
     fn retire_ino(&self, ino: Ino) {
         self.cache.purge_ino(ino);
+        if let Some(dc) = self.dcache() {
+            // Positive entries resolving to the dead ino, and (for a
+            // directory) any entries keyed under it.
+            dc.purge_ino(ino);
+            dc.purge_dir(ino);
+        }
         let mut ns = self.lock_ns();
         ns.parent_of.remove(&ino);
         ns.last_read.remove(&ino);
@@ -1546,6 +1648,11 @@ impl Cffs {
     /// A directory's inode number changed: transfer group ownership and fix
     /// the parent map.
     fn renumber_dir(&self, old: Ino, new: Ino) {
+        // Dcache keys embed the parent ino; entries under the old number
+        // can never be probed again (the handle is dead), so drop them.
+        if let Some(dc) = self.dcache() {
+            dc.purge_dir(old);
+        }
         self.lock_groups().reown(
             old,
             new,
@@ -1618,14 +1725,41 @@ impl Cffs {
         let _span = self.op_span(OpKind::Lookup);
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
+        // Namespace-cache fast path: a hit (positive or negative) skips
+        // the inode read and the whole dirent scan. Entries are only
+        // ever created by operations that held this directory's stripe,
+        // and every namespace mutation invalidates precisely, so a hit
+        // needs no revalidation. A probe costs one dirent-compare.
+        if let Some(dc) = self.dcache() {
+            match dc.lookup(dirino, name) {
+                DcacheAnswer::Pos(ino) => {
+                    self.charge(self.cpu_model().scan_cost(1));
+                    self.lock_ns().note_parent(ino, dirino);
+                    return Ok(ino);
+                }
+                DcacheAnswer::Neg => {
+                    self.charge(self.cpu_model().scan_cost(1));
+                    return Err(FsError::NotFound);
+                }
+                DcacheAnswer::Miss => {}
+            }
+        }
         let mut dinode = self.require_dir(dirino)?;
         match self.dir_find(dirino, &mut dinode, name)? {
             Some((blk, _, e)) => {
                 let ino = self.entry_ino(blk, &e);
-                self.lock_ns().parent_of.insert(ino, dirino);
+                if let Some(dc) = self.dcache() {
+                    dc.insert_pos(dirino, name, ino);
+                }
+                self.lock_ns().note_parent(ino, dirino);
                 Ok(ino)
             }
-            None => Err(FsError::NotFound),
+            None => {
+                if let Some(dc) = self.dcache() {
+                    dc.insert_neg(dirino, name);
+                }
+                Err(FsError::NotFound)
+            }
         }
     }
 
@@ -1651,8 +1785,17 @@ impl Cffs {
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
-        if self.dir_find(dirino, &mut dinode, name)?.is_some() {
-            return Err(FsError::Exists);
+        // Create-if-absent fast path: a cached negative entry proves the
+        // name absent, so the existence scan can be skipped outright; a
+        // cached positive entry is an immediate `Exists`.
+        match self.dcache().map(|dc| dc.lookup(dirino, name)) {
+            Some(DcacheAnswer::Pos(_)) => return Err(FsError::Exists),
+            Some(DcacheAnswer::Neg) => {}
+            _ => {
+                if self.dir_find(dirino, &mut dinode, name)?.is_some() {
+                    return Err(FsError::Exists);
+                }
+            }
         }
         let mut inode = Inode::new(FileKind::File);
         let ino = if self.cfg.embed {
@@ -1675,7 +1818,10 @@ impl Cffs {
             self.write_inode(dirino, &dinode, grew)?;
             ino
         };
-        self.lock_ns().parent_of.insert(ino, dirino);
+        if let Some(dc) = self.dcache() {
+            dc.insert_pos(dirino, name, ino);
+        }
+        self.lock_ns().note_parent(ino, dirino);
         Ok(ino)
     }
 
@@ -1686,8 +1832,14 @@ impl Cffs {
         self.charge(self.cpu_model().syscall);
         check_name(name)?;
         let mut dinode = self.require_dir(dirino)?;
-        if self.dir_find(dirino, &mut dinode, name)?.is_some() {
-            return Err(FsError::Exists);
+        match self.dcache().map(|dc| dc.lookup(dirino, name)) {
+            Some(DcacheAnswer::Pos(_)) => return Err(FsError::Exists),
+            Some(DcacheAnswer::Neg) => {}
+            _ => {
+                if self.dir_find(dirino, &mut dinode, name)?.is_some() {
+                    return Err(FsError::Exists);
+                }
+            }
         }
         let mut inode = Inode::new(FileKind::Dir);
         inode.nlink = 2;
@@ -1713,7 +1865,10 @@ impl Cffs {
             self.write_inode(dirino, &dinode, grew)?;
             ino
         };
-        self.lock_ns().parent_of.insert(ino, dirino);
+        if let Some(dc) = self.dcache() {
+            dc.insert_pos(dirino, name, ino);
+        }
+        self.lock_ns().note_parent(ino, dirino);
         Ok(ino)
     }
 
@@ -1738,6 +1893,10 @@ impl Cffs {
         let off = entry.offset;
         self.cache
             .modify_block_bound(&self.drv, blk, dirino, lbn, true, |d| dirent::remove(d, name))??;
+        // The name is now provably absent: cache the NotFound.
+        if let Some(dc) = self.dcache() {
+            dc.insert_neg(dirino, name);
+        }
         // Name (and, embedded, the inode with it) goes first.
         self.dir_durable(blk, off)?;
         self.drop_link_of_removed(ino, was_embedded, inode)
@@ -1765,6 +1924,9 @@ impl Cffs {
         let off = entry.offset;
         self.cache
             .modify_block_bound(&self.drv, blk, dirino, lbn, true, |d| dirent::remove(d, name))??;
+        if let Some(dc) = self.dcache() {
+            dc.insert_neg(dirino, name);
+        }
         self.dir_durable(blk, off)?;
         self.free_blocks_from(child, &mut cinode, 0)?;
         if !was_embedded {
@@ -1806,10 +1968,15 @@ impl Cffs {
                 })?;
                 self.dir_durable(blk, off)?;
                 self.cache.purge_ino(target);
+                // Externalizing renumbered the target: entries resolving
+                // to the old embedded ino are dead.
+                if let Some(dc) = self.dcache() {
+                    dc.purge_ino(target);
+                }
                 {
                     let mut ns = self.lock_ns();
                     if let Some(p) = ns.parent_of.remove(&target) {
-                        ns.parent_of.insert(ino, p);
+                        ns.note_parent(ino, p);
                     }
                 }
                 ino
@@ -1823,6 +1990,10 @@ impl Cffs {
             self.dir_insert(dirino, &mut dinode, name, FileKind::File, InsertPayload::External(slot))?;
         self.dir_durable_grown(blk, off, grew)?;
         self.write_inode(dirino, &dinode, grew)?;
+        // The new name exists now (this also kills any negative entry).
+        if let Some(dc) = self.dcache() {
+            dc.insert_pos(dirino, name, new_target);
+        }
         Ok(new_target)
     }
 
@@ -1859,6 +2030,9 @@ impl Cffs {
                 self.cache.modify_block_bound(&self.drv, rblk, odir, rlbn, true, |d| {
                     dirent::remove(d, oname)
                 })??;
+                if let Some(dc) = self.dcache() {
+                    dc.insert_neg(odir, oname);
+                }
                 self.write_inode(odir, &oinode, false)?;
                 self.dir_durable(rblk, off)?;
                 self.drop_link_of_removed(old_ino, false, inode)?;
@@ -1878,6 +2052,9 @@ impl Cffs {
                     self.cache.modify_block_bound(&self.drv, dblk, ndir, dlbn, true, |d| {
                         dirent::remove(d, nname)
                     })??;
+                    if let Some(dc) = self.dcache() {
+                        dc.invalidate(ndir, nname);
+                    }
                     self.dir_durable(dblk, off)?;
                     self.free_blocks_from(dst_ino, &mut dnode, 0)?;
                     if !was_embedded {
@@ -1897,6 +2074,9 @@ impl Cffs {
                     self.cache.modify_block_bound(&self.drv, dblk, ndir, dlbn, true, |d| {
                         dirent::remove(d, nname)
                     })??;
+                    if let Some(dc) = self.dcache() {
+                        dc.invalidate(ndir, nname);
+                    }
                     self.dir_durable(dblk, off)?;
                     self.drop_link_of_removed(dst_ino, was_embedded, inode)?;
                 }
@@ -1939,17 +2119,26 @@ impl Cffs {
         let roff = rentry.offset;
         self.cache
             .modify_block_bound(&self.drv, rblk, odir, rlbn, true, |d| dirent::remove(d, oname))??;
+        // The old name is gone and the new one resolves to `new_ino`
+        // (replacing any stale positive or negative entries for either).
+        if let Some(dc) = self.dcache() {
+            dc.insert_neg(odir, oname);
+            dc.insert_pos(ndir, nname, new_ino);
+        }
         self.write_inode(odir, &oinode, false)?;
         self.dir_durable(rblk, roff)?;
         // Bookkeeping for the renumbered inode.
         if new_ino != old_ino {
             self.cache.purge_ino(old_ino);
+            if let Some(dc) = self.dcache() {
+                dc.purge_ino(old_ino);
+            }
             self.lock_ns().parent_of.remove(&old_ino);
             if oentry.kind == FileKind::Dir {
                 self.renumber_dir(old_ino, new_ino);
             }
         }
-        self.lock_ns().parent_of.insert(new_ino, ndir);
+        self.lock_ns().note_parent(new_ino, ndir);
         if oentry.kind == FileKind::Dir && odir != ndir {
             let mut o = self.require_dir(odir)?;
             o.nlink = o.nlink.saturating_sub(1);
@@ -2117,7 +2306,12 @@ impl Cffs {
             self.charge(self.cpu_model().scan_cost(entries.len()));
             for e in entries {
                 let ino = self.entry_ino(blk, &e);
-                self.lock_ns().parent_of.insert(ino, dirino);
+                // A listing proves every mapping it returns: warm the
+                // namespace cache with the whole directory.
+                if let Some(dc) = self.dcache() {
+                    dc.insert_pos(dirino, &e.name, ino);
+                }
+                self.lock_ns().note_parent(ino, dirino);
                 out.push(DirEntry { name: e.name, ino, kind: e.kind });
             }
         }
@@ -2197,6 +2391,11 @@ impl Cffs {
         let _span = self.op_span(OpKind::DropCaches);
         self.sync()?;
         self.cache.drop_all(&self.drv)?;
+        if let Some(dc) = self.dcache() {
+            // Cold boundary: record the epoch's per-shard hit rates
+            // into `dcache_hit_pct` and start fresh.
+            dc.clear();
+        }
         self.drv.with_disk_mut(|d| d.flush_onboard_cache());
         Ok(())
     }

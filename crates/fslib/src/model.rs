@@ -300,6 +300,64 @@ impl FileSystem for ModelFs {
     fn reset_io_stats(&mut self) {}
 }
 
+/// The model behind one big mutex: the reference implementation of
+/// [`ConcurrentFs`]. No sharding, no parallelism — every operation
+/// serializes — but the logical semantics are the model's, so tests of
+/// `&self` path helpers and threaded workloads have an oracle that
+/// doesn't drag in a disk stack.
+#[derive(Debug, Default)]
+pub struct SharedModelFs(std::sync::Mutex<ModelFs>);
+
+impl SharedModelFs {
+    /// Create an empty shared model with just a root directory.
+    pub fn new() -> Self {
+        SharedModelFs(std::sync::Mutex::new(ModelFs::new()))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ModelFs> {
+        self.0.lock().expect("shared model poisoned")
+    }
+}
+
+impl crate::vfs::ConcurrentFs for SharedModelFs {
+    fn label(&self) -> &str {
+        "model (shared)"
+    }
+    fn root(&self) -> Ino {
+        self.lock().root()
+    }
+    fn lookup(&self, dir: Ino, name: &str) -> FsResult<Ino> {
+        self.lock().lookup(dir, name)
+    }
+    fn getattr(&self, ino: Ino) -> FsResult<Attr> {
+        self.lock().getattr(ino)
+    }
+    fn create(&self, dir: Ino, name: &str) -> FsResult<Ino> {
+        self.lock().create(dir, name)
+    }
+    fn mkdir(&self, dir: Ino, name: &str) -> FsResult<Ino> {
+        self.lock().mkdir(dir, name)
+    }
+    fn unlink(&self, dir: Ino, name: &str) -> FsResult<()> {
+        self.lock().unlink(dir, name)
+    }
+    fn read(&self, ino: Ino, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.lock().read(ino, off, buf)
+    }
+    fn write(&self, ino: Ino, off: u64, data: &[u8]) -> FsResult<usize> {
+        self.lock().write(ino, off, data)
+    }
+    fn readdir(&self, dir: Ino) -> FsResult<Vec<DirEntry>> {
+        self.lock().readdir(dir)
+    }
+    fn sync(&self) -> FsResult<()> {
+        self.lock().sync()
+    }
+    fn now(&self) -> SimTime {
+        self.lock().now()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

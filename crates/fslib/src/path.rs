@@ -3,9 +3,15 @@
 //! The trait works on `(directory inode, name)` pairs, like a kernel VFS.
 //! Workloads and examples want `"/usr/src/lib/io.c"`-style paths; these
 //! helpers provide that layer.
+//!
+//! The `*_c` variants take `&self` over [`ConcurrentFs`], so threaded
+//! workloads can resolve paths against one shared instance. They cover
+//! the concurrent trait's narrower surface: [`write_file_c`] has no
+//! truncate, so overwriting an existing *longer* file keeps its tail —
+//! fine for the fixed-size records every threaded workload writes.
 
 use crate::error::{FsError, FsResult};
-use crate::vfs::{FileKind, FileSystem, Ino};
+use crate::vfs::{ConcurrentFs, FileKind, FileSystem, Ino};
 
 /// Split a path into components, ignoring empty segments and leading `/`.
 pub fn components(path: &str) -> Vec<&str> {
@@ -155,6 +161,111 @@ fn walk_inner(
     Ok(())
 }
 
+// ----- `&self` variants over the concurrent surface ---------------------
+
+/// Resolve a path to an inode — [`resolve`] over [`ConcurrentFs`].
+pub fn resolve_c(fs: &(impl ConcurrentFs + ?Sized), path: &str) -> FsResult<Ino> {
+    let mut cur = fs.root();
+    for c in components(path) {
+        cur = fs.lookup(cur, c)?;
+    }
+    Ok(cur)
+}
+
+/// Resolve the parent directory of a path; returns `(parent_ino,
+/// leaf_name)` — [`resolve_parent`] over [`ConcurrentFs`].
+pub fn resolve_parent_c<'p>(
+    fs: &(impl ConcurrentFs + ?Sized),
+    path: &'p str,
+) -> FsResult<(Ino, &'p str)> {
+    let comps = components(path);
+    let (leaf, dirs) = comps.split_last().ok_or(FsError::InvalidArg)?;
+    let mut cur = fs.root();
+    for c in dirs {
+        cur = fs.lookup(cur, c)?;
+    }
+    Ok((cur, leaf))
+}
+
+/// `mkdir -p` over [`ConcurrentFs`]. Loses no race: a concurrent
+/// creator of the same component turns this thread's `mkdir` into
+/// `Exists`, which resolves to the winner's directory.
+pub fn mkdir_p_c(fs: &(impl ConcurrentFs + ?Sized), path: &str) -> FsResult<Ino> {
+    let mut cur = fs.root();
+    for c in components(path) {
+        cur = match fs.lookup(cur, c) {
+            Ok(ino) => {
+                if fs.getattr(ino)?.kind != FileKind::Dir {
+                    return Err(FsError::NotDir);
+                }
+                ino
+            }
+            Err(FsError::NotFound) => match fs.mkdir(cur, c) {
+                Ok(ino) => ino,
+                Err(FsError::Exists) => fs.lookup(cur, c)?,
+                Err(e) => return Err(e),
+            },
+            Err(e) => return Err(e),
+        };
+    }
+    Ok(cur)
+}
+
+/// Create-or-overwrite the file at `path` with `data`, returning its
+/// inode. Unlike [`write_file`] this cannot truncate (the concurrent
+/// trait has no `truncate`), so a pre-existing file longer than `data`
+/// keeps its tail beyond `data.len()`.
+pub fn write_file_c(fs: &(impl ConcurrentFs + ?Sized), path: &str, data: &[u8]) -> FsResult<Ino> {
+    let (dir, name) = resolve_parent_c(fs, path)?;
+    let ino = match fs.lookup(dir, name) {
+        Ok(existing) => existing,
+        Err(FsError::NotFound) => match fs.create(dir, name) {
+            Ok(ino) => ino,
+            Err(FsError::Exists) => fs.lookup(dir, name)?,
+            Err(e) => return Err(e),
+        },
+        Err(e) => return Err(e),
+    };
+    let mut off = 0u64;
+    while (off as usize) < data.len() {
+        let n = fs.write(ino, off, &data[off as usize..])?;
+        if n == 0 {
+            return Err(FsError::Io("short write".into()));
+        }
+        off += n as u64;
+    }
+    Ok(ino)
+}
+
+/// Read the whole file at `path` — [`read_file`] over [`ConcurrentFs`].
+pub fn read_file_c(fs: &(impl ConcurrentFs + ?Sized), path: &str) -> FsResult<Vec<u8>> {
+    let ino = resolve_c(fs, path)?;
+    read_all_c(fs, ino)
+}
+
+/// Read the whole file with inode `ino` — [`read_all`] over
+/// [`ConcurrentFs`].
+pub fn read_all_c(fs: &(impl ConcurrentFs + ?Sized), ino: Ino) -> FsResult<Vec<u8>> {
+    let size = fs.getattr(ino)?.size as usize;
+    let mut out = vec![0u8; size];
+    let mut off = 0usize;
+    while off < size {
+        let n = fs.read(ino, off as u64, &mut out[off..])?;
+        if n == 0 {
+            break;
+        }
+        off += n;
+    }
+    out.truncate(off);
+    Ok(out)
+}
+
+/// Remove the file at `path` — [`remove_file`] over [`ConcurrentFs`].
+pub fn remove_file_c(fs: &(impl ConcurrentFs + ?Sized), path: &str) -> FsResult<()> {
+    let (dir, name) = resolve_parent_c(fs, path)?;
+    fs.unlink(dir, name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +333,64 @@ mod tests {
         let mut fs = ModelFs::new();
         write_file(&mut fs, "/f", b"").unwrap();
         assert_eq!(mkdir_p(&mut fs, "/f/sub"), Err(FsError::NotDir));
+    }
+
+    use crate::model::SharedModelFs as SharedModel;
+
+    #[test]
+    fn concurrent_mkdir_p_and_resolve() {
+        let fs = SharedModel::new();
+        let d = mkdir_p_c(&fs, "/srv/data/logs").unwrap();
+        assert_eq!(resolve_c(&fs, "/srv/data/logs").unwrap(), d);
+        // Idempotent, and resolves through existing components.
+        assert_eq!(mkdir_p_c(&fs, "/srv/data/logs").unwrap(), d);
+        let (parent, leaf) = resolve_parent_c(&fs, "/srv/data/logs").unwrap();
+        assert_eq!(resolve_c(&fs, "/srv/data").unwrap(), parent);
+        assert_eq!(leaf, "logs");
+    }
+
+    #[test]
+    fn concurrent_write_read_remove() {
+        let fs = SharedModel::new();
+        mkdir_p_c(&fs, "/tmp").unwrap();
+        let ino = write_file_c(&fs, "/tmp/rec", b"payload-1").unwrap();
+        assert_eq!(read_file_c(&fs, "/tmp/rec").unwrap(), b"payload-1");
+        assert_eq!(read_all_c(&fs, ino).unwrap(), b"payload-1");
+        // Same-length overwrite replaces in place (no truncate on this
+        // surface; workloads always rewrite fixed-size records).
+        write_file_c(&fs, "/tmp/rec", b"payload-2").unwrap();
+        assert_eq!(read_file_c(&fs, "/tmp/rec").unwrap(), b"payload-2");
+        remove_file_c(&fs, "/tmp/rec").unwrap();
+        assert_eq!(resolve_c(&fs, "/tmp/rec"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn concurrent_mkdir_p_through_file_fails() {
+        let fs = SharedModel::new();
+        write_file_c(&fs, "/f", b"").unwrap();
+        assert_eq!(mkdir_p_c(&fs, "/f/sub"), Err(FsError::NotDir));
+    }
+
+    #[test]
+    fn concurrent_helpers_race_cleanly() {
+        let fs = std::sync::Arc::new(SharedModel::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let fs = fs.clone();
+                std::thread::spawn(move || {
+                    // Everyone races to create the same tree, then writes
+                    // a private file under it.
+                    let d = mkdir_p_c(&*fs, "/shared/tree").unwrap();
+                    write_file_c(&*fs, &format!("/shared/tree/t{t}"), b"x").unwrap();
+                    d
+                })
+            })
+            .collect();
+        let dirs: Vec<Ino> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        // All racers converged on one directory inode.
+        assert!(dirs.windows(2).all(|w| w[0] == w[1]));
+        for t in 0..4 {
+            assert_eq!(read_file_c(&*fs, &format!("/shared/tree/t{t}")).unwrap(), b"x");
+        }
     }
 }

@@ -51,6 +51,10 @@ pub const FRAME_COUNTERS: &[Ctr] = &[
     Ctr::CacheLookups,
     Ctr::CacheMisses,
     Ctr::CacheWritebacks,
+    Ctr::DcacheHits,
+    Ctr::DcacheMisses,
+    Ctr::DcacheNegHits,
+    Ctr::DcacheEvictions,
     Ctr::FsGroupFetches,
     Ctr::RegroupBlocksMoved,
     Ctr::RegroupGroupsFormed,
@@ -65,7 +69,7 @@ pub const FRAME_COUNTERS: &[Ctr] = &[
 /// Histograms whose per-frame `(dsum, dcount)` deltas are carried in
 /// every frame.
 pub const FRAME_HISTOS: &[&str] =
-    &["group_fetch_util_pct", "driver_batch_reqs", "cache_shard_hit_pct"];
+    &["group_fetch_util_pct", "driver_batch_reqs", "cache_shard_hit_pct", "dcache_hit_pct"];
 
 /// Top-level frame fields with one-line descriptions — the glossary
 /// that README documents and `tests/doc_drift.rs` cross-checks.
@@ -81,6 +85,10 @@ pub const FRAME_FIELDS: &[(&str, &str)] = &[
     ("cgs", "per-cylinder-group occupancy, utilization EWMA, and I/O deltas"),
     ("threads", "per-thread-slot op deltas since the previous frame"),
     ("events", "signal.* and regroup.* trace events recorded since the previous frame"),
+    (
+        "dcache_hit_milli",
+        "namespace-cache hit rate (positive + negative) over probes since the previous frame, in milli-units; 0 when no probes",
+    ),
 ];
 
 /// How a tap decides when to cut frames.
@@ -190,7 +198,7 @@ struct Baseline {
 /// `(sum, count)` of each [`FRAME_HISTOS`] histogram, in frame order.
 fn frame_histo_points(obs: &Obs) -> Vec<(u64, u64)> {
     let h = obs.histos();
-    [&h.group_fetch_util_pct, &h.driver_batch_reqs, &h.cache_shard_hit_pct]
+    [&h.group_fetch_util_pct, &h.driver_batch_reqs, &h.cache_shard_hit_pct, &h.dcache_hit_pct]
         .iter()
         .map(|hg| {
             let s = hg.snapshot();
@@ -322,6 +330,20 @@ impl FeedTap {
         let ops: u64 = (0..THREAD_SLOTS)
             .map(|i| cur.threads[i].saturating_sub(st.prev.threads[i]))
             .sum();
+        // Namespace-cache hit rate over this frame's window, derived
+        // from the counter deltas already captured above.
+        let dctr = |ctr: Ctr| -> u64 {
+            FRAME_COUNTERS
+                .iter()
+                .position(|&c| c == ctr)
+                .map(|i| {
+                    cur.counters[i].saturating_sub(st.prev.counters.get(i).copied().unwrap_or(0))
+                })
+                .unwrap_or(0)
+        };
+        let dcache_hits = dctr(Ctr::DcacheHits) + dctr(Ctr::DcacheNegHits);
+        let dcache_probes = dcache_hits + dctr(Ctr::DcacheMisses);
+        let dcache_hit_milli = (dcache_hits * 1000).checked_div(dcache_probes).unwrap_or(0);
         let (fresh, mark) = obs.events_since(st.prev.events_mark);
         let events = Json::Arr(
             fresh
@@ -348,6 +370,7 @@ impl FeedTap {
             ("cgs".to_string(), cgs),
             ("threads".to_string(), threads),
             ("events".to_string(), events),
+            ("dcache_hit_milli".to_string(), Json::Int(dcache_hit_milli as i64)),
         ];
         st.prev = cur;
         st.prev.events_mark = mark;
@@ -505,6 +528,9 @@ pub fn validate_frame(frame: &Json) -> Result<(), String> {
     want_u64("t_ns")?;
     want_u64("ops")?;
     want_u64("queue_depth")?;
+    if want_u64("dcache_hit_milli")? > 1000 {
+        return Err("frame field \"dcache_hit_milli\" exceeds 1000".to_string());
+    }
     frame
         .get("stage")
         .and_then(Json::as_str)

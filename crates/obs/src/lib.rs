@@ -127,6 +127,17 @@ counters! {
     /// Group-fetched blocks evicted/invalidated without ever being hit.
     GroupFetchBlocksWasted => "group_fetch_blocks_wasted",
 
+    // ---- namespace cache (dcache) ----
+    /// Dcache probes answered with a cached positive entry (name -> ino).
+    DcacheHits => "dcache_hit",
+    /// Dcache probes that found no entry and fell through to a dirent scan.
+    DcacheMisses => "dcache_miss",
+    /// Dcache probes answered with a cached negative entry (name known
+    /// absent — the dominant cost in create-if-absent patterns).
+    DcacheNegHits => "dcache_neg_hit",
+    /// Dcache entries evicted by the CLOCK hand to stay within capacity.
+    DcacheEvictions => "dcache_evict",
+
     // ---- file system (C-FFS and the FFS baseline) ----
     /// Inode reads/writes served from an embedded (in-directory) inode.
     FsEmbeddedInodeOps => "fs_embedded_inode_ops",
@@ -484,6 +495,10 @@ pub struct Histos {
     /// at every cache drop (cold boundary) covering the epoch since the
     /// previous drop.
     pub cache_shard_hit_pct: Histogram,
+    /// Per-shard namespace-cache (dcache) hit rate in percent — positive
+    /// and negative hits over all probes — sampled once per shard at
+    /// every dcache clear covering the epoch since the previous clear.
+    pub dcache_hit_pct: Histogram,
 }
 
 impl Histos {
@@ -496,6 +511,7 @@ impl Histos {
             group_fetch_util_pct: Histogram::new(),
             driver_batch_reqs: Histogram::new(),
             cache_shard_hit_pct: Histogram::new(),
+            dcache_hit_pct: Histogram::new(),
         }
     }
 
@@ -516,6 +532,7 @@ impl Histos {
         out.push(("group_fetch_util_pct".to_string(), &self.group_fetch_util_pct));
         out.push(("driver_batch_reqs".to_string(), &self.driver_batch_reqs));
         out.push(("cache_shard_hit_pct".to_string(), &self.cache_shard_hit_pct));
+        out.push(("dcache_hit_pct".to_string(), &self.dcache_hit_pct));
         out
     }
 
@@ -531,6 +548,7 @@ impl Histos {
         out.push("group_fetch_util_pct".to_string());
         out.push("driver_batch_reqs".to_string());
         out.push("cache_shard_hit_pct".to_string());
+        out.push("dcache_hit_pct".to_string());
         out
     }
 }

@@ -33,6 +33,7 @@
 //! of `Obs::global_clock_ns` — every thread's work fits before it.
 
 use cffs_disksim::SimDuration;
+use cffs_fslib::path::{mkdir_p_c, read_file_c, resolve_c, write_file_c};
 use cffs_fslib::{ConcurrentFs, FsResult, Ino};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -198,17 +199,19 @@ fn churn(
 ) -> FsResult<(u64, u64)> {
     let mut rng = StdRng::seed_from_u64((p.seed ^ t as u64).wrapping_mul(0xD134_2543_DE82_EF95));
     let payload = vec![(t & 0xff) as u8; p.file_size];
-    let mut buf = vec![0u8; p.file_size];
     let mut ops = 0u64;
     let mut bytes = 0u64;
     // Overwrite a seeded eighth of each directory in place (dirties
     // cached buffers, allocates nothing), then delete a seeded quarter.
     // Mutation lives here, outside the measured window — see
     // `warm_window` for why the window itself stays read-only.
-    for &dir in own_dirs {
+    // Targets resolve by full path from the root, so every overwrite
+    // walks the same namespace a real client would.
+    for (d, _) in own_dirs.iter().enumerate() {
         for f in 0..p.files_per_dir {
             if rng.gen_range(0..8u64) == 0 {
-                fs.write(fs.lookup(dir, &format!("f{f}"))?, 0, &payload)?;
+                let ino = resolve_c(fs, &format!("/t{t}_d{d}/f{f}"))?;
+                fs.write(ino, 0, &payload)?;
                 ops += 2;
                 bytes += p.file_size as u64;
             }
@@ -225,22 +228,20 @@ fn churn(
     // Contend on the shared directories — every thread creates its own
     // (thread-unique) names, then re-reads and re-lists, so the
     // per-directory op stripe and the shared CG state genuinely collide.
-    for &dir in shared {
-        let mut mine = Vec::new();
+    // Files go through the path helpers: racing threads resolve
+    // "/sharedN" concurrently while siblings insert into it.
+    for (s, &dir) in shared.iter().enumerate() {
         for f in 0..p.shared_files_per_thread {
-            let ino = fs.create(dir, &format!("t{t}_s{f}"))?;
-            ops += 1;
-            fs.write(ino, 0, &payload)?;
-            ops += 1;
+            write_file_c(fs, &format!("/shared{s}/t{t}_s{f}"), &payload)?;
+            ops += 2;
             bytes += p.file_size as u64;
-            mine.push(ino);
         }
-        for &ino in &mine {
-            let n = fs.read(ino, 0, &mut buf)?;
+        for f in 0..p.shared_files_per_thread {
+            let data = read_file_c(fs, &format!("/shared{s}/t{t}_s{f}"))?;
             ops += 1;
-            bytes += n as u64;
+            bytes += data.len() as u64;
         }
-        if !mine.is_empty() {
+        if p.shared_files_per_thread > 0 {
             fs.readdir(dir)?;
             ops += 1;
         }
@@ -310,18 +311,17 @@ pub fn run_with_phase_hook(
     // Phase 1 — setup (main thread, unmeasured). Directory CGs are
     // assigned round-robin by the allocator, so consecutive mkdirs land
     // in different cylinder groups.
-    let root = fs.root();
     let mut own: Vec<Vec<Ino>> = Vec::with_capacity(p.nthreads);
     for t in 0..p.nthreads {
         let mut dirs = Vec::with_capacity(p.dirs_per_thread);
         for d in 0..p.dirs_per_thread {
-            dirs.push(fs.mkdir(root, &format!("t{t}_d{d}"))?);
+            dirs.push(mkdir_p_c(fs, &format!("/t{t}_d{d}"))?);
         }
         own.push(dirs);
     }
     let mut shared = Vec::with_capacity(p.shared_dirs);
     for s in 0..p.shared_dirs {
-        shared.push(fs.mkdir(root, &format!("shared{s}"))?);
+        shared.push(mkdir_p_c(fs, &format!("/shared{s}"))?);
     }
     fs.sync()?;
     hook("setup");

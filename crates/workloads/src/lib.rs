@@ -30,11 +30,15 @@
 //! * [`concurrent`] — N client threads over one shared [`cffs_fslib::ConcurrentFs`]
 //!   instance: disjoint per-thread directory sets plus an optional shared
 //!   contention set, throughput in simulated time.
+//! * [`namei`] — the million-file deep-tree name-resolution benchmark:
+//!   seeded full-path lookups against multi-block leaf directories, the
+//!   workload behind the namespace-cache (dcache) acceptance gate.
 
 pub mod aging;
 pub mod appdev;
 pub mod concurrent;
 pub mod namegen;
+pub mod namei;
 pub mod postmark;
 pub mod runner;
 pub mod sizes;

@@ -33,6 +33,12 @@ pub struct PhaseResult {
     /// Full observability counter deltas for the phase (`None` when the
     /// stack carries no instrumentation, e.g. the in-memory model fs).
     pub counters: Option<StatsSnapshot>,
+    /// Host wall-clock time the phase took, nanoseconds. Unlike every
+    /// other field this is **not** deterministic — it measures the
+    /// harness machine, not the simulated disk — and exists so bench
+    /// payloads can separate "the simulated stack got faster" from "the
+    /// benchmark binary got slower to run".
+    pub host_ns: u64,
 }
 
 
@@ -45,6 +51,7 @@ impl ToJson for PhaseResult {
             ("items", self.items.to_json()),
             ("bytes", self.bytes.to_json()),
             ("io", self.io.to_json()),
+            ("host_ns", self.host_ns.to_json()),
         ];
         if let (Json::Obj(m), Some(snap)) = (&mut j, &self.counters) {
             m.push(("counters".to_string(), snap.to_json()));
@@ -98,8 +105,10 @@ pub fn measure<F: FileSystem + ?Sized>(
     fs.reset_io_stats();
     let before = fs.obs().map(|o| o.snapshot(fs.label(), fs.now().as_nanos()));
     let t0 = fs.now();
+    let host_t0 = std::time::Instant::now();
     body(fs)?;
     fs.sync()?;
+    let host_ns = host_t0.elapsed().as_nanos() as u64;
     let elapsed = fs.now() - t0;
     // Obs counters are monotonic (never reset), so the phase's share is a
     // snapshot delta rather than a raw read.
@@ -115,6 +124,7 @@ pub fn measure<F: FileSystem + ?Sized>(
         bytes,
         io: fs.io_stats(),
         counters,
+        host_ns,
     })
 }
 

@@ -14,6 +14,7 @@
 //! fixed round count is as deterministic as any other workload here —
 //! "soak" describes the shape, not a dependence on wall time.
 
+use cffs_fslib::path::mkdir_p;
 use cffs_fslib::{FileKind, FileSystem, FsResult, Ino};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,10 +59,9 @@ pub fn run(
     mut on_round: impl FnMut(usize),
 ) -> FsResult<SoakResult> {
     let mut rng = StdRng::seed_from_u64(p.seed.wrapping_mul(0xA076_1D64_78BD_642F));
-    let root = fs.root();
     let mut dirs: Vec<Ino> = Vec::with_capacity(p.ndirs);
     for d in 0..p.ndirs {
-        dirs.push(fs.mkdir(root, &format!("soak{d:02}"))?);
+        dirs.push(mkdir_p(fs, &format!("/soak{d:02}"))?);
     }
     let mut res = SoakResult::default();
     let mut buf = vec![0u8; p.file_size];

@@ -195,3 +195,75 @@ fn concurrent_trait_object_is_usable() {
     assert_eq!(&buf, b"hello");
     dynfs.sync().unwrap();
 }
+
+#[test]
+fn dcache_shared_directory_churn_stays_coherent() {
+    // Same shared-directory hammering, but with the namespace cache on
+    // and deliberately undersized (eviction churns while four threads
+    // create, probe, unlink and recreate the same names). A stale
+    // positive entry shows up as a wrong-content read, a stale negative
+    // entry as a NotFound for a file that exists at the end.
+    const NTHREADS: usize = 4;
+    const FILES: usize = 24;
+    const BLOCK: usize = 4096;
+    let fs = cffs::core::mkfs::mkfs(
+        Disk::new(models::tiny_test_disk()),
+        MkfsParams::tiny(),
+        CffsConfig::cffs().with_dcache(32),
+    )
+    .expect("mkfs");
+    let root = Cffs::root(&fs);
+    let dir = Cffs::mkdir(&fs, root, "shared").expect("mkdir");
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..NTHREADS)
+            .map(|t| {
+                let fs = &fs;
+                scope.spawn(move || -> FsResult<()> {
+                    for f in 0..FILES {
+                        let ino = Cffs::create(fs, dir, &format!("t{t}_f{f}"))?;
+                        Cffs::write(fs, ino, 0, &vec![t as u8; BLOCK])?;
+                        // Probe every thread's copy of this slot: misses
+                        // seed negative entries that racing creates must
+                        // kill. A probed name can be unlinked between the
+                        // lookup and the getattr, so a failure there is a
+                        // legal race, not an error.
+                        for other in 0..NTHREADS {
+                            if let Ok(ino) = Cffs::lookup(fs, dir, &format!("t{other}_f{f}")) {
+                                let _ = Cffs::getattr(fs, ino);
+                            }
+                        }
+                        if f % 2 == 1 {
+                            Cffs::unlink(fs, dir, &format!("t{t}_f{f}"))?;
+                            let ino = Cffs::create(fs, dir, &format!("t{t}_f{f}"))?;
+                            Cffs::write(fs, ino, 0, &vec![t as u8; BLOCK])?;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker panicked").expect("worker ops");
+        }
+    });
+
+    assert_fsck_clean(&fs, "dcache shared-directory churn");
+    let entries = Cffs::readdir(&fs, dir).expect("readdir");
+    assert_eq!(entries.len(), NTHREADS * FILES, "every name present exactly once");
+    let mut buf = vec![0u8; BLOCK];
+    for t in 0..NTHREADS {
+        for f in 0..FILES {
+            let ino = Cffs::lookup(&fs, dir, &format!("t{t}_f{f}")).expect("entry resolves");
+            let n = Cffs::read(&fs, ino, 0, &mut buf).expect("read");
+            assert_eq!(n, BLOCK);
+            assert!(
+                buf.iter().all(|&b| b == t as u8),
+                "shared/t{t}_f{f}: content belongs to thread {t}"
+            );
+        }
+    }
+    let o = Cffs::obs(&fs);
+    assert!(o.get(cffs_obs::Ctr::DcacheHits) > 0, "the cache was exercised");
+    assert!(o.get(cffs_obs::Ctr::DcacheEvictions) > 0, "capacity pressure was real");
+}

@@ -237,3 +237,35 @@ fn statfs_slack_accounting() {
     );
     assert_eq!(st0.free_blocks - st1.free_blocks, 16, "whole extent reserved");
 }
+
+#[test]
+fn dir_block_relocation_reowns_embedded_child_groups() {
+    // `child` is embedded in `parent`'s directory block, so relocating
+    // that block renumbers child's ino. Any group carved for child must
+    // follow the renumbering — a descriptor still naming the old ino is
+    // an orphan fsck would dissolve.
+    let fs = fresh();
+    let root = fs.root();
+    let parent = fs.mkdir(root, "parent").unwrap();
+    let child = fs.mkdir(parent, "child").unwrap();
+    let ino = fs.create(child, "f").unwrap();
+    fs.write(ino, 0, b"x").unwrap();
+    assert!(!fs.group_index().groups_of(child).is_empty(), "child owns a group");
+
+    let group = fs.carve_group_for(parent).unwrap().expect("extent for parent");
+    assert!(fs.relocate_block_into(parent, 0, group).unwrap().is_some(), "block moved");
+
+    let child_now = fs.lookup(parent, "child").unwrap();
+    assert_ne!(child_now, child, "relocation renumbered the embedded child dir");
+    assert!(fs.group_index().groups_of(child).is_empty(), "old ino owns nothing");
+    assert!(
+        !fs.group_index().groups_of(child_now).is_empty(),
+        "ownership transferred to the new ino"
+    );
+    assert_eq!(fs.lookup(child_now, "f").map(|i| fs.getattr(i).unwrap().size), Ok(1));
+
+    fs.sync().unwrap();
+    let mut img = fs.crash_image();
+    let report = fsck::fsck(&mut img, false).unwrap();
+    assert!(report.clean(), "{:?}", report.errors);
+}

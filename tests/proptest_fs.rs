@@ -142,6 +142,59 @@ proptest! {
         prop_assert_eq!(snapshot(&mut fs2).expect("post-remount snapshot"), want);
     }
 
+    /// The namespace cache is invisible to semantics: a dcache'd instance
+    /// (capacity 64, small enough that eviction churns constantly) agrees
+    /// with a plain one on every path-resolution outcome and on the final
+    /// logical state, across arbitrary create/rename/unlink/link/mkdir
+    /// interleavings *and* a directory-block relocation pass (which
+    /// renumbers the embedded inodes the cache has handed out).
+    #[test]
+    fn dcache_on_matches_dcache_off(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut on = cffs_variant(CffsConfig::cffs().with_dcache(64));
+        let mut off = cffs_variant(CffsConfig::cffs());
+        for op in skeleton().iter().chain(&ops) {
+            apply(&mut on, op).expect("dcache replay");
+            apply(&mut off, op).expect("plain replay");
+            // Probe every path the generator can produce: a stale
+            // positive entry shows up as Ok-vs-Err or wrong contents, a
+            // stale negative entry as Err-vs-Ok.
+            for dir in ["", "/d0", "/d1", "/d0/s0", "/sub0", "/sub1", "/d0/sub0"] {
+                for i in 0..6 {
+                    let path = format!("{dir}/n{i}");
+                    let a = cffs_fslib::path::resolve(&mut on, &path).map(|_| ());
+                    let b = cffs_fslib::path::resolve(&mut off, &path).map(|_| ());
+                    prop_assert_eq!(a, b, "resolve {} diverged after {:?}", path, op);
+                }
+            }
+        }
+        // Relocate /d0's first blocks into a fresh extent on both
+        // instances: the commit path re-homes embedded inodes, so any
+        // cached ino for /d0's children is now a lie unless purged.
+        if let Ok(d0) = cffs_fslib::path::resolve(&mut on, "/d0") {
+            if let Some(group) = on.carve_group_for(d0).expect("carve") {
+                for lbn in 0..4 {
+                    on.relocate_block_into(d0, lbn, group).expect("relocate");
+                }
+            }
+        }
+        if let Ok(d0) = cffs_fslib::path::resolve(&mut off, "/d0") {
+            if let Some(group) = off.carve_group_for(d0).expect("carve") {
+                for lbn in 0..4 {
+                    off.relocate_block_into(d0, lbn, group).expect("relocate");
+                }
+            }
+        }
+        prop_assert_eq!(
+            snapshot(&mut on).expect("dcache snapshot"),
+            snapshot(&mut off).expect("plain snapshot"),
+            "logical state diverged"
+        );
+        Cffs::sync(&on).expect("sync");
+        let mut img = on.crash_image();
+        let verify = fsck::fsck(&mut img, false).expect("fsck");
+        prop_assert!(verify.clean(), "dcache instance not fsck-clean: {:?}", verify.errors);
+    }
+
     /// Group accounting stays exact under churn: reserved = live + slack,
     /// and statfs never double-counts.
     #[test]
