@@ -18,7 +18,7 @@ cargo test --release --workspace --offline -q -- --test-threads=8
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== bench smoke (repro_smallfile + repro_aging_regroup + repro_concurrent + repro_namei, reduced scale) =="
+echo "== bench smoke (repro_smallfile + repro_aging_regroup + repro_concurrent + repro_namei + repro_volume, reduced scale) =="
 BENCH_TMP=$(mktemp -d)
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
@@ -35,6 +35,12 @@ BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_namei -- --branches 4 --dirs 4 --files 256 --sample 1024 --rounds 3 \
     > /dev/null
+# Reduced scale must match the checked-in BENCH_VOLUME baseline invocation
+# exactly (the volume scaling ratio is scale-sensitive). Records a live
+# per-volume feed for the schema smoke below.
+BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
+    --bin repro_volume -- --seed 1997 --sessions 480 --dirs 64 --files 16 \
+    --ops 6 --threads 4 --feed "$BENCH_TMP/feed_volume.jsonl" > /dev/null
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     "$BENCH_TMP"/out/BENCH_*.json
 
@@ -43,6 +49,10 @@ echo "== telemetry feed smoke (frame schema + cffs-top headless replay) =="
 # validate, and the dashboard must replay it headless.
 cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
     --feed "$BENCH_TMP/feed.jsonl"
+# The repro_volume smoke recorded a feed with per-volume rows; every
+# frame (including its volumes array) must validate too.
+cargo run --release --offline -p cffs-bench --bin bench_schema_check -- \
+    --feed "$BENCH_TMP/feed_volume.jsonl"
 cargo run --release --offline --bin cffs-top -- \
     --replay "$BENCH_TMP/feed.jsonl" --headless --frames 5 \
     | grep -q '^rendered 5 frames$' \
@@ -85,6 +95,11 @@ cargo run --release --offline -p cffs-bench --bin bench_gate -- \
 cargo run --release --offline -p cffs-bench --bin bench_gate -- \
     "$BENCH_TMP/out/BENCH_NAMEI.json" \
     crates/bench/baselines/BENCH_NAMEI.json --tolerance-pct 25
+# Volume scaling: relative band vs baseline plus the absolute >= 3.0x
+# 4-volume acceptance floor enforced inside bench_gate.
+cargo run --release --offline -p cffs-bench --bin bench_gate -- \
+    "$BENCH_TMP/out/BENCH_VOLUME.json" \
+    crates/bench/baselines/BENCH_VOLUME.json --tolerance-pct 25
 rm -rf "$BENCH_TMP"
 
 echo "== ci.sh: all green =="

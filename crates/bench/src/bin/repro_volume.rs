@@ -1,0 +1,37 @@
+//! E16 (extra): scale-out volume sets.
+//! Usage: repro_volume [--seed N] [--sessions N] [--dirs N] [--files N]
+//!                     [--ops N] [--threads N] [--feed PATH]
+//!
+//! Runs the multi-client session workload over volume sets of 1, 2, 4
+//! and 8 simulated disks (sharded namespace, threshold striping) and
+//! reports aggregate sessions-window ops/s in simulated time. The BENCH
+//! payload records the volume scaling ratio (acceptance: the 4-volume
+//! aggregate must be >= 3.0x the 1-volume figure, with every volume
+//! fsck-clean after churn plus one regroup pass per shard).
+
+use cffs_bench::experiments::volume;
+use cffs_bench::report::emit_bench;
+
+fn arg(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{name} needs a number")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--feed") {
+        let path = args.get(i + 1).expect("--feed needs a path");
+        cffs_obs::feed::set_global(path).expect("create telemetry feed");
+    }
+    let seed = arg(&args, "--seed").unwrap_or(1997);
+    let sessions = arg(&args, "--sessions").unwrap_or(2000) as usize;
+    let dirs = arg(&args, "--dirs").unwrap_or(64) as usize;
+    let files = arg(&args, "--files").unwrap_or(16) as usize;
+    let ops = arg(&args, "--ops").unwrap_or(8) as usize;
+    let threads = arg(&args, "--threads").unwrap_or(4) as usize;
+    let (text, json) = volume::report(seed, sessions, dirs, files, ops, threads);
+    print!("{text}");
+    emit_bench("VOLUME", json);
+}

@@ -18,6 +18,7 @@
 //! | [`aging_regroup`] | E13 (extra) | online regrouping after adversarial aging |
 //! | [`concurrent`] | E14 (extra) | multi-threaded scaling on disjoint cylinder groups |
 //! | [`namei`] | E15 (extra) | million-file deep-tree name resolution, namespace cache vs scan |
+//! | [`volume`] | E16 (extra) | scale-out volume sets: multi-disk striping, sharded metadata, multi-client sessions |
 
 pub mod ablation;
 pub mod aging;
@@ -33,3 +34,4 @@ pub mod postmark;
 pub mod smallfile;
 pub mod table1;
 pub mod table2;
+pub mod volume;

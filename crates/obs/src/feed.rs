@@ -64,6 +64,9 @@ pub const FRAME_COUNTERS: &[Ctr] = &[
     Ctr::LockWaitNsAlloc,
     Ctr::LockWaitNsCache,
     Ctr::LockWaitNsDriver,
+    Ctr::VolStripePromotions,
+    Ctr::VolStripePartIos,
+    Ctr::VolDirFanouts,
 ];
 
 /// Histograms whose per-frame `(dsum, dcount)` deltas are carried in
@@ -88,6 +91,10 @@ pub const FRAME_FIELDS: &[(&str, &str)] = &[
     (
         "dcache_hit_milli",
         "namespace-cache hit rate (positive + negative) over probes since the previous frame, in milli-units; 0 when no probes",
+    ),
+    (
+        "volumes",
+        "per-volume rows (vol, ops, queue_depth, dreads, dwrites, gf_util_ewma_milli) for volume-set producers; empty array otherwise",
     ),
 ];
 
@@ -229,6 +236,9 @@ impl Baseline {
 pub struct FeedTap {
     sink: Arc<FeedSink>,
     obs: Arc<Obs>,
+    /// Per-volume registries of a volume-set producer, in volume order
+    /// (empty for single-volume producers; drives the `volumes` rows).
+    vols: Vec<Arc<Obs>>,
     interval_ns: u64,
     state: Mutex<TapState>,
 }
@@ -237,6 +247,25 @@ struct TapState {
     stage: String,
     due_ns: u64,
     prev: Baseline,
+    /// Per-volume delta baselines, parallel to [`FeedTap::vols`].
+    vol_prev: Vec<VolBaseline>,
+}
+
+/// Per-volume delta baseline for the `volumes` frame rows.
+struct VolBaseline {
+    ops: u64,
+    dreads: u64,
+    dwrites: u64,
+}
+
+impl VolBaseline {
+    fn capture(obs: &Obs) -> VolBaseline {
+        VolBaseline {
+            ops: obs.thread_ops().iter().sum(),
+            dreads: obs.get(Ctr::DiskReads),
+            dwrites: obs.get(Ctr::DiskWrites),
+        }
+    }
 }
 
 impl FeedTap {
@@ -359,6 +388,36 @@ impl FeedTap {
                 })
                 .collect(),
         );
+        let vol_cur: Vec<VolBaseline> =
+            self.vols.iter().map(|v| VolBaseline::capture(v)).collect();
+        let volumes = Json::Arr(
+            self.vols
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let zero = VolBaseline { ops: 0, dreads: 0, dwrites: 0 };
+                    let prev = st.vol_prev.get(i).unwrap_or(&zero);
+                    let gf = v.signal(Sig::GroupFetchUtil);
+                    obj![
+                        ("vol", Json::Int(i as i64)),
+                        ("ops", Json::Int(vol_cur[i].ops.saturating_sub(prev.ops) as i64)),
+                        ("queue_depth", Json::Int(v.queue_depth() as i64)),
+                        (
+                            "dreads",
+                            Json::Int(vol_cur[i].dreads.saturating_sub(prev.dreads) as i64)
+                        ),
+                        (
+                            "dwrites",
+                            Json::Int(vol_cur[i].dwrites.saturating_sub(prev.dwrites) as i64)
+                        ),
+                        (
+                            "gf_util_ewma_milli",
+                            Json::Int((gf.ewma * 1000.0).round() as i64)
+                        ),
+                    ]
+                })
+                .collect(),
+        );
         let frame = vec![
             ("stage".to_string(), Json::Str(st.stage.clone())),
             ("t_ns".to_string(), Json::Int(t_ns as i64)),
@@ -371,9 +430,11 @@ impl FeedTap {
             ("threads".to_string(), threads),
             ("events".to_string(), events),
             ("dcache_hit_milli".to_string(), Json::Int(dcache_hit_milli as i64)),
+            ("volumes".to_string(), volumes),
         ];
         st.prev = cur;
         st.prev.events_mark = mark;
+        st.vol_prev = vol_cur;
         frame
     }
 }
@@ -421,6 +482,19 @@ pub fn attach(
     stage: &str,
     cadence: Cadence,
 ) -> TapGuard {
+    attach_with_volumes(sink, obs, &[], stage, cadence)
+}
+
+/// [`attach`] for a volume-set producer: `vols` are the per-volume
+/// registries, in volume order; every frame then carries one `volumes`
+/// row per entry (single-volume taps emit an empty array).
+pub fn attach_with_volumes(
+    sink: &Arc<FeedSink>,
+    obs: &Arc<Obs>,
+    vols: &[Arc<Obs>],
+    stage: &str,
+    cadence: Cadence,
+) -> TapGuard {
     let interval_ns = match cadence {
         Cadence::Sim(i) => i.max(1),
         _ => u64::MAX,
@@ -428,11 +502,13 @@ pub fn attach(
     let tap = Arc::new(FeedTap {
         sink: Arc::clone(sink),
         obs: Arc::clone(obs),
+        vols: vols.to_vec(),
         interval_ns,
         state: Mutex::new(TapState {
             stage: stage.to_string(),
             due_ns: u64::MAX,
             prev: Baseline::capture(obs),
+            vol_prev: vols.iter().map(|v| VolBaseline::capture(v)).collect(),
         }),
     });
     let mut guard = TapGuard { tap: Arc::clone(&tap), sim: false, stop: None, join: None };
@@ -506,6 +582,17 @@ pub fn global() -> Option<Arc<FeedSink>> {
 /// consecutive stages accumulate into one replayable feed.
 pub fn tap_global(obs: &Arc<Obs>, stage: &str, cadence: Cadence) -> Option<TapGuard> {
     global().map(|sink| attach(&sink, obs, stage, cadence))
+}
+
+/// [`tap_global`] with per-volume registries attached (see
+/// [`attach_with_volumes`]).
+pub fn tap_global_volumes(
+    obs: &Arc<Obs>,
+    vols: &[Arc<Obs>],
+    stage: &str,
+    cadence: Cadence,
+) -> Option<TapGuard> {
+    global().map(|sink| attach_with_volumes(&sink, obs, vols, stage, cadence))
 }
 
 /// [`tap_global`] at the default simulated cadence — the one-liner the
@@ -605,6 +692,19 @@ pub fn validate_frame(frame: &Json) -> Result<(), String> {
     }
     if !threads.iter().all(|t| t.as_u64().is_some()) {
         return Err("frame field \"threads\" holds a non-u64 slot".to_string());
+    }
+    let Some(Json::Arr(volumes)) = frame.get("volumes") else {
+        return Err("frame field \"volumes\" missing or not an array".to_string());
+    };
+    for (i, v) in volumes.iter().enumerate() {
+        for k in ["vol", "ops", "queue_depth", "dreads", "dwrites", "gf_util_ewma_milli"] {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("volume row lacks u64 {k:?}"))?;
+        }
+        if v.get("vol").and_then(Json::as_u64) != Some(i as u64) {
+            return Err(format!("volume row {i} out of order"));
+        }
     }
     let Some(Json::Arr(events)) = frame.get("events") else {
         return Err("frame field \"events\" missing or not an array".to_string());

@@ -188,6 +188,17 @@ counters! {
     /// Host nanoseconds spent waiting on contended driver queue / disk
     /// locks.
     LockWaitNsDriver => "lock_wait_ns_driver",
+
+    // ---- scale-out volume sets ----
+    /// Files promoted to the striped layout by a volume set (first write
+    /// that extends past the stripe threshold).
+    VolStripePromotions => "vol_stripe_promotions",
+    /// Stripe-part reads/writes issued to non-home volumes on behalf of
+    /// striped files.
+    VolStripePartIos => "vol_stripe_part_ios",
+    /// Directory creations fanned out to every volume to replicate the
+    /// namespace skeleton.
+    VolDirFanouts => "vol_dir_fanouts",
 }
 
 /// Fixed registry of relaxed atomic counters.
@@ -438,6 +449,20 @@ impl HistogramSnapshot {
         }
         HistogramSnapshot {
             sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+
+    /// Bucket-wise sum `self + other` (saturating), for folding
+    /// per-volume histograms into one aggregate view.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let get = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        let buckets: Vec<u64> = (0..len)
+            .map(|i| get(&self.buckets, i).saturating_add(get(&other.buckets, i)))
+            .collect();
+        HistogramSnapshot {
+            sum: self.sum.saturating_add(other.sum),
             buckets,
         }
     }
@@ -1730,6 +1755,32 @@ impl StatsSnapshot {
                     (n.clone(), h.delta(earlier.histogram(n).unwrap_or(&empty)))
                 })
                 .collect(),
+        }
+    }
+
+    /// Counter- and bucket-wise sum `self + other` (saturating), for
+    /// folding the per-volume registries of a volume set into one
+    /// aggregate snapshot. `label` is kept from `self`; `sim_ns` is the
+    /// max of the two (volumes advance in simulated parallel, so their
+    /// windows overlap rather than concatenate). Histogram names absent
+    /// from one side are carried through unchanged.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        let mut histograms = self.histograms.clone();
+        for (n, h) in &other.histograms {
+            match histograms.iter_mut().find(|(name, _)| name == n) {
+                Some((_, mine)) => *mine = mine.merge(h),
+                None => histograms.push((n.clone(), h.clone())),
+            }
+        }
+        StatsSnapshot {
+            label: self.label.clone(),
+            sim_ns: self.sim_ns.max(other.sim_ns),
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_add(other.get_named(n))))
+                .collect(),
+            histograms,
         }
     }
 

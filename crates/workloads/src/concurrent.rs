@@ -257,7 +257,7 @@ fn churn(
 /// late in *wall* time would fall back to the global clock mirror — which
 /// its siblings have already pushed — and the per-thread timelines would
 /// chain serially instead of overlapping from a common origin.
-fn fan_out<F>(
+pub(crate) fn fan_out<F>(
     fs: &(impl ConcurrentFs + ?Sized),
     nthreads: usize,
     body: F,

@@ -33,10 +33,14 @@
 //! * [`namei`] — the million-file deep-tree name-resolution benchmark:
 //!   seeded full-path lookups against multi-block leaf directories, the
 //!   workload behind the namespace-cache (dcache) acceptance gate.
+//! * [`multiclient`] — thousands of seeded user sessions (open/read/
+//!   write/fsync mixes, Zipf-skewed directory popularity) over a few OS
+//!   threads: the scale-out volume workload behind E16 `repro_volume`.
 
 pub mod aging;
 pub mod appdev;
 pub mod concurrent;
+pub mod multiclient;
 pub mod namegen;
 pub mod namei;
 pub mod postmark;

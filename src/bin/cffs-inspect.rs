@@ -10,6 +10,7 @@
 //!   cffs-inspect heatmap [--json] <image>|--demo  # per-CG occupancy/traffic grid
 //!   cffs-inspect regroup [--apply] [--json] <image>|--demo # regrouping plan (dry-run by default)
 //!   cffs-inspect flamegraph [--fold|--svg-ready] <image>|--demo # collapsed-stack profile
+//!   cffs-inspect volumes [--json]                 # demo scale-out volume set, per-volume table
 //!
 //! Prints the superblock, per-cylinder-group occupancy, the group
 //! descriptor table, the namespace tree annotated with each inode's
@@ -36,6 +37,14 @@
 //! online regrouping engine would execute; `--apply` executes it (and
 //! writes the image back in place when inspecting a saved image),
 //! finishing with an fsck report.
+//!
+//! `volumes` formats a demo scale-out set (4 striped volumes), replays a
+//! small seeded slice of the multi-client session workload against it,
+//! and prints one row per volume — ops served, disk reads/writes, queue
+//! depth, group-fetch utilization, block occupancy, fsck verdict — plus
+//! the set-level stripe registry size (`--json` for the machine-readable
+//! form). Single-threaded on a fixed seed, so the output is
+//! byte-identical run to run.
 //!
 //! `flamegraph` folds the cold walk's trace ring into collapsed-stack
 //! format (`walk;{op};disk_req/{queue,service}` leaves weighted in
@@ -118,7 +127,8 @@ fn usage() -> ! {
          cffs-inspect histo <image>|--demo\n       \
          cffs-inspect heatmap [--json] <image>|--demo\n       \
          cffs-inspect regroup [--apply] [--json] <image>|--demo\n       \
-         cffs-inspect flamegraph [--fold|--svg-ready] <image>|--demo"
+         cffs-inspect flamegraph [--fold|--svg-ready] <image>|--demo\n       \
+         cffs-inspect volumes [--json]"
     );
     std::process::exit(2);
 }
@@ -396,6 +406,118 @@ fn regroup_cmd(args: &[String]) {
     }
 }
 
+/// Demo scale-out volume set: format 4 striped volumes, replay a small
+/// seeded slice of the multi-client session workload, and print one row
+/// per volume. Single client thread on a fixed seed, so equal
+/// invocations give byte-identical output (the determinism contract the
+/// other subcommands keep).
+fn volumes_cmd(args: &[String]) {
+    use cffs::volume::{VolumeCfg, VolumeSet};
+    use cffs::workloads::multiclient::{self, MulticlientParams};
+    use cffs_obs::{Ctr, Sig};
+
+    let json = args.iter().any(|a| a == "--json");
+    const NVOLS: usize = 4;
+    let disks: Vec<Disk> =
+        (0..NVOLS).map(|_| Disk::new(models::tiny_test_disk())).collect();
+    let cfg = VolumeCfg::new(CffsConfig::cffs());
+    let stripe_threshold = cfg.stripe_threshold;
+    let vs = VolumeSet::format(disks, cfg).expect("format volume set");
+
+    // Small enough to finish in well under a second, big enough that the
+    // Zipf-skewed sessions shard directories across every volume and the
+    // big-file reads exercise the striped layout.
+    let p = MulticlientParams {
+        nthreads: 1,
+        sessions: 48,
+        ndirs: 8,
+        files_per_dir: 4,
+        ops_per_session: 8,
+        seed: 42,
+        ..MulticlientParams::default()
+    };
+    let r = multiclient::run(&vs, &p).expect("multiclient run");
+    let fscks = vs.fsck_all().expect("fsck every volume");
+    let depths = vs.queue_depths();
+
+    let mut rows = Vec::with_capacity(vs.nvols());
+    for (v, obs) in vs.vol_obs().iter().enumerate() {
+        let st = vs.statfs_vol(v).expect("statfs");
+        rows.push((
+            v,
+            obs.thread_ops().iter().sum::<u64>(),
+            obs.get(Ctr::DiskReads),
+            obs.get(Ctr::DiskWrites),
+            depths[v],
+            obs.signal(Sig::GroupFetchUtil).ewma,
+            st.total_blocks - st.free_blocks,
+            st.total_blocks,
+            fscks[v].clean(),
+        ));
+    }
+
+    if json {
+        let j = obj![
+            ("nvols", Json::Int(vs.nvols() as i64)),
+            ("stripe_threshold", Json::Int(stripe_threshold as i64)),
+            ("stripes", Json::Int(vs.stripe_count() as i64)),
+            ("total_ops", Json::Int(r.total_ops() as i64)),
+            ("bytes", Json::Int(r.bytes as i64)),
+            ("elapsed_ns", Json::Int(r.elapsed.as_nanos() as i64)),
+            (
+                "volumes",
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(v, ops, dr, dw, qd, gf, used, total, clean)| {
+                            obj![
+                                ("vol", Json::Int(v as i64)),
+                                ("ops", Json::Int(ops as i64)),
+                                ("dreads", Json::Int(dr as i64)),
+                                ("dwrites", Json::Int(dw as i64)),
+                                ("queue_depth", Json::Int(qd as i64)),
+                                (
+                                    "gf_util_ewma_milli",
+                                    Json::Int((gf * 1000.0).round() as i64)
+                                ),
+                                ("used_blocks", Json::Int(used as i64)),
+                                ("total_blocks", Json::Int(total as i64)),
+                                ("fsck_clean", Json::Bool(clean)),
+                            ]
+                        })
+                        .collect(),
+                )
+            ),
+        ];
+        println!("{}", j.to_string_pretty());
+        return;
+    }
+
+    println!(
+        "volume set: {} volumes, stripe threshold {} KB, {} striped file(s)",
+        vs.nvols(),
+        stripe_threshold / 1024,
+        vs.stripe_count()
+    );
+    println!(
+        "workload: {} sessions x {} ops, {} dirs x {} files, seed {} ({} thread)",
+        p.sessions, p.ops_per_session, p.ndirs, p.files_per_dir, p.seed, p.nthreads
+    );
+    println!("total: {} ops, {} bytes, elapsed {}\n", r.total_ops(), r.bytes, r.elapsed);
+    println!(
+        "{:<4} {:>8} {:>8} {:>9} {:>7} {:>8} {:>15} {:>6}",
+        "vol", "ops", "dreads", "dwrites", "qdepth", "gf-util", "used/total blk", "fsck"
+    );
+    println!("{}", "-".repeat(74));
+    for (v, ops, dr, dw, qd, gf, used, total, clean) in rows {
+        println!(
+            "{v:<4} {ops:>8} {dr:>8} {dw:>9} {qd:>7} {:>8} {:>15} {:>6}",
+            format!("{gf:.1}%"),
+            format!("{used}/{total}"),
+            if clean { "clean" } else { "DIRTY" },
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -406,6 +528,7 @@ fn main() {
         Some("heatmap") => return heatmap_cmd(&args[2..]),
         Some("regroup") => return regroup_cmd(&args[2..]),
         Some("flamegraph") => return flamegraph_cmd(&args[2..]),
+        Some("volumes") => return volumes_cmd(&args[2..]),
         _ => {}
     }
     let disk = match args.get(1).map(String::as_str) {

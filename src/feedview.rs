@@ -3,7 +3,8 @@
 //! A [`FeedView`] consumes feed frames (see `cffs_obs::feed`) one at a
 //! time and renders a terminal dashboard: a per-cylinder-group heatmap,
 //! sparklines of the headline signals, the recent `signal.*` /
-//! `regroup.*` event log, and per-thread op counters.
+//! `regroup.*` event log, per-thread op counters, and — when the
+//! producer is a volume set — one row per volume with an ops-share bar.
 //!
 //! The renderer is deliberately deterministic in headless (no-color)
 //! mode: it never prints host-time counters (`lock_wait_ns_*` stay in
@@ -284,6 +285,35 @@ impl FeedView {
             }
         }
 
+        // Per-volume rows (volume-set producers only; single-volume
+        // feeds carry an empty array). The bar is each volume's share of
+        // the frame's busiest volume — a shard-balance read at a glance.
+        if let Some(Json::Arr(vols)) = frame.get("volumes") {
+            if !vols.is_empty() {
+                let _ = writeln!(out, "{} ({})", bold("volumes"), vols.len());
+                let max_ops = vols
+                    .iter()
+                    .filter_map(|v| v.get("ops").and_then(Json::as_u64))
+                    .max()
+                    .unwrap_or(0)
+                    .max(1);
+                for v in vols {
+                    let get = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    let ops = get("ops");
+                    let bar = "#".repeat(((ops * 16 + max_ops / 2) / max_ops) as usize);
+                    let _ = writeln!(
+                        out,
+                        "  vol{:<2} ops={ops:<8} qd={:<4} dr={:<6} dw={:<6} gf-util={:>5.1}%  {bar}",
+                        get("vol"),
+                        get("queue_depth"),
+                        get("dreads"),
+                        get("dwrites"),
+                        get("gf_util_ewma_milli") as f64 / 1000.0,
+                    );
+                }
+            }
+        }
+
         // Per-thread cumulative ops (slot 0 = unbound threads).
         let active: Vec<String> = self
             .thread_totals
@@ -340,5 +370,24 @@ mod tests {
         assert!(text.contains("cg heatmap"), "{text}");
         assert!(text.contains("t0:2"), "{text}");
         assert!(!text.contains('\x1b'), "headless must be ANSI-free: {text}");
+        // Single-volume feed: empty volumes array must render no section.
+        assert!(!text.contains("volumes"), "{text}");
+    }
+
+    #[test]
+    fn view_renders_volume_rows() {
+        let line = r#"{"seq":0,"stage":"volume-4v/sessions","t_ns":1000,"counters":{},"ops":30,"queue_depth":0,"histos":{},"signals":{},"cgs":[],"threads":[],"events":[],"dcache_hit_milli":0,"volumes":[{"vol":0,"ops":20,"queue_depth":1,"dreads":7,"dwrites":3,"gf_util_ewma_milli":62500},{"vol":1,"ops":10,"queue_depth":0,"dreads":2,"dwrites":1,"gf_util_ewma_milli":0}]}"#;
+        let frame = cffs_obs::json::parse(line).unwrap();
+        let mut view = FeedView::new(false);
+        view.push(&frame);
+        let text = view.render();
+        assert!(text.contains("volumes (2)"), "{text}");
+        assert!(text.contains("vol0"), "{text}");
+        assert!(text.contains("gf-util= 62.5%"), "{text}");
+        // vol0 is the busiest → full 16-char bar; vol1 at half → 8.
+        assert!(text.contains(&"#".repeat(16)), "{text}");
+        let vol1 = text.lines().find(|l| l.contains("vol1")).expect("vol1 row");
+        assert!(vol1.trim_end().ends_with(&"#".repeat(8)), "{vol1}");
+        assert!(!vol1.contains(&"#".repeat(9)), "{vol1}");
     }
 }

@@ -32,6 +32,7 @@ pub use cffs_disksim as disksim;
 pub use cffs_ffs as ffs;
 pub use cffs_fslib as fslib;
 pub use cffs_regroup as regroup;
+pub use cffs_volume as volume;
 pub use cffs_workloads as workloads;
 
 /// The traits and types almost every user needs.
