@@ -22,7 +22,7 @@ echo "== bench smoke (repro_smallfile + repro_aging_regroup + repro_concurrent +
 BENCH_TMP=$(mktemp -d)
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_smallfile -- --files 60 --dirs 3 --mode sync --seed 1997 \
-    > /dev/null
+    --flight "$BENCH_TMP/flight" > /dev/null
 BENCH_OUT_DIR="$BENCH_TMP/out" cargo run --release --offline -p cffs-bench \
     --bin repro_aging_regroup -- --feed "$BENCH_TMP/feed.jsonl" > /dev/null
 # Reduced scale must match the checked-in BENCH_CONCURRENT baseline
@@ -57,6 +57,49 @@ cargo run --release --offline --bin cffs-top -- \
     --replay "$BENCH_TMP/feed.jsonl" --headless --frames 5 \
     | grep -q '^rendered 5 frames$' \
     || { echo "cffs-top headless replay smoke failed"; exit 1; }
+
+echo "== flight recorder + postmortem smoke (black box, fault injection) =="
+# The smallfile smoke above armed a black box; its finished run must have
+# left a schema-valid dump whose last frame matches the final counter
+# snapshot (the postmortem's consistency check).
+for dump in "$BENCH_TMP"/flight/FLIGHT_*.jsonl; do
+    cargo run --release --offline --bin cffs-inspect -- postmortem "$dump" \
+        | grep -q 'internally consistent' \
+        || { echo "postmortem of $dump not consistent"; exit 1; }
+done
+# Fault injection: corrupt an image under an armed recorder; the unclean
+# fsck verdict must flush the black box with reason fsck_failure, and the
+# postmortem of that dump must carry a non-empty diagnosis.
+cargo run --release --offline -p cffs-bench --bin flight_fault_smoke -- \
+    --flight "$BENCH_TMP/flight_fault" > /dev/null
+cargo run --release --offline --bin cffs-inspect -- postmortem \
+    "$BENCH_TMP"/flight_fault/FLIGHT_*.jsonl > "$BENCH_TMP/postmortem.txt"
+grep -q 'reason: fsck_failure' "$BENCH_TMP/postmortem.txt" \
+    || { echo "fault-injected dump did not capture the fsck failure"; exit 1; }
+grep -q '^  - ' "$BENCH_TMP/postmortem.txt" \
+    || { echo "postmortem produced an empty diagnosis"; exit 1; }
+
+echo "== cffs-inspect diff (deterministic regression attribution) =="
+# Byte-determinism on the checked-in baselines: two invocations of the
+# same comparison must agree exactly.
+cargo run --release --offline --bin cffs-inspect -- diff --json \
+    crates/bench/baselines/BENCH_SMALLFILE_SYNC.json \
+    crates/bench/baselines/BENCH_AGING_REGROUP.json > "$BENCH_TMP/diff_a.json"
+cargo run --release --offline --bin cffs-inspect -- diff --json \
+    crates/bench/baselines/BENCH_SMALLFILE_SYNC.json \
+    crates/bench/baselines/BENCH_AGING_REGROUP.json > "$BENCH_TMP/diff_b.json"
+cmp -s "$BENCH_TMP/diff_a.json" "$BENCH_TMP/diff_b.json" \
+    || { echo "cffs-inspect diff is not deterministic"; exit 1; }
+# Attribution: a perturbed smallfile run (different scale, same rows)
+# against the ci run must attribute at least one moved metric.
+BENCH_OUT_DIR="$BENCH_TMP/out2" cargo run --release --offline -p cffs-bench \
+    --bin repro_smallfile -- --files 72 --dirs 3 --mode sync --seed 1997 \
+    > /dev/null
+cargo run --release --offline --bin cffs-inspect -- diff --json \
+    "$BENCH_TMP/out/BENCH_SMALLFILE_SYNC.json" \
+    "$BENCH_TMP/out2/BENCH_SMALLFILE_SYNC.json" > "$BENCH_TMP/diff_c.json"
+grep -q '"total_attributions": 0,' "$BENCH_TMP/diff_c.json" \
+    && { echo "diff of two different-scale runs attributed nothing"; exit 1; }
 
 echo "== profiler smoke (flamegraph fold + smallfile FOLD artifact) =="
 # The fold must be non-empty, every line must be `stack weight`, and the
@@ -100,6 +143,12 @@ cargo run --release --offline -p cffs-bench --bin bench_gate -- \
 cargo run --release --offline -p cffs-bench --bin bench_gate -- \
     "$BENCH_TMP/out/BENCH_VOLUME.json" \
     crates/bench/baselines/BENCH_VOLUME.json --tolerance-pct 25
+# Every gate run above must have left its machine-readable verdict next
+# to the payload it judged.
+for name in SMALLFILE_SYNC AGING_REGROUP CONCURRENT NAMEI VOLUME; do
+    test -s "$BENCH_TMP/out/GATE_REPORT_BENCH_$name.json" \
+        || { echo "bench_gate left no GATE_REPORT for $name"; exit 1; }
+done
 rm -rf "$BENCH_TMP"
 
 echo "== ci.sh: all green =="

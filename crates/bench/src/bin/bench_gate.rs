@@ -40,17 +40,49 @@
 //! gets refreshed. Exits nonzero listing every violation.
 
 use cffs_obs::json::{parse, Json};
+use cffs_obs::obj;
 
 struct Gate {
     tol: f64,
     violations: Vec<String>,
     notices: Vec<String>,
+    /// One row per vetted bound, pass or fail — the machine-readable
+    /// mirror of the text output, emitted as `GATE_REPORT_<stem>.json`
+    /// so a CI failure is diagnosable without re-running the gate.
+    checks: Vec<Json>,
 }
 
 impl Gate {
+    /// Record one vetted bound in the machine-readable report.
+    fn check(&mut self, what: &str, kind: &str, measured: f64, bound: f64, pass: bool) {
+        self.checks.push(obj![
+            ("what", Json::Str(what.to_string())),
+            ("kind", Json::Str(kind.to_string())),
+            ("measured", Json::Float(measured)),
+            ("bound", Json::Float(bound)),
+            ("pass", Json::Bool(pass)),
+        ]);
+    }
+
+    /// Record a violation with no measurable bound (a row or field that
+    /// disappeared from one payload).
+    fn fail(&mut self, what: &str, msg: String) {
+        self.checks.push(obj![
+            ("what", Json::Str(what.to_string())),
+            ("kind", Json::Str("present".to_string())),
+            ("measured", Json::Null),
+            ("bound", Json::Null),
+            ("pass", Json::Bool(false)),
+        ]);
+        self.violations.push(msg);
+    }
+
     /// `current` must stay at or below `base * (1 + tol)`.
     fn ceil(&mut self, what: &str, current: f64, base: f64) {
-        if current > base * (1.0 + self.tol) {
+        let bound = base * (1.0 + self.tol);
+        let pass = current <= bound;
+        self.check(what, "ceil", current, bound, pass);
+        if !pass {
             self.violations
                 .push(format!("{what}: {current:.0} regressed past {base:.0} (+{:.0}%)", self.tol * 100.0));
         } else if current < base * (1.0 - self.tol) {
@@ -61,9 +93,24 @@ impl Gate {
 
     /// `current` must stay at or above `base * (1 - tol)`.
     fn floor(&mut self, what: &str, current: f64, base: f64) {
-        if current < base * (1.0 - self.tol) {
+        let bound = base * (1.0 - self.tol);
+        let pass = current >= bound;
+        self.check(what, "floor", current, bound, pass);
+        if !pass {
             self.violations
                 .push(format!("{what}: {current:.2} dropped below {base:.2} (-{:.0}%)", self.tol * 100.0));
+        }
+    }
+
+    /// `current` must clear an absolute acceptance bar (no tolerance —
+    /// the bar *is* the acceptance criterion).
+    fn floor_abs(&mut self, what: &str, current: f64, bar: f64) {
+        let pass = current >= bar;
+        self.check(what, "floor_abs", current, bar, pass);
+        if !pass {
+            self.violations.push(format!(
+                "{what}: {current:.2} below the absolute acceptance floor {bar:.1}"
+            ));
         }
     }
 
@@ -75,7 +122,10 @@ impl Gate {
     /// (2×) in both directions; a genuine ≥ 2-bucket regression still
     /// fails.
     fn ceil_quantile(&mut self, what: &str, current: f64, base: f64) {
-        if current > (base * (1.0 + self.tol)).max(base * 2.0 + 1.0) {
+        let bound = (base * (1.0 + self.tol)).max(base * 2.0 + 1.0);
+        let pass = current <= bound;
+        self.check(what, "ceil_quantile", current, bound, pass);
+        if !pass {
             self.violations
                 .push(format!("{what}: {current:.0} regressed more than one bucket past {base:.0}"));
         } else if current < (base * (1.0 - self.tol)).min(base / 2.0 - 1.0) {
@@ -129,7 +179,10 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
     for base_row in collect_rows(baseline) {
         let Some(key) = row_key(base_row) else { continue };
         let Some(cur_row) = cur_rows.iter().find(|r| row_key(r).as_ref() == Some(&key)) else {
-            gate.violations.push(format!("row ({}, {}) missing from current payload", key.0, key.1));
+            gate.fail(
+                &format!("{}/{}", key.0, key.1),
+                format!("row ({}, {}) missing from current payload", key.0, key.1),
+            );
             continue;
         };
         let tag = format!("{}/{}", key.0, key.1);
@@ -153,7 +206,10 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
                         .and_then(|s| s.get("p90_ns"))
                         .and_then(Json::as_f64),
                 ) else {
-                    gate.violations.push(format!("{tag}: latency_ns.{op}.p90_ns missing"));
+                    gate.fail(
+                        &format!("{tag}: {op} p90_ns"),
+                        format!("{tag}: latency_ns.{op}.p90_ns missing"),
+                    );
                     continue;
                 };
                 gate.ceil_quantile(&format!("{tag}: {op} p90_ns"), cur_p90, base_p90);
@@ -164,9 +220,10 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
                 Some(cur_util) => {
                     gate.floor(&format!("{tag}: group_fetch_util_pct mean"), cur_util, base_util)
                 }
-                None => gate
-                    .violations
-                    .push(format!("{tag}: group_fetch_util_pct histogram disappeared")),
+                None => gate.fail(
+                    &format!("{tag}: group_fetch_util_pct mean"),
+                    format!("{tag}: group_fetch_util_pct histogram disappeared"),
+                ),
             }
         }
         // Attribution floor: the share of a phase spent in mechanical
@@ -183,9 +240,10 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
                 Some(cur_svc) => {
                     gate.floor(&format!("{tag}: time_attribution service_pct"), cur_svc, base_svc)
                 }
-                None => gate
-                    .violations
-                    .push(format!("{tag}: time_attribution.service_pct disappeared")),
+                None => gate.fail(
+                    &format!("{tag}: time_attribution service_pct"),
+                    format!("{tag}: time_attribution.service_pct disappeared"),
+                ),
             }
         }
     }
@@ -204,11 +262,7 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
     ) {
         gate.floor("scaling_ratio", cur_s, base_s);
         const MIN_SCALING: f64 = 2.5;
-        if cur_s < MIN_SCALING {
-            gate.violations.push(format!(
-                "scaling_ratio: {cur_s:.2} below the absolute acceptance floor {MIN_SCALING:.1}"
-            ));
-        }
+        gate.floor_abs("scaling_ratio", cur_s, MIN_SCALING);
     }
     if let (Some(base_a), Some(cur_a)) = (
         baseline.get("aggregate_ops_per_sec").and_then(Json::as_f64),
@@ -225,11 +279,7 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
     ) {
         gate.floor("volume_scaling_ratio", cur_v, base_v);
         const MIN_VOLUME_SCALING: f64 = 3.0;
-        if cur_v < MIN_VOLUME_SCALING {
-            gate.violations.push(format!(
-                "volume_scaling_ratio: {cur_v:.2} below the absolute acceptance floor {MIN_VOLUME_SCALING:.1}"
-            ));
-        }
+        gate.floor_abs("volume_scaling_ratio", cur_v, MIN_VOLUME_SCALING);
     }
     // Namei floors (E15). Same shape as the scaling gate: the relative
     // band catches drift, the absolute bars are the acceptance criteria.
@@ -239,11 +289,7 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
     ) {
         gate.floor("dcache_warm_hit_rate", cur_h, base_h);
         const MIN_HIT_RATE: f64 = 0.90;
-        if cur_h < MIN_HIT_RATE {
-            gate.violations.push(format!(
-                "dcache_warm_hit_rate: {cur_h:.3} below the absolute acceptance floor {MIN_HIT_RATE:.2}"
-            ));
-        }
+        gate.floor_abs("dcache_warm_hit_rate", cur_h, MIN_HIT_RATE);
     }
     if let (Some(base_p), Some(cur_p)) = (
         baseline.get("namei_warm_p99_ns").and_then(Json::as_f64),
@@ -257,11 +303,7 @@ fn compare(gate: &mut Gate, current: &Json, baseline: &Json) {
     ) {
         gate.floor("namei_p99_speedup", cur_s, base_s);
         const MIN_SPEEDUP: f64 = 5.0;
-        if cur_s < MIN_SPEEDUP {
-            gate.violations.push(format!(
-                "namei_p99_speedup: {cur_s:.2} below the absolute acceptance floor {MIN_SPEEDUP:.1}"
-            ));
-        }
+        gate.floor_abs("namei_p99_speedup", cur_s, MIN_SPEEDUP);
     }
 }
 
@@ -294,8 +336,14 @@ fn main() {
     }
     let current = load(positional[0]);
     let baseline = load(positional[1]);
-    let mut gate = Gate { tol: tol_pct / 100.0, violations: Vec::new(), notices: Vec::new() };
+    let mut gate = Gate {
+        tol: tol_pct / 100.0,
+        violations: Vec::new(),
+        notices: Vec::new(),
+        checks: Vec::new(),
+    };
     compare(&mut gate, &current, &baseline);
+    write_gate_report(&gate, positional[0], positional[1], tol_pct);
     for n in &gate.notices {
         println!("note: {n}");
     }
@@ -306,5 +354,43 @@ fn main() {
             eprintln!("bench_gate: {v}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Persist the machine-readable verdict as `GATE_REPORT_<stem>.json`
+/// next to the *current* payload (the freshly measured side — CI
+/// collects that directory), using the bench artifacts' staging+rename
+/// discipline. Failure to write is a warning, not a gate failure: the
+/// verdict already went to stdout/stderr and the exit code.
+fn write_gate_report(gate: &Gate, current: &str, baseline: &str, tol_pct: f64) {
+    let cur = std::path::Path::new(current);
+    let stem = cur.file_stem().and_then(|s| s.to_str()).unwrap_or("UNKNOWN");
+    let dir = cur.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(std::path::Path::new("."));
+    let path = dir.join(format!("GATE_REPORT_{stem}.json"));
+    let report = obj![
+        ("current", Json::Str(current.to_string())),
+        ("baseline", Json::Str(baseline.to_string())),
+        ("tolerance_pct", Json::Float(tol_pct)),
+        ("pass", Json::Bool(gate.violations.is_empty())),
+        (
+            "checks_failed",
+            Json::Int(gate.checks.iter().filter(|c| c.get("pass") == Some(&Json::Bool(false))).count() as i64)
+        ),
+        ("checks", Json::Arr(gate.checks.clone())),
+        (
+            "violations",
+            Json::Arr(gate.violations.iter().map(|v| Json::Str(v.clone())).collect())
+        ),
+        (
+            "notices",
+            Json::Arr(gate.notices.iter().map(|n| Json::Str(n.clone())).collect())
+        ),
+    ];
+    let tmp = dir.join(format!("GATE_REPORT_{stem}.json.{}.tmp", std::process::id()));
+    let res = std::fs::write(&tmp, format!("{}\n", report.to_string_pretty()))
+        .and_then(|()| std::fs::rename(&tmp, &path));
+    match res {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }

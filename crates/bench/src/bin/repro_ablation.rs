@@ -5,6 +5,8 @@ use cffs_bench::experiments::ablation;
 use cffs_bench::report::emit_bench;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    cffs_bench::wire_telemetry(&args);
     let (text, json) = ablation::report();
     print!("{text}");
     emit_bench("ABLATION", json);

@@ -6,6 +6,7 @@ use cffs_bench::report::emit_bench;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cffs_bench::wire_telemetry(&args);
     let ops = args
         .iter()
         .position(|a| a == "--ops")

@@ -1,5 +1,5 @@
 //! E13 (extra): online regrouping after adversarial aging.
-//! Usage: repro_aging_regroup [--seed N] [--feed PATH]
+//! Usage: repro_aging_regroup [--seed N] [--feed PATH] [--flight DIR]
 //!
 //! `--feed` streams the run's telemetry (one tap per stage, sharing one
 //! feed file) to PATH; replay the aging→regroup arc afterwards with
@@ -15,10 +15,7 @@ use cffs_bench::report::emit_bench;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--feed") {
-        let path = args.get(i + 1).expect("--feed needs a path");
-        cffs_obs::feed::set_global(path).expect("create telemetry feed");
-    }
+    cffs_bench::wire_telemetry(&args);
     let seed: u64 = args
         .iter()
         .position(|a| a == "--seed")

@@ -21,7 +21,9 @@ fn show(bench: &str, r: (String, cffs_obs::json::Json)) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    cffs_bench::wire_telemetry(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     let sf = if quick {
         SmallFileParams { nfiles: 1000, ndirs: 50, ..SmallFileParams::default() }
     } else {

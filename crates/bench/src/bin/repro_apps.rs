@@ -14,6 +14,7 @@ fn run_mode(mode: MetadataMode, params: DevTreeParams, bench: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cffs_bench::wire_telemetry(&args);
     let get = |flag: &str, default: &str| -> String {
         args.iter()
             .position(|a| a == flag)

@@ -1,6 +1,6 @@
 //! E14 (extra): concurrent scaling on disjoint cylinder groups.
 //! Usage: repro_concurrent [--seed N] [--dirs N] [--files N] [--rounds N]
-//!                         [--feed PATH]
+//!                         [--feed PATH] [--flight DIR]
 //!
 //! Runs the multi-threaded client workload at 1, 2 and 4 threads over
 //! fresh C-FFS instances and reports aggregate ops/s in simulated time.
@@ -20,10 +20,7 @@ fn arg(args: &[String], name: &str) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--feed") {
-        let path = args.get(i + 1).expect("--feed needs a path");
-        cffs_obs::feed::set_global(path).expect("create telemetry feed");
-    }
+    cffs_bench::wire_telemetry(&args);
     let seed = arg(&args, "--seed").unwrap_or(1997);
     let dirs = arg(&args, "--dirs").unwrap_or(4) as usize;
     let files = arg(&args, "--files").unwrap_or(24) as usize;

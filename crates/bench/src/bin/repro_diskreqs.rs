@@ -9,6 +9,7 @@ use cffs_workloads::smallfile::SmallFileParams;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cffs_bench::wire_telemetry(&args);
     let nfiles = args
         .iter()
         .position(|a| a == "--files")

@@ -1,6 +1,6 @@
 //! E15 (extra): million-file namei with and without the namespace cache.
 //! Usage: repro_namei [--seed N] [--branches N] [--dirs N] [--files N]
-//!                    [--sample N] [--rounds N] [--feed PATH]
+//!                    [--sample N] [--rounds N] [--feed PATH] [--flight DIR]
 //!
 //! Builds a deep tree (default 64 x 64 x 256 = ~10^6 files) on fresh
 //! C-FFS instances — once with the dcache sized to the namespace, once
@@ -22,10 +22,7 @@ fn arg(args: &[String], name: &str) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--feed") {
-        let path = args.get(i + 1).expect("--feed needs a path");
-        cffs_obs::feed::set_global(path).expect("create telemetry feed");
-    }
+    cffs_bench::wire_telemetry(&args);
     let seed = arg(&args, "--seed").unwrap_or(1997);
     let branches = arg(&args, "--branches").unwrap_or(64) as usize;
     let dirs = arg(&args, "--dirs").unwrap_or(64) as usize;

@@ -3,10 +3,13 @@
 //! Usage:
 //!   repro_smallfile [--mode sync|softdep|both] [--files N] [--size BYTES]
 //!                   [--dirs N] [--order roundrobin|dirmajor] [--seed N]
-//!                   [--feed PATH]
+//!                   [--feed PATH] [--flight DIR]
 //!
 //! `--feed` streams a live telemetry feed (one tap per measured file
 //! system) to PATH; watch it with `cffs-top --follow PATH`.
+//! `--flight` arms the forensic flight recorder: each mounted stack
+//! keeps a black box persisted under DIR as `FLIGHT_<label>.jsonl`
+//! (analyze with `cffs-inspect postmortem`).
 
 use cffs_bench::experiments::smallfile;
 use cffs_bench::report::{emit_artifact, emit_bench};
@@ -31,10 +34,7 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     };
-    if let Some(i) = args.iter().position(|a| a == "--feed") {
-        let path = args.get(i + 1).expect("--feed needs a path");
-        cffs_obs::feed::set_global(path).expect("create telemetry feed");
-    }
+    cffs_bench::wire_telemetry(&args);
     let params = SmallFileParams {
         nfiles: get("--files", "10000").parse().expect("--files"),
         file_size: get("--size", "1024").parse().expect("--size"),

@@ -1,6 +1,6 @@
 //! Soak driver: open-ended churn to watch live with `cffs-top`.
 //! Usage: repro_soak [--rounds N] [--dirs N] [--files N] [--seed N]
-//!                   [--feed PATH] [--host-ms N]
+//!                   [--feed PATH] [--flight DIR] [--host-ms N]
 //!
 //! Runs the [`cffs_workloads::soak`] workload on a fresh C-FFS image.
 //! With `--feed`, telemetry streams to PATH — at the deterministic
@@ -26,10 +26,7 @@ fn arg(args: &[String], name: &str) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--feed") {
-        let path = args.get(i + 1).expect("--feed needs a path");
-        cffs_obs::feed::set_global(path).expect("create telemetry feed");
-    }
+    cffs_bench::wire_telemetry(&args);
     let p = SoakParams {
         rounds: arg(&args, "--rounds").unwrap_or(8) as usize,
         ndirs: arg(&args, "--dirs").unwrap_or(6) as usize,

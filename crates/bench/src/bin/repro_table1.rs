@@ -4,6 +4,8 @@ use cffs_bench::experiments::table1;
 use cffs_bench::report::emit_bench;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    cffs_bench::wire_telemetry(&args);
     let (text, json) = table1::report();
     print!("{text}");
     emit_bench("TABLE1", json);

@@ -1,6 +1,6 @@
 //! E16 (extra): scale-out volume sets.
 //! Usage: repro_volume [--seed N] [--sessions N] [--dirs N] [--files N]
-//!                     [--ops N] [--threads N] [--feed PATH]
+//!                     [--ops N] [--threads N] [--feed PATH] [--flight DIR]
 //!
 //! Runs the multi-client session workload over volume sets of 1, 2, 4
 //! and 8 simulated disks (sharded namespace, threshold striping) and
@@ -21,10 +21,7 @@ fn arg(args: &[String], name: &str) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--feed") {
-        let path = args.get(i + 1).expect("--feed needs a path");
-        cffs_obs::feed::set_global(path).expect("create telemetry feed");
-    }
+    cffs_bench::wire_telemetry(&args);
     let seed = arg(&args, "--seed").unwrap_or(1997);
     let sessions = arg(&args, "--sessions").unwrap_or(2000) as usize;
     let dirs = arg(&args, "--dirs").unwrap_or(64) as usize;

@@ -89,6 +89,10 @@ pub fn emit_artifact(name: &str, content: &str) {
                 "error: cannot write {name}: {e}\n\
                  (point BENCH_OUT_DIR at a writable directory)"
             );
+            // Salvage the run's telemetry before dying: the flight
+            // recorders (if `--flight` armed any) hold the final frames
+            // this exit would otherwise lose. No-op when none are armed.
+            cffs_obs::flight::dump_all("bench_write_failure");
             std::process::exit(1);
         }
     }
@@ -107,6 +111,9 @@ pub fn emit_bench(name: &str, payload: Json) {
                 "error: cannot write BENCH_{name}.json: {e}\n\
                  (point BENCH_OUT_DIR at a writable directory)"
             );
+            // Same salvage as emit_artifact: flush the black boxes so
+            // the partial run's telemetry survives the hard exit.
+            cffs_obs::flight::dump_all("bench_write_failure");
             std::process::exit(1);
         }
     }

@@ -281,6 +281,10 @@ pub struct Cffs {
     gen_counter: AtomicU32,
     op_stripes: Vec<Mutex<()>>,
     cfg: CffsConfig,
+    /// Armed flight recorder for this mount (`None` unless the process
+    /// opted in via `cffs_obs::flight::set_global`, i.e. `--flight`).
+    /// Held so unmount cuts a final frame and detaches the pacer.
+    _flight: Option<cffs_obs::flight::FlightGuard>,
 }
 
 impl std::fmt::Debug for Cffs {
@@ -340,6 +344,11 @@ impl Cffs {
             .into_iter()
             .map(|hdr| Mutex::new(CgSlot { hdr, dirty: false }))
             .collect();
+        // Per-op latency objectives (burn is derived lazily from the op
+        // histograms, so arming costs the hot path nothing) and the
+        // forensic black box (no-op without a `--flight` opt-in).
+        obs.arm_default_slos();
+        let flight = cffs_obs::flight::arm_global(&obs, &cfg.label);
         let obs_for_dcache = obs.clone();
         let fs = Cffs {
             drv,
@@ -363,6 +372,7 @@ impl Cffs {
             gen_counter: AtomicU32::new(0),
             op_stripes: (0..OP_STRIPES).map(|_| Mutex::new(())).collect(),
             cfg,
+            _flight: flight,
         };
         fs.scan_exfile()?;
         Ok(fs)

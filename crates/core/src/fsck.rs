@@ -68,7 +68,21 @@ fn write_block(disk: &mut Disk, blk: u64, data: &[u8]) {
 }
 
 /// Check (and with `repair`, fix) the C-FFS image on `disk`.
+///
+/// An inconsistent verdict (a report with errors, or an outright
+/// failure) flushes every armed flight recorder first: the black box
+/// exists precisely for the runs whose images did not come back clean.
 pub fn fsck(disk: &mut Disk, repair: bool) -> FsResult<FsckReport> {
+    let res = fsck_inner(disk, repair);
+    match &res {
+        Ok(report) if !report.clean() => cffs_obs::flight::dump_all("fsck_failure"),
+        Err(_) => cffs_obs::flight::dump_all("fsck_failure"),
+        Ok(_) => {}
+    }
+    res
+}
+
+fn fsck_inner(disk: &mut Disk, repair: bool) -> FsResult<FsckReport> {
     let sb = Superblock::read_from(&read_block(disk, SB_BLOCK))?;
     let mut c = Checker {
         disk,
@@ -85,7 +99,7 @@ pub fn fsck(disk: &mut Disk, repair: bool) -> FsResult<FsckReport> {
     c.check_link_counts()?;
     c.check_groups_and_bitmaps()?;
     if repair && !c.report.errors.is_empty() {
-        let verify = fsck(c.disk, false)?;
+        let verify = fsck_inner(c.disk, false)?;
         if !verify.clean() {
             return Err(FsError::Corrupt(format!(
                 "repair failed to converge: {:?}",

@@ -93,6 +93,10 @@ pub const FRAME_FIELDS: &[(&str, &str)] = &[
         "namespace-cache hit rate (positive + negative) over probes since the previous frame, in milli-units; 0 when no probes",
     ),
     (
+        "slo_burn_milli",
+        "worst per-op SLO error-budget burn so far, milli-units (1000 = exactly at budget); 0 when no objectives are armed",
+    ),
+    (
         "volumes",
         "per-volume rows (vol, ops, queue_depth, dreads, dwrites, gf_util_ewma_milli) for volume-set producers; empty array otherwise",
     ),
@@ -430,6 +434,7 @@ impl FeedTap {
             ("threads".to_string(), threads),
             ("events".to_string(), events),
             ("dcache_hit_milli".to_string(), Json::Int(dcache_hit_milli as i64)),
+            ("slo_burn_milli".to_string(), Json::Int(obs.slo_burn_milli() as i64)),
             ("volumes".to_string(), volumes),
         ];
         st.prev = cur;
@@ -618,6 +623,7 @@ pub fn validate_frame(frame: &Json) -> Result<(), String> {
     if want_u64("dcache_hit_milli")? > 1000 {
         return Err("frame field \"dcache_hit_milli\" exceeds 1000".to_string());
     }
+    want_u64("slo_burn_milli")?;
     frame
         .get("stage")
         .and_then(Json::as_str)

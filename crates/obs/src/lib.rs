@@ -16,7 +16,9 @@
 //! cache, and file-system layers of a mounted stack, so a single snapshot
 //! sees the whole path a request took.
 
+pub mod diff;
 pub mod feed;
+pub mod flight;
 pub mod json;
 pub mod prof;
 
@@ -720,6 +722,16 @@ pub struct Obs {
     /// The attached sim-cadence telemetry tap, if any (weak: the tap
     /// holds the `Arc<Obs>`, so a strong ref here would leak both).
     feed_tap: Mutex<Option<Weak<feed::FeedTap>>>,
+    /// Next simulated instant the armed flight recorder wants a frame
+    /// cut; `u64::MAX` keeps the disarmed hot path to one relaxed load
+    /// (same pacing trick as `feed_due_ns`).
+    pub(crate) flight_due_ns: AtomicU64,
+    /// The armed flight recorder, if any (weak: the guard holds the
+    /// `Arc<flight::Flight>`, which holds the `Arc<Obs>`).
+    pub(crate) flight_slot: Mutex<Option<Weak<flight::Flight>>>,
+    /// Per-op p99 latency objectives, nanoseconds (0 = no objective
+    /// armed for that op). See [`Obs::set_slo`].
+    slo_ns: [AtomicU64; OpKind::COUNT],
 }
 
 /// Fixed number of per-thread op-counter slots (slot 0 = main thread,
@@ -789,6 +801,19 @@ impl std::fmt::Debug for Obs {
 /// Default trace-ring capacity (events retained).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
+/// Default p99 latency objectives armed at mount, simulated nanoseconds.
+/// Deliberately lenient for a seek-bound simulated disk: a healthy run
+/// burns 0; a collapsed cache or a starved regrouper shows up as burn
+/// long before it shows up as a failed bench gate.
+pub const DEFAULT_SLO_P99_NS: &[(OpKind, u64)] = &[
+    (OpKind::Lookup, 50_000_000),
+    (OpKind::Getattr, 20_000_000),
+    (OpKind::Create, 100_000_000),
+    (OpKind::Unlink, 100_000_000),
+    (OpKind::Read, 100_000_000),
+    (OpKind::Write, 100_000_000),
+];
+
 impl Obs {
     pub fn new() -> Arc<Obs> {
         Obs::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
@@ -809,6 +834,9 @@ impl Obs {
             thread_ops: std::array::from_fn(|_| AtomicU64::new(0)),
             feed_due_ns: AtomicU64::new(u64::MAX),
             feed_tap: Mutex::new(None),
+            flight_due_ns: AtomicU64::new(u64::MAX),
+            flight_slot: Mutex::new(None),
+            slo_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         })
     }
 
@@ -1015,6 +1043,105 @@ impl Obs {
         )
     }
 
+    /// Arm a p99 latency objective for one op kind, nanoseconds
+    /// (`target_ns == 0` disarms it). Burn is computed lazily from the
+    /// op's log2 latency histogram — arming costs the hot path nothing.
+    pub fn set_slo(&self, op: OpKind, target_ns: u64) {
+        self.slo_ns[op as usize].store(target_ns, Ordering::Relaxed);
+    }
+
+    /// The armed p99 target for an op kind (0 = none).
+    pub fn slo_target(&self, op: OpKind) -> u64 {
+        self.slo_ns[op as usize].load(Ordering::Relaxed)
+    }
+
+    /// Arm [`DEFAULT_SLO_P99_NS`] (called at mount by the full stack).
+    pub fn arm_default_slos(&self) {
+        for &(op, ns) in DEFAULT_SLO_P99_NS {
+            self.set_slo(op, ns);
+        }
+    }
+
+    /// Error-budget burn for one armed op, milli-units: the observed
+    /// fraction of ops slower than the p99 target, scaled so 1000 means
+    /// "exactly at budget" (1% of ops over target). 0 when disarmed,
+    /// empty, or within budget bucket-conservatively — a violation is a
+    /// sample in a bucket whose *lower* bound already exceeds the
+    /// target, so log2 rounding never charges false positives.
+    pub fn slo_op_burn_milli(&self, op: OpKind) -> u64 {
+        let target = self.slo_target(op);
+        if target == 0 {
+            return 0;
+        }
+        let snap = self.histos.op_ns(op).snapshot();
+        let count = snap.count();
+        if count == 0 {
+            return 0;
+        }
+        let violations: u64 = snap
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| histo_bucket_lo(i) > target)
+            .map(|(_, &n)| n)
+            .sum();
+        violations.saturating_mul(100_000) / count
+    }
+
+    /// Worst [`Obs::slo_op_burn_milli`] across every armed objective
+    /// (the feed's `slo_burn_milli` field). 0 when nothing is armed.
+    pub fn slo_burn_milli(&self) -> u64 {
+        OpKind::ALL
+            .iter()
+            .map(|&op| self.slo_op_burn_milli(op))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The SLO registry as JSON: one row per armed objective with its
+    /// target, sample count, violation count, and burn.
+    pub fn slo_json(&self) -> Json {
+        Json::Obj(
+            OpKind::ALL
+                .iter()
+                .filter(|&&op| self.slo_target(op) > 0)
+                .map(|&op| {
+                    let target = self.slo_target(op);
+                    let snap = self.histos.op_ns(op).snapshot();
+                    let violations: u64 = snap
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| histo_bucket_lo(i) > target)
+                        .map(|(_, &n)| n)
+                        .sum();
+                    (
+                        op.name().to_string(),
+                        obj![
+                            ("target_ns", Json::Int(target as i64)),
+                            ("count", Json::Int(snap.count() as i64)),
+                            ("violations", Json::Int(violations as i64)),
+                            ("burn_milli", Json::Int(self.slo_op_burn_milli(op) as i64)),
+                        ],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Flush the armed flight recorder (no-op when none is armed) —
+    /// the explicit-dump entry of the black box.
+    pub fn dump_flight(&self, reason: &str) {
+        let f = self
+            .flight_slot
+            .lock()
+            .ok()
+            .and_then(|s| s.as_ref().and_then(Weak::upgrade));
+        if let Some(f) = f {
+            f.dump(reason);
+        }
+    }
+
     fn current_span_fields(&self) -> (u64, &'static str) {
         self.with_tls(|t| {
             if t.cur_span == 0 {
@@ -1049,6 +1176,10 @@ impl Obs {
         // emission can take the registry locks sequentially.
         if now_ns >= self.feed_due_ns.load(Ordering::Relaxed) {
             feed::sim_fire(self, now_ns);
+        }
+        // Flight-recorder pacer: same single relaxed load when disarmed.
+        if now_ns >= self.flight_due_ns.load(Ordering::Relaxed) {
+            flight::sim_fire(self, now_ns);
         }
     }
 

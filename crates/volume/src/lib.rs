@@ -213,6 +213,10 @@ pub struct VolumeSet {
     stripes: Mutex<HashMap<Ino, StripeMeta>>,
     /// `.stripe` directory's local ino on each volume.
     stripe_dirs: Vec<Ino>,
+    /// Set-level flight recorder (`None` without a `--flight` opt-in):
+    /// per-volume spans and events merge into its ring tagged with the
+    /// volume index, alongside each volume's own per-mount recorder.
+    _flight: Option<cffs_obs::flight::FlightGuard>,
 }
 
 impl VolumeSet {
@@ -243,6 +247,9 @@ impl VolumeSet {
         let set_obs = Obs::new();
         let t = vols.iter().map(|v| v.obs.clock_ns()).max().unwrap_or(0);
         set_obs.set_clock_ns(t);
+        set_obs.arm_default_slos();
+        let vol_registries: Vec<Arc<Obs>> = vols.iter().map(|v| Arc::clone(&v.obs)).collect();
+        let flight = cffs_obs::flight::arm_global_volumes(&set_obs, &vol_registries, &label);
         Ok(VolumeSet {
             label,
             cfg,
@@ -252,6 +259,7 @@ impl VolumeSet {
             names: Mutex::new(HashMap::new()),
             stripes: Mutex::new(HashMap::new()),
             stripe_dirs,
+            _flight: flight,
         })
     }
 

@@ -128,7 +128,9 @@ fn usage() -> ! {
          cffs-inspect heatmap [--json] <image>|--demo\n       \
          cffs-inspect regroup [--apply] [--json] <image>|--demo\n       \
          cffs-inspect flamegraph [--fold|--svg-ready] <image>|--demo\n       \
-         cffs-inspect volumes [--json]"
+         cffs-inspect volumes [--json]\n       \
+         cffs-inspect postmortem [--json] <FLIGHT_*.jsonl>\n       \
+         cffs-inspect diff [--json] <BENCH_A.json> <BENCH_B.json>"
     );
     std::process::exit(2);
 }
@@ -518,6 +520,54 @@ fn volumes_cmd(args: &[String]) {
     }
 }
 
+/// `postmortem [--json] <FLIGHT file>`: parse a flight-recorder dump
+/// and correlate its captured window into a diagnosis report.
+fn postmortem_cmd(args: &[String]) {
+    let json_mode = args.iter().any(|a| a == "--json");
+    let Some(path) = image_arg(args) else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cffs-inspect: read {path}: {e}");
+        std::process::exit(2);
+    });
+    let dump = cffs_obs::flight::parse_flight(&text).unwrap_or_else(|e| {
+        eprintln!("cffs-inspect: {path}: {e}");
+        std::process::exit(2);
+    });
+    let report = cffs_obs::flight::postmortem(&dump);
+    if json_mode {
+        println!("{}", report.to_string_pretty());
+    } else {
+        print!("{}", cffs_obs::flight::render_postmortem(&report));
+    }
+}
+
+/// `diff [--json] <A.json> <B.json>`: attribute every moved number
+/// between two BENCH payloads (A = baseline/before, B = current/after).
+fn diff_cmd(args: &[String]) {
+    let json_mode = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.len() != 2 {
+        usage();
+    }
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cffs-inspect: read {path}: {e}");
+            std::process::exit(2);
+        });
+        cffs_obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cffs-inspect: parse {path}: {e:?}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (load(paths[0]), load(paths[1]));
+    let report = cffs_obs::diff::diff_reports(&a, &b);
+    if json_mode {
+        println!("{}", report.to_string_pretty());
+    } else {
+        print!("{}", cffs_obs::diff::render_diff(&report));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -529,6 +579,8 @@ fn main() {
         Some("regroup") => return regroup_cmd(&args[2..]),
         Some("flamegraph") => return flamegraph_cmd(&args[2..]),
         Some("volumes") => return volumes_cmd(&args[2..]),
+        Some("postmortem") => return postmortem_cmd(&args[2..]),
+        Some("diff") => return diff_cmd(&args[2..]),
         _ => {}
     }
     let disk = match args.get(1).map(String::as_str) {

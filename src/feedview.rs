@@ -197,6 +197,8 @@ impl FeedView {
         let t_ns = frame.get("t_ns").and_then(Json::as_u64).unwrap_or(0);
         let qd = frame.get("queue_depth").and_then(Json::as_u64).unwrap_or(0);
         let ops = frame.get("ops").and_then(Json::as_u64).unwrap_or(0);
+        // Absent in feeds cut before the SLO registry existed: render 0.
+        let slo_burn = frame.get("slo_burn_milli").and_then(Json::as_u64).unwrap_or(0);
         let bold = |s: &str| {
             if self.color {
                 format!("\x1b[1m{s}\x1b[0m")
@@ -206,7 +208,7 @@ impl FeedView {
         };
         let _ = writeln!(
             out,
-            "{} seq={seq} stage={stage} t={:.3}s ops={ops} queue_depth={qd}",
+            "{} seq={seq} stage={stage} t={:.3}s ops={ops} queue_depth={qd} slo_burn={slo_burn}m",
             bold("cffs-top"),
             t_ns as f64 / 1e9,
         );
@@ -372,6 +374,18 @@ mod tests {
         assert!(!text.contains('\x1b'), "headless must be ANSI-free: {text}");
         // Single-volume feed: empty volumes array must render no section.
         assert!(!text.contains("volumes"), "{text}");
+        // A pre-SLO frame (no slo_burn_milli field) renders burn 0.
+        assert!(text.contains("slo_burn=0m"), "{text}");
+    }
+
+    #[test]
+    fn view_renders_slo_burn() {
+        let line = r#"{"seq":3,"stage":"churn","t_ns":2000,"counters":{},"ops":9,"queue_depth":0,"histos":{},"signals":{},"cgs":[],"threads":[],"events":[],"dcache_hit_milli":0,"slo_burn_milli":1500,"volumes":[]}"#;
+        let frame = cffs_obs::json::parse(line).unwrap();
+        let mut view = FeedView::new(false);
+        view.push(&frame);
+        let text = view.render();
+        assert!(text.contains("slo_burn=1500m"), "{text}");
     }
 
     #[test]

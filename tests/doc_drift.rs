@@ -7,6 +7,7 @@
 //! that still exists.
 
 use cffs_obs::feed::FRAME_FIELDS;
+use cffs_obs::flight::{FLIGHT_FRAME_FIELDS, FLIGHT_RECORDS};
 use cffs_obs::{Ctr, Histos};
 use std::collections::BTreeSet;
 
@@ -68,6 +69,23 @@ fn every_feed_frame_field_is_in_the_readme() {
     );
 }
 
+/// Code → docs: every flight-recorder record type and frame field is
+/// documented, so a `FLIGHT_*.jsonl` reader can always look a record up.
+#[test]
+fn every_flight_record_and_field_is_in_the_readme() {
+    let text = readme();
+    let missing: Vec<_> = FLIGHT_RECORDS
+        .iter()
+        .chain(FLIGHT_FRAME_FIELDS.iter())
+        .map(|(name, _)| *name)
+        .filter(|name| !text.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "README.md flight glossary is missing these record/field names: {missing:?}"
+    );
+}
+
 /// Docs → code: glossary tables only name counters/histograms that exist.
 /// Scoped to the glossary sections so ordinary prose identifiers (env
 /// vars, field names) don't trip it.
@@ -78,6 +96,9 @@ fn readme_glossary_names_all_exist() {
     // The feed frame-field table uses the same `| `name` | meaning |`
     // row shape; its names come from FRAME_FIELDS, not Ctr/Histos.
     known.extend(FRAME_FIELDS.iter().map(|(name, _)| name.to_string()));
+    // Likewise the flight-recorder record and frame-field tables.
+    known.extend(FLIGHT_RECORDS.iter().map(|(name, _)| name.to_string()));
+    known.extend(FLIGHT_FRAME_FIELDS.iter().map(|(name, _)| name.to_string()));
     // Glossary rows are markdown table lines whose first cell is a
     // backticked name.
     let mut stale = Vec::new();

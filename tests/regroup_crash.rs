@@ -134,6 +134,84 @@ fn crash_at_every_tear_point_of_every_relocation() {
     }
 }
 
+/// The flight recorder under the torn-crash sweep: with a recorder
+/// armed on the live stack, every tear point of a relocation yields a
+/// dump that parses, validates against the flight schema, and whose
+/// last frame reproduces the live registry's counters exactly — the
+/// black box a real crashed run would leave behind agrees with the
+/// state fsck then reconstructs.
+#[test]
+fn flight_dump_is_valid_at_every_tear_point() {
+    use cffs_obs::feed::FRAME_COUNTERS;
+    use cffs_obs::json::Json;
+
+    let dir = std::env::temp_dir().join(format!("cffs-crash-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut fs = fragmented(CffsConfig::cffs());
+    let want = snapshot(&mut fs).expect("snapshot");
+    fs.sync().unwrap();
+    let obs = fs.obs();
+    // Armed directly (not via the process-global `--flight` path) so
+    // parallel tests in this binary share no global state.
+    let guard = cffs_obs::flight::arm(&dir, &obs, &[], "regroup-crash");
+    let plan =
+        cffs::regroup::plan(&mut fs, &cffs::regroup::RegroupConfig::exhaustive()).expect("plan");
+    let dp = &plan.dirs[0];
+    let mv = &dp.moves[0];
+    let key = fs.carve_group_for(dp.dir).expect("carve").expect("room");
+    let slot = fs.group_claim_slot(key).expect("slot");
+    fs.relocate_copy_forward(mv.ino, mv.lbn, slot).expect("copy forward");
+    let mut images: Vec<(String, Disk)> = vec![("whole".to_string(), fs.crash_image())];
+    for keep in 0..=8 {
+        if let Some(img) = fs.crash_image_torn(keep) {
+            images.push((format!("tear-{keep}"), img));
+        }
+    }
+    for (ctx, mut img) in images {
+        // Repair the torn image; a dirty verdict inside also flushes the
+        // recorder with reason "fsck_failure" via the registry hook.
+        fsck::fsck(&mut img, true).unwrap_or_else(|e| panic!("{ctx}: repair diverged: {e}"));
+        // Dump at this tear point and require the black box to be
+        // internally exact, not merely parseable.
+        guard.flight().dump(&ctx);
+        let text = std::fs::read_to_string(guard.flight().path()).expect("read dump");
+        let dump = cffs_obs::flight::parse_flight(&text)
+            .unwrap_or_else(|e| panic!("{ctx}: invalid flight dump: {e}"));
+        // Our explicit dump is normally the last word, but the sibling
+        // tests in this binary also fsck dirty images, and each unclean
+        // verdict re-flushes every recorder in the process registry —
+        // either reason proves the dump is current, and the counter
+        // assertions below hold for both (this obs is quiescent here).
+        let reason = dump.head.get("reason").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            reason == ctx || reason == "fsck_failure",
+            "{ctx}: dump is stale (reason {reason:?})"
+        );
+        let last = dump.frames.last().expect("frames");
+        for &c in FRAME_COUNTERS {
+            let dumped = last
+                .get("counters")
+                .and_then(|m| m.get(c.name()))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{ctx}: frame lacks {}", c.name()));
+            assert_eq!(dumped, obs.get(c), "{ctx}: counter {} diverged", c.name());
+        }
+        let report = cffs_obs::flight::postmortem(&dump);
+        assert_eq!(
+            report.get("consistent"),
+            Some(&Json::Bool(true)),
+            "{ctx}: last frame disagrees with counters_final"
+        );
+        // The repaired image still reconstructs to the wanted tree.
+        let verify = fsck::fsck(&mut img, false).expect("verify");
+        assert!(verify.clean(), "{ctx}: still dirty: {:?}", verify.errors);
+        let mut fs2 = Cffs::mount(img, CffsConfig::cffs()).expect("mount repaired");
+        assert_eq!(&snapshot(&mut fs2).expect("snapshot"), &want, "{ctx}: contents changed");
+    }
+    drop(guard);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// An aborted re-formation must not leak: carve an empty extent, claim a
 /// slot, copy data forward — then crash before the commit. The repaired
 /// image has identical contents and no trace of the abandoned extent
